@@ -1,0 +1,63 @@
+//! ABL-CHUNK bench: staging chunk size vs large-transfer bandwidth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vphi::builder::{VmConfig, VphiHost};
+use vphi_bench::ablations::abl_chunk;
+use vphi_bench::support::{render_table, spawn_device_sink};
+use vphi_scif::{Port, ScifAddr};
+use vphi_sim_core::units::{format_bytes, format_throughput, KIB, MIB};
+use vphi_sim_core::Timeline;
+
+fn print_figure() {
+    let rows = abl_chunk();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format_bytes(r.chunk),
+                format_bytes(r.transfer),
+                format_throughput(r.bandwidth),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "ABL-CHUNK — kmalloc staging chunk vs send bandwidth",
+            &["chunk", "transfer", "bandwidth"],
+            &table,
+        )
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+
+    let host = VphiHost::new(1);
+    let mut group = c.benchmark_group("abl_chunk");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (i, chunk) in [256 * KIB, 4 * MIB].into_iter().enumerate() {
+        let sink = spawn_device_sink(&host, Port(920 + i as u16));
+        let vm = host.spawn_vm(VmConfig { chunk_size: chunk, ..VmConfig::default() });
+        let mut tl = Timeline::new();
+        let guest = vm.open_scif(&mut tl).unwrap();
+        guest.connect(ScifAddr::new(host.device_node(0), Port(920 + i as u16)), &mut tl).unwrap();
+        group.bench_function(format!("send_timed_64MiB_chunk_{}", format_bytes(chunk)), |b| {
+            b.iter(|| {
+                let mut tl = Timeline::new();
+                guest.send_timed(64 * MIB, &mut tl).unwrap();
+                tl.total()
+            })
+        });
+        let mut tlc = Timeline::new();
+        let _ = guest.close(&mut tlc);
+        vm.shutdown();
+        let _ = sink.join();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

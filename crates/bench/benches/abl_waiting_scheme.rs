@@ -1,0 +1,69 @@
+//! ABL-WAIT bench: interrupt vs polling vs hybrid waiting schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vphi::builder::{VmConfig, VphiHost};
+use vphi::frontend::WaitScheme;
+use vphi_bench::ablations::abl_wait;
+use vphi_bench::support::{render_table, spawn_device_sink};
+use vphi_scif::{Port, ScifAddr};
+use vphi_sim_core::units::format_bytes;
+use vphi_sim_core::Timeline;
+
+fn print_figure() {
+    let rows = abl_wait();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.to_string(),
+                format_bytes(r.bytes),
+                r.latency.to_string(),
+                if r.polled { "spin".into() } else { "sleep".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "ABL-WAIT — waiting scheme vs send latency",
+            &["scheme", "size", "latency", "vCPU"],
+            &table,
+        )
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+
+    let host = VphiHost::new(1);
+    let mut group = c.benchmark_group("abl_wait");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (i, scheme) in
+        [WaitScheme::Interrupt, WaitScheme::Polling, WaitScheme::DEFAULT_HYBRID]
+            .into_iter()
+            .enumerate()
+    {
+        let sink = spawn_device_sink(&host, Port(910 + i as u16));
+        let vm = host.spawn_vm(VmConfig { scheme, ..VmConfig::default() });
+        let mut tl = Timeline::new();
+        let guest = vm.open_scif(&mut tl).unwrap();
+        guest.connect(ScifAddr::new(host.device_node(0), Port(910 + i as u16)), &mut tl).unwrap();
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                let mut tl = Timeline::new();
+                guest.send(&[1u8], &mut tl).unwrap();
+                tl.total()
+            })
+        });
+        let mut tlc = Timeline::new();
+        let _ = guest.close(&mut tlc);
+        vm.shutdown();
+        let _ = sink.join();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

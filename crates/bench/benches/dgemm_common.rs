@@ -1,0 +1,60 @@
+//! Shared driver for the Figs. 6–8 benches.
+
+use std::sync::Arc;
+
+use criterion::Criterion;
+use vphi::builder::{VmConfig, VphiHost};
+use vphi_bench::dgemm::{dgemm_figure, dgemm_sizes};
+use vphi_bench::support::render_table;
+use vphi_coi::transport::CoiEnv;
+use vphi_coi::{CoiDaemon, GuestEnv, NativeEnv};
+use vphi_mic_tools::{micnativeloadex, MicBinary};
+use vphi_sim_core::units::format_bytes;
+
+pub fn run_figure(c: &mut Criterion, name: &str, threads: u32) {
+    // Regenerate the figure's virtual-time series.
+    let rows = dgemm_figure(threads, &dgemm_sizes());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                format_bytes(r.input_bytes),
+                r.host_total.to_string(),
+                r.vphi_total.to_string(),
+                format!("{:.3}", r.normalized()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("Figs. 6-8 — dgemm via micnativeloadex, {threads} threads (host normalized to 1.0)"),
+            &["N", "inputs", "host total", "vPHI total", "vPHI/host"],
+            &table,
+        )
+    );
+
+    // Wall-clock cost of one full launch through each environment.
+    let host = VphiHost::new(1);
+    let daemon = CoiDaemon::spawn(&host, 0).unwrap();
+    let native: Arc<dyn CoiEnv> = Arc::new(NativeEnv::new(&host));
+    let vm = host.spawn_vm(VmConfig::default());
+    let guest: Arc<dyn CoiEnv> = Arc::new(GuestEnv::new(&vm));
+    let binary = MicBinary::dgemm_sample(1024);
+
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("native_loadex", |b| {
+        b.iter(|| micnativeloadex(&native, 0, &binary, threads).unwrap().total_time)
+    });
+    group.bench_function("vphi_loadex", |b| {
+        b.iter(|| micnativeloadex(&guest, 0, &binary, threads).unwrap().total_time)
+    });
+    group.finish();
+
+    vm.shutdown();
+    daemon.shutdown();
+}

@@ -1,0 +1,81 @@
+//! Figure 4 bench: regenerates the send-receive latency series (virtual
+//! time) and measures the simulator's wall cost per vPHI 1-byte send.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vphi::builder::{VmConfig, VphiHost};
+use vphi_bench::fig4::fig4_latency;
+use vphi_bench::support::{render_table, spawn_device_sink};
+use vphi_scif::{Port, ScifAddr};
+use vphi_sim_core::units::format_bytes;
+use vphi_sim_core::Timeline;
+
+fn print_figure() {
+    let rows = fig4_latency();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format_bytes(r.bytes),
+                r.host.to_string(),
+                r.vphi.to_string(),
+                r.overhead().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Fig. 4 — send-receive latency (virtual time)",
+            &["size", "host", "vPHI", "overhead"],
+            &table,
+        )
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+
+    // Wall-clock cost of one paravirtual 1-byte send through the full
+    // stack (threads, ring, backend, SCIF).
+    let host = VphiHost::new(1);
+    let sink = spawn_device_sink(&host, Port(900));
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let guest = vm.open_scif(&mut tl).unwrap();
+    guest.connect(ScifAddr::new(host.device_node(0), Port(900)), &mut tl).unwrap();
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.bench_function("vphi_send_1B", |b| {
+        b.iter(|| {
+            let mut tl = Timeline::new();
+            guest.send(std::hint::black_box(&[1u8]), &mut tl).unwrap();
+            tl.total()
+        })
+    });
+
+    // Native comparison point.
+    let sink2 = spawn_device_sink(&host, Port(901));
+    let native = host.native_endpoint().unwrap();
+    native.connect(ScifAddr::new(host.device_node(0), Port(901)), &mut tl).unwrap();
+    group.bench_function("native_send_1B", |b| {
+        b.iter(|| {
+            let mut tl = Timeline::new();
+            native.send(std::hint::black_box(&[1u8]), &mut tl).unwrap();
+            tl.total()
+        })
+    });
+    group.finish();
+
+    native.close();
+    let mut tlc = Timeline::new();
+    let _ = guest.close(&mut tlc);
+    vm.shutdown();
+    let _ = sink.join();
+    let _ = sink2.join();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

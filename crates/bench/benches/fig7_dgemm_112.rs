@@ -1,0 +1,12 @@
+//! Figure 7 bench: dgemm launch+execution with **112 threads**, host vs VM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+mod dgemm_common;
+
+fn bench(c: &mut Criterion) {
+    dgemm_common::run_figure(c, "fig7", 112);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Implementation microbenchmarks: wall-clock cost of the hot primitives
+//! every request crosses (virtqueue, wait queue, SCIF loopback, window
+//! lookup).  These guard the simulator's own performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use vphi_sim_core::{CostModel, SimDuration, Timeline, VirtualClock};
+use vphi_virtio::{Descriptor, UsedElem, VirtQueue};
+use vphi_vmm::WaitQueue;
+
+fn bench_virtqueue(c: &mut Criterion) {
+    let q = VirtQueue::new(256);
+    let push = SimDuration::from_nanos(650);
+    c.bench_function("virtqueue_roundtrip", |b| {
+        b.iter(|| {
+            let mut tl = Timeline::new();
+            let head = q
+                .add_chain(
+                    &[Descriptor::readable(0x1000, 64), Descriptor::writable(0x2000, 32)],
+                    push,
+                    &mut tl,
+                )
+                .unwrap();
+            let chain = q.pop_avail().unwrap().unwrap();
+            q.push_used(UsedElem { id: chain.head, len: 32 }, push, &mut tl);
+            q.take_used();
+            head
+        })
+    });
+}
+
+fn bench_waitqueue(c: &mut Criterion) {
+    let wq = WaitQueue::new();
+    c.bench_function("waitqueue_satisfied_predicate", |b| {
+        b.iter(|| wq.wait_until(|| Some(1u32)))
+    });
+}
+
+fn bench_scif_loopback(c: &mut Criterion) {
+    let cost = Arc::new(CostModel::paper_calibrated());
+    let clock = Arc::new(VirtualClock::new());
+    let fabric = vphi_scif::ScifFabric::new(cost, clock);
+    let server = fabric.open(vphi_scif::HOST_NODE).unwrap();
+    let mut tl = Timeline::new();
+    server.bind(vphi_scif::Port(77)).unwrap();
+    server.listen(2).unwrap();
+    let client = fabric.open(vphi_scif::HOST_NODE).unwrap();
+    let s2 = Arc::clone(&server);
+    let acc = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        s2.accept(&mut tl).unwrap()
+    });
+    client
+        .connect(vphi_scif::ScifAddr::new(vphi_scif::HOST_NODE, vphi_scif::Port(77)), &mut tl)
+        .unwrap();
+    let conn = acc.join().unwrap();
+
+    c.bench_function("scif_loopback_send_recv_64B", |b| {
+        let data = [7u8; 64];
+        let mut buf = [0u8; 64];
+        b.iter(|| {
+            let mut tl = Timeline::new();
+            client.send(&data, &mut tl).unwrap();
+            conn.recv(&mut buf, &mut tl).unwrap();
+            buf[0]
+        })
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let m = CostModel::paper_calibrated();
+    c.bench_function("cost_model_link_transfer", |b| {
+        b.iter(|| m.link_transfer(std::hint::black_box(1 << 20)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20);
+    targets = bench_virtqueue, bench_waitqueue, bench_scif_loopback, bench_cost_model
+}
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! Ablations of vPHI's design choices (paper §III discusses each
+//! trade-off; the hybrid variants are its stated future work).
+
+use vphi::backend::DispatchPolicy;
+use vphi::builder::{VmConfig, VphiHost};
+use vphi::frontend::WaitScheme;
+use vphi_scif::{Port, ScifAddr};
+use vphi_sim_core::cost::KMALLOC_MAX_SIZE;
+use vphi_sim_core::units::{KIB, MIB};
+use vphi_sim_core::{SimDuration, Timeline};
+
+use crate::support::spawn_device_sink;
+
+/// ABL-WAIT row: one (scheme, size) latency measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaitRow {
+    pub scheme: &'static str,
+    pub bytes: u64,
+    pub latency: SimDuration,
+    /// Did this request busy-wait (burning its vCPU for the service time)?
+    pub polled: bool,
+}
+
+/// ABL-WAIT: interrupt vs polling vs hybrid waiting scheme.
+pub fn abl_wait() -> Vec<WaitRow> {
+    let host = VphiHost::new(1);
+    let schemes =
+        [WaitScheme::Interrupt, WaitScheme::Polling, WaitScheme::DEFAULT_HYBRID];
+    let sizes = [1u64, 4 * KIB, 64 * KIB, MIB, 4 * MIB];
+
+    let mut rows = Vec::new();
+    for (i, scheme) in schemes.into_iter().enumerate() {
+        let sink = spawn_device_sink(&host, Port(830 + i as u16));
+        let vm = host.spawn_vm(VmConfig { scheme, ..VmConfig::default() });
+        let mut tl = Timeline::new();
+        let guest = vm.open_scif(&mut tl).expect("open");
+        guest
+            .connect(ScifAddr::new(host.device_node(0), Port(830 + i as u16)), &mut tl)
+            .expect("connect");
+        for bytes in sizes {
+            let data = vec![0u8; bytes as usize];
+            let mut send_tl = Timeline::new();
+            guest.send(&data, &mut send_tl).expect("send");
+            rows.push(WaitRow {
+                scheme: scheme.name(),
+                bytes,
+                latency: send_tl.total(),
+                polled: scheme.polls_for(bytes),
+            });
+        }
+        let mut tl_close = Timeline::new();
+        let _ = guest.close(&mut tl_close);
+        vm.shutdown();
+        let _ = sink.join();
+    }
+    rows
+}
+
+/// ABL-CHUNK row: staging chunk size vs large-transfer bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkRow {
+    pub chunk: u64,
+    pub transfer: u64,
+    pub bandwidth: f64,
+}
+
+/// ABL-CHUNK: the `KMALLOC_MAX_SIZE` staging-chunk trade-off — each chunk
+/// pays the full per-request overhead, so smaller chunks mean lower
+/// large-transfer bandwidth.
+pub fn abl_chunk() -> Vec<ChunkRow> {
+    let host = VphiHost::new(1);
+    let transfer = 64 * MIB;
+    let chunks = [256 * KIB, 512 * KIB, MIB, 2 * MIB, KMALLOC_MAX_SIZE];
+
+    let mut rows = Vec::new();
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        let sink = spawn_device_sink(&host, Port(840 + i as u16));
+        let vm = host.spawn_vm(VmConfig { chunk_size: chunk, ..VmConfig::default() });
+        let mut tl = Timeline::new();
+        let guest = vm.open_scif(&mut tl).expect("open");
+        guest
+            .connect(ScifAddr::new(host.device_node(0), Port(840 + i as u16)), &mut tl)
+            .expect("connect");
+        let mut send_tl = Timeline::new();
+        guest.send_timed(transfer, &mut send_tl).expect("send");
+        rows.push(ChunkRow { chunk, transfer, bandwidth: send_tl.total().throughput(transfer) });
+        let mut tl_close = Timeline::new();
+        let _ = guest.close(&mut tl_close);
+        vm.shutdown();
+        let _ = sink.join();
+    }
+    rows
+}
+
+/// ABL-BLOCK row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockRow {
+    pub policy: &'static str,
+    pub bytes: u64,
+    pub latency: SimDuration,
+    /// Cumulative virtual time this VM was frozen in blocking handlers
+    /// after the request.
+    pub vm_paused: SimDuration,
+}
+
+/// ABL-BLOCK: blocking vs worker-thread backend dispatch — the trade-off
+/// between freezing the VM and paying thread spawn/retire per event.
+pub fn abl_block() -> Vec<BlockRow> {
+    let host = VphiHost::new(1);
+    let policies: [(&'static str, DispatchPolicy); 3] = [
+        ("blocking(paper)", DispatchPolicy::PAPER),
+        ("hybrid(64KiB)", DispatchPolicy::hybrid(64 * KIB)),
+        ("worker(all)", DispatchPolicy::hybrid(0)),
+    ];
+    let sizes = [1u64, 64 * KIB, 4 * MIB];
+
+    let mut rows = Vec::new();
+    for (i, (name, dispatch)) in policies.into_iter().enumerate() {
+        let sink = spawn_device_sink(&host, Port(850 + i as u16));
+        let vm = host.spawn_vm(VmConfig { dispatch, ..VmConfig::default() });
+        let mut tl = Timeline::new();
+        let guest = vm.open_scif(&mut tl).expect("open");
+        guest
+            .connect(ScifAddr::new(host.device_node(0), Port(850 + i as u16)), &mut tl)
+            .expect("connect");
+        for bytes in sizes {
+            let paused_before = vm.vm_paused_total();
+            let data = vec![0u8; bytes as usize];
+            let mut send_tl = Timeline::new();
+            guest.send(&data, &mut send_tl).expect("send");
+            rows.push(BlockRow {
+                policy: name,
+                bytes,
+                latency: send_tl.total(),
+                vm_paused: vm.vm_paused_total().saturating_sub(paused_before),
+            });
+        }
+        let mut tl_close = Timeline::new();
+        let _ = guest.close(&mut tl_close);
+        vm.shutdown();
+        let _ = sink.join();
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polling_beats_interrupt_for_small_but_burns_cpu() {
+        let rows = abl_wait();
+        let find = |scheme: &str, bytes: u64| {
+            rows.iter().find(|r| r.scheme == scheme && r.bytes == bytes).cloned().unwrap()
+        };
+        // 1-byte: polling is far cheaper than the 382 µs interrupt path.
+        let int1 = find("interrupt", 1);
+        let poll1 = find("polling", 1);
+        assert_eq!(int1.latency, SimDuration::from_micros(382));
+        assert!(poll1.latency < SimDuration::from_micros(50), "polling 1B = {}", poll1.latency);
+        assert!(poll1.polled && !int1.polled);
+        // Hybrid: polls small, sleeps large.
+        let hyb_small = find("hybrid", 1);
+        let hyb_large = find("hybrid", 4 * MIB);
+        assert!(hyb_small.polled);
+        assert!(!hyb_large.polled);
+        assert_eq!(hyb_small.latency, poll1.latency);
+        assert_eq!(hyb_large.latency, find("interrupt", 4 * MIB).latency);
+    }
+
+    #[test]
+    fn smaller_chunks_hurt_bandwidth() {
+        let rows = abl_chunk();
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].bandwidth > pair[0].bandwidth,
+                "bigger chunks must be faster: {pair:?}"
+            );
+        }
+        // 4 MiB chunks vs 256 KiB chunks: a big factor.
+        let worst = rows.first().unwrap().bandwidth;
+        let best = rows.last().unwrap().bandwidth;
+        assert!(best / worst > 3.0, "chunking effect too weak: {best} / {worst}");
+    }
+
+    #[test]
+    fn worker_dispatch_trades_latency_for_vm_liveness() {
+        let rows = abl_block();
+        let find = |policy: &str, bytes: u64| {
+            rows.iter().find(|r| r.policy == policy && r.bytes == bytes).cloned().unwrap()
+        };
+        // Blocking pauses the VM for the service time; worker doesn't.
+        let blk = find("blocking(paper)", 4 * MIB);
+        let wrk = find("worker(all)", 4 * MIB);
+        assert!(blk.vm_paused > SimDuration::ZERO);
+        assert_eq!(wrk.vm_paused, SimDuration::ZERO);
+        // Worker adds the spawn cost to latency.
+        assert!(wrk.latency > blk.latency);
+        // The hybrid blocks for small, workers for large.
+        let hyb_small = find("hybrid(64KiB)", 1);
+        let hyb_large = find("hybrid(64KiB)", 4 * MIB);
+        assert!(hyb_small.vm_paused > SimDuration::ZERO);
+        assert_eq!(hyb_large.vm_paused, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,15 @@
+//! The per-figure experiment modules.
+
+pub mod ablations;
+pub mod breakdown;
+pub mod dgemm;
+pub mod fig4;
+pub mod fig5;
+pub mod sharing;
+
+pub use ablations::{abl_block, abl_chunk, abl_wait, BlockRow, ChunkRow, WaitRow};
+pub use breakdown::{breakdown_one_byte, BreakdownRow};
+pub use dgemm::{dgemm_figure, DgemmRow, PAPER_THREAD_COUNTS};
+pub use fig4::{fig4_latency, Fig4Row};
+pub use fig5::{fig5_throughput, Fig5Row};
+pub use sharing::{sharing_scaling, ShareRow};

@@ -1,0 +1,20 @@
+//! # vphi-bench — the experiment harness
+//!
+//! One module per paper artifact, each returning the figure's data series
+//! in virtual time.  The `figures` binary prints them as tables; the
+//! Criterion benches additionally measure the *simulator's* wall-clock
+//! cost per operation (implementation microbenchmarks).
+//!
+//! | paper artifact | module |
+//! |---|---|
+//! | Fig. 4 (send-recv latency)          | [`experiments::fig4`] |
+//! | §IV-B breakdown (93% waiting)       | [`experiments::breakdown`] |
+//! | Fig. 5 (remote-read throughput)     | [`experiments::fig5`] |
+//! | Figs. 6–8 (dgemm launch+execute)    | [`experiments::dgemm`] |
+//! | ABL-WAIT / ABL-CHUNK / ABL-BLOCK    | [`experiments::ablations`] |
+//! | SHARE (multi-VM sharing)            | [`experiments::sharing`] |
+
+pub mod experiments;
+pub mod support;
+
+pub use experiments::*;

@@ -1,0 +1,119 @@
+//! Shared servers and table rendering for the experiments.
+
+use std::sync::Arc;
+
+use vphi::builder::VphiHost;
+use vphi_scif::window::WindowBacking;
+use vphi_scif::{Port, Prot, RmaFlags, ScifEndpoint};
+use vphi_sim_core::Timeline;
+
+/// A device-side server that accepts one connection and drains bytes
+/// until the peer closes (the paper's send-receive benchmark server).
+pub fn spawn_device_sink(host: &VphiHost, port: Port) -> std::thread::JoinHandle<u64> {
+    let server = host.device_endpoint(0).expect("device endpoint");
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(port, &mut tl).expect("bind");
+        server.listen(4, &mut tl).expect("listen");
+        ready_tx.send(()).expect("readiness");
+        let conn = server.accept(&mut tl).expect("accept");
+        let mut drained = 0u64;
+        let mut buf = vec![0u8; 1 << 20];
+        loop {
+            match conn.core().try_recv(&mut buf, &mut tl) {
+                Ok(0) => {
+                    // Block for at least one byte (or EOF).
+                    match conn.core().recv(&mut buf[..1], &mut tl) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => drained += n as u64,
+                    }
+                }
+                Ok(n) => drained += n as u64,
+                Err(_) => break,
+            }
+        }
+        drained
+    });
+    ready_rx.recv().expect("server thread died before listening");
+    handle
+}
+
+/// A device-side server that registers a `window_len` GDDR window at
+/// offset 0 (the paper's remote-memory benchmark server) and parks until
+/// the peer closes.
+pub fn spawn_device_window(host: &VphiHost, port: Port, window_len: u64) -> std::thread::JoinHandle<()> {
+    let board = Arc::clone(host.board(0));
+    let server = host.device_endpoint(0).expect("device endpoint");
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(port, &mut tl).expect("bind");
+        server.listen(4, &mut tl).expect("listen");
+        ready_tx.send(()).expect("readiness");
+        let conn = server.accept(&mut tl).expect("accept");
+        let region = board.memory().alloc_timed(window_len).expect("gddr alloc");
+        let offset = region.offset();
+        conn.register(Some(0), window_len, Prot::READ_WRITE, WindowBacking::Device(region), &mut tl)
+            .expect("register");
+        // Park until the peer hangs up.
+        let mut b = [0u8; 1];
+        let _ = conn.core().recv(&mut b, &mut tl);
+        let _ = board.memory().free(offset);
+    });
+    ready_rx.recv().expect("server thread died before listening");
+    handle
+}
+
+/// Retry a tiny remote read until the device window appears (wall-clock
+/// rendezvous with the server thread).
+pub fn wait_for_native_window(ep: &ScifEndpoint) {
+    let mut b = [0u8; 1];
+    for _ in 0..2000 {
+        let mut tl = Timeline::new();
+        if ep.vreadfrom(&mut b, 0, RmaFlags::SYNC, &mut tl).is_ok() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!("device window never appeared (native)");
+}
+
+/// Guest-side variant of [`wait_for_native_window`].
+pub fn wait_for_guest_window(guest: &vphi::GuestScif, vm: &vphi::VphiVm) {
+    let buf = vm.alloc_buf(1).expect("guest buf");
+    for _ in 0..2000 {
+        let mut tl = Timeline::new();
+        if guest.vreadfrom(&buf, 0, RmaFlags::SYNC, &mut tl).is_ok() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!("device window never appeared (guest)");
+}
+
+/// Render a simple fixed-width table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = format!("## {title}\n");
+    let hdr: Vec<String> =
+        headers.iter().enumerate().map(|(i, h)| format!("{h:>w$}", w = widths[i])).collect();
+    out.push_str(&hdr.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> =
+            row.iter().enumerate().map(|(i, c)| format!("{c:>w$}", w = widths[i])).collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}

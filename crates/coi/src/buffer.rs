@@ -1,0 +1,40 @@
+//! COIBuffer — a client handle to device memory.
+
+/// A buffer living in the card's GDDR, owned by one process session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoiBuffer {
+    id: u64,
+    size: u64,
+}
+
+impl CoiBuffer {
+    pub(crate) fn new(id: u64, size: u64) -> Self {
+        CoiBuffer { id, size }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Construct a handle with an arbitrary id — only for negative-path
+    /// tests that need an id the daemon never issued.
+    pub fn new_for_tests(id: u64, size: u64) -> Self {
+        CoiBuffer { id, size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let b = CoiBuffer::new(3, 4096);
+        assert_eq!(b.id(), 3);
+        assert_eq!(b.size(), 4096);
+    }
+}

@@ -1,0 +1,60 @@
+//! COIPipeline — the offload-mode run-function interface.
+//!
+//! An offloading compiler/runtime (e.g. the OpenMP `target` runtime the
+//! paper names) creates a pipeline on a sink process and enqueues
+//! functions against device buffers.  Our pipeline is a thin ordered
+//! wrapper over [`CoiProcess::run_function`], tracking enqueue order the
+//! way real COI pipelines serialize work.
+
+use vphi_scif::ScifResult;
+use vphi_sim_core::{SimDuration, Timeline};
+
+use crate::buffer::CoiBuffer;
+use crate::process::CoiProcess;
+use crate::protocol::ComputeManifest;
+
+/// The result of one completed pipeline function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    pub name: String,
+    pub ret: u64,
+    pub device_time: SimDuration,
+}
+
+/// An in-order offload pipeline bound to a process.
+pub struct CoiPipeline<'p> {
+    process: &'p CoiProcess,
+    history: Vec<RunRecord>,
+}
+
+impl<'p> CoiPipeline<'p> {
+    /// `COIPipelineCreate`.
+    pub fn create(process: &'p CoiProcess) -> Self {
+        CoiPipeline { process, history: Vec::new() }
+    }
+
+    /// `COIPipelineRunFunction`: synchronous variant — returns when the
+    /// device completes (COI also offers completion events; the blocking
+    /// form is what the offload runtime uses for dependent kernels).
+    pub fn run_function(
+        &mut self,
+        name: &str,
+        buffers: &[&CoiBuffer],
+        manifest: ComputeManifest,
+        tl: &mut Timeline,
+    ) -> ScifResult<u64> {
+        let (ret, device_time) = self.process.run_function(name, buffers, manifest, tl)?;
+        self.history.push(RunRecord { name: name.to_string(), ret, device_time });
+        Ok(ret)
+    }
+
+    /// Completed functions, in enqueue order.
+    pub fn history(&self) -> &[RunRecord] {
+        &self.history
+    }
+
+    /// Total device time consumed by this pipeline.
+    pub fn device_time_total(&self) -> SimDuration {
+        self.history.iter().map(|r| r.device_time).sum()
+    }
+}

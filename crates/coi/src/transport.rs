@@ -1,0 +1,218 @@
+//! The SCIF-connection abstraction COI runs over.
+//!
+//! The same COI client code must work from the host (native baseline) and
+//! from inside a VM (through vPHI) — that equivalence *is* the paper's
+//! binary-compatibility property.  [`CoiTransport`] is a connected SCIF
+//! endpoint; [`CoiEnv`] knows how to check a card's sysfs and open new
+//! connections in each world.
+
+use std::sync::Arc;
+
+use vphi::builder::{VphiHost, VphiVm};
+use vphi::frontend::FrontendDriver;
+use vphi::guest::GuestScif;
+use vphi::sysfs::GuestSysfs;
+use vphi_phi::PhiBoard;
+use vphi_scif::{NodeId, Port, ScifAddr, ScifEndpoint, ScifFabric, ScifResult};
+use vphi_sim_core::Timeline;
+
+/// A connected, bidirectional SCIF channel with both byte-exact and timed
+/// bulk lanes.
+pub trait CoiTransport: Send + Sync {
+    fn send(&self, data: &[u8], tl: &mut Timeline) -> ScifResult<usize>;
+    fn recv(&self, out: &mut [u8], tl: &mut Timeline) -> ScifResult<usize>;
+    fn send_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64>;
+    fn recv_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64>;
+    fn close(&self);
+}
+
+impl CoiTransport for ScifEndpoint {
+    fn send(&self, data: &[u8], tl: &mut Timeline) -> ScifResult<usize> {
+        ScifEndpoint::send(self, data, tl)
+    }
+
+    fn recv(&self, out: &mut [u8], tl: &mut Timeline) -> ScifResult<usize> {
+        ScifEndpoint::recv(self, out, tl)
+    }
+
+    fn send_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64> {
+        ScifEndpoint::send_timed(self, len, tl)
+    }
+
+    fn recv_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64> {
+        ScifEndpoint::recv_timed(self, len, tl)
+    }
+
+    fn close(&self) {
+        ScifEndpoint::close(self)
+    }
+}
+
+impl CoiTransport for GuestScif {
+    fn send(&self, data: &[u8], tl: &mut Timeline) -> ScifResult<usize> {
+        GuestScif::send(self, data, tl)
+    }
+
+    fn recv(&self, out: &mut [u8], tl: &mut Timeline) -> ScifResult<usize> {
+        GuestScif::recv(self, out, tl)
+    }
+
+    fn send_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64> {
+        GuestScif::send_timed(self, len, tl)
+    }
+
+    fn recv_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64> {
+        GuestScif::recv_timed(self, len, tl)
+    }
+
+    fn close(&self) {
+        let mut tl = Timeline::new();
+        let _ = GuestScif::close(self, &mut tl);
+    }
+}
+
+/// A listening endpoint (for symmetric-mode rendezvous).
+pub trait CoiListener: Send + Sync {
+    /// Block for one inbound connection.
+    fn accept(&self, tl: &mut Timeline) -> ScifResult<Box<dyn CoiTransport>>;
+    fn close(&self);
+}
+
+impl CoiListener for ScifEndpoint {
+    fn accept(&self, tl: &mut Timeline) -> ScifResult<Box<dyn CoiTransport>> {
+        Ok(Box::new(ScifEndpoint::accept(self, tl)?))
+    }
+
+    fn close(&self) {
+        ScifEndpoint::close(self)
+    }
+}
+
+impl CoiListener for GuestScif {
+    fn accept(&self, tl: &mut Timeline) -> ScifResult<Box<dyn CoiTransport>> {
+        let (conn, _) = GuestScif::accept(self, tl)?;
+        Ok(Box::new(conn))
+    }
+
+    fn close(&self) {
+        let mut tl = Timeline::new();
+        let _ = GuestScif::close(self, &mut tl);
+    }
+}
+
+/// Where COI client code runs: directly on the host, or inside a VM.
+pub trait CoiEnv: Send + Sync {
+    /// Open a fresh endpoint and connect it to `(node, port)`.
+    fn connect(
+        &self,
+        node: NodeId,
+        port: Port,
+        tl: &mut Timeline,
+    ) -> ScifResult<Box<dyn CoiTransport>>;
+    /// Bind + listen on `port` (symmetric-mode rendezvous).
+    fn listen(&self, port: Port, tl: &mut Timeline) -> ScifResult<Box<dyn CoiListener>>;
+    /// Number of cards visible.
+    fn device_count(&self) -> usize;
+    /// micnativeloadex's sysfs preflight: is `micN` online x100?
+    fn card_usable(&self, mic: u32, tl: &mut Timeline) -> bool;
+    /// A short label for reports ("native" / "vm0").
+    fn label(&self) -> String;
+}
+
+/// The host-side (baseline) environment.
+pub struct NativeEnv {
+    fabric: Arc<ScifFabric>,
+    boards: Vec<Arc<PhiBoard>>,
+}
+
+impl NativeEnv {
+    pub fn new(host: &VphiHost) -> Self {
+        NativeEnv { fabric: Arc::clone(host.fabric()), boards: host.boards().to_vec() }
+    }
+}
+
+impl CoiEnv for NativeEnv {
+    fn connect(
+        &self,
+        node: NodeId,
+        port: Port,
+        tl: &mut Timeline,
+    ) -> ScifResult<Box<dyn CoiTransport>> {
+        let ep = ScifEndpoint::open(&self.fabric, vphi_scif::HOST_NODE)?;
+        ep.connect(ScifAddr::new(node, port), tl)?;
+        Ok(Box::new(ep))
+    }
+
+    fn listen(&self, port: Port, tl: &mut Timeline) -> ScifResult<Box<dyn CoiListener>> {
+        let ep = ScifEndpoint::open(&self.fabric, vphi_scif::HOST_NODE)?;
+        ep.bind(port, tl)?;
+        ep.listen(16, tl)?;
+        Ok(Box::new(ep))
+    }
+
+    fn device_count(&self) -> usize {
+        self.boards.len()
+    }
+
+    fn card_usable(&self, mic: u32, _tl: &mut Timeline) -> bool {
+        self.boards
+            .get(mic as usize)
+            .map(|b| b.sysfs().get("state") == Some("online"))
+            .unwrap_or(false)
+    }
+
+    fn label(&self) -> String {
+        "native".to_string()
+    }
+}
+
+/// The in-VM environment (everything goes through vPHI).
+pub struct GuestEnv {
+    driver: Arc<FrontendDriver>,
+    label: String,
+}
+
+impl GuestEnv {
+    pub fn new(vm: &VphiVm) -> Self {
+        GuestEnv { driver: Arc::clone(vm.frontend()), label: format!("vm{}", vm.vm().id()) }
+    }
+}
+
+impl CoiEnv for GuestEnv {
+    fn connect(
+        &self,
+        node: NodeId,
+        port: Port,
+        tl: &mut Timeline,
+    ) -> ScifResult<Box<dyn CoiTransport>> {
+        let ep = GuestScif::open(&self.driver, tl)?;
+        ep.connect(ScifAddr::new(node, port), tl)?;
+        Ok(Box::new(ep))
+    }
+
+    fn listen(&self, port: Port, tl: &mut Timeline) -> ScifResult<Box<dyn CoiListener>> {
+        let ep = GuestScif::open(&self.driver, tl)?;
+        ep.bind(port, tl)?;
+        ep.listen(16, tl)?;
+        Ok(Box::new(ep))
+    }
+
+    fn device_count(&self) -> usize {
+        let mut tl = Timeline::new();
+        GuestScif::open(&self.driver, &mut tl)
+            .and_then(|ep| {
+                let n = ep.node_count(&mut tl)?;
+                let _ = ep.close(&mut tl);
+                Ok(n.saturating_sub(1) as usize)
+            })
+            .unwrap_or(0)
+    }
+
+    fn card_usable(&self, mic: u32, tl: &mut Timeline) -> bool {
+        GuestSysfs::fetch(&self.driver, mic, tl).map(|s| s.card_is_usable()).unwrap_or(false)
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}

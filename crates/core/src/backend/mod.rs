@@ -1,0 +1,541 @@
+//! The vPHI **backend device** — the QEMU extension.
+//!
+//! "We design vPHI backend device as a virtual PCI device and implement
+//! it as a QEMU extension … the backend checks the shared ring and maps
+//! the buffer to its address space avoiding again any copies … Afterwards,
+//! the backend performs the relevant system call to the host SCIF driver
+//! and waits for the result." (paper §III)
+//!
+//! Sharing falls out of the process model: every VM is one QEMU process,
+//! so N VMs issuing SCIF requests are just N host processes doing ioctls
+//! on `/dev/mic/scif` in parallel — nothing in the host driver changes.
+
+mod dispatch;
+
+pub use dispatch::{dispatch_policy, request_payload_len, Dispatch, DispatchPolicy};
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vphi_phi::PhiBoard;
+use vphi_scif::window::{WindowBacking, WindowBytes};
+use vphi_scif::{
+    MappedRegion, NodeId, Port, Prot, ScifAddr, ScifEndpoint, ScifError, ScifFabric, ScifResult,
+    HOST_NODE,
+};
+use vphi_sim_core::{SpanLabel, Timeline};
+use vphi_virtio::{DescChain, Descriptor, UsedElem, VirtQueue};
+use vphi_vmm::vm::VirtualPciDevice;
+use vphi_vmm::{Gpa, GuestMemory, IrqChip, KvmModule, QemuEventLoop, VmaFlags};
+
+use crate::frontend::{VphiChannel, VPHI_IRQ_VECTOR};
+use crate::mmapping::MappedRegionBacking;
+use crate::protocol::{rma_flags_from_wire, VphiRequest, VphiResponse};
+
+/// Pinned guest pages exposed to the host SCIF driver as window backing —
+/// the zero-copy guest-memory-registration path of the paper.
+pub struct GuestWindowBytes {
+    mem: Arc<GuestMemory>,
+    gpa: Gpa,
+    len: u64,
+}
+
+impl GuestWindowBytes {
+    pub fn new(mem: Arc<GuestMemory>, gpa: Gpa, len: u64) -> Self {
+        GuestWindowBytes { mem, gpa, len }
+    }
+}
+
+impl WindowBytes for GuestWindowBytes {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read(&self, at: u64, out: &mut [u8]) -> ScifResult<()> {
+        if at + out.len() as u64 > self.len {
+            return Err(ScifError::OutOfRange);
+        }
+        self.mem.read(self.gpa.offset(at), out).map_err(|_| ScifError::OutOfRange)
+    }
+
+    fn write(&self, at: u64, data: &[u8]) -> ScifResult<()> {
+        if at + data.len() as u64 > self.len {
+            return Err(ScifError::OutOfRange);
+        }
+        self.mem.write(self.gpa.offset(at), data).map_err(|_| ScifError::OutOfRange)
+    }
+}
+
+/// Counters surfaced by the figure harness.
+#[derive(Debug, Default)]
+pub struct BackendStats {
+    pub requests: AtomicU64,
+    pub worker_dispatches: AtomicU64,
+    pub pages_translated: AtomicU64,
+}
+
+struct EndpointTable {
+    endpoints: HashMap<u64, Arc<ScifEndpoint>>,
+    next_epd: u64,
+}
+
+struct MmapTable {
+    maps: HashMap<u64, MappedRegion>,
+}
+
+/// Everything the service loop and worker threads share.
+pub struct BackendInner {
+    name: String,
+    channel: Arc<VphiChannel>,
+    guest_mem: Arc<GuestMemory>,
+    guest_irq: Arc<IrqChip>,
+    kvm: Arc<KvmModule>,
+    event_loop: Arc<QemuEventLoop>,
+    fabric: Arc<ScifFabric>,
+    boards: Vec<Arc<PhiBoard>>,
+    eps: Mutex<EndpointTable>,
+    mmaps: Mutex<MmapTable>,
+    policy: DispatchPolicy,
+    running: AtomicBool,
+    pub stats: BackendStats,
+}
+
+impl BackendInner {
+    fn cost(&self) -> &Arc<vphi_sim_core::CostModel> {
+        &self.fabric.shared().cost
+    }
+
+    fn ep(&self, epd: u64) -> ScifResult<Arc<ScifEndpoint>> {
+        self.eps.lock().endpoints.get(&epd).map(Arc::clone).ok_or(ScifError::Inval)
+    }
+
+    fn insert_ep(&self, ep: ScifEndpoint) -> u64 {
+        let mut t = self.eps.lock();
+        let epd = t.next_epd;
+        t.next_epd += 1;
+        t.endpoints.insert(epd, Arc::new(ep));
+        epd
+    }
+
+    /// Service one popped chain end-to-end.
+    fn process(self: &Arc<Self>, chain: DescChain) {
+        let (token, mut tl) = self.channel.claim(chain.head);
+        let cost = self.cost();
+        tl.charge(SpanLabel::BackendDecode, cost.backend_decode);
+        tl.charge(SpanLabel::GuestBufMap, cost.guest_buf_map);
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+
+        // Decode the request header from the first readable descriptor
+        // (zero-copy view of guest memory).
+        let head_desc = chain.descriptors[0];
+        let req = self
+            .guest_mem
+            .with_slice(Gpa(head_desc.addr), head_desc.len as u64, VphiRequest::decode)
+            .ok()
+            .flatten();
+
+        let Some(req) = req else {
+            self.finish(token, &chain, VphiResponse::err(ScifError::Inval), tl);
+            return;
+        };
+
+        match self.policy.dispatch(&req) {
+            Dispatch::Blocking => {
+                let el = Arc::clone(&self.event_loop);
+                let resp = el.run(vphi_vmm::event_loop::Dispatch::Blocking, &mut tl, |tl| {
+                    self.execute(&req, &chain, tl)
+                });
+                self.finish(token, &chain, resp, tl);
+            }
+            Dispatch::Worker => {
+                // `scif_accept` may wait forever for a connect; freezing
+                // the VM for it is unacceptable (paper §III), so it runs
+                // on a QEMU worker thread.
+                self.stats.worker_dispatches.fetch_add(1, Ordering::Relaxed);
+                let inner = Arc::clone(self);
+                self.event_loop.spawn_worker(req.name(), move || {
+                    let mut tl = tl;
+                    let el = Arc::clone(&inner.event_loop);
+                    let resp = el.run(vphi_vmm::event_loop::Dispatch::Worker, &mut tl, |tl| {
+                        inner.execute(&req, &chain, tl)
+                    });
+                    inner.finish(token, &chain, resp, tl);
+                });
+            }
+        }
+    }
+
+    /// Write the response header, push used, inject the virtual interrupt
+    /// and hand the timeline back to the frontend.
+    fn finish(
+        &self,
+        token: crate::frontend::ReqToken,
+        chain: &DescChain,
+        resp: VphiResponse,
+        mut tl: Timeline,
+    ) {
+        let resp_desc = chain.descriptors.last().expect("chain has a response descriptor");
+        let _ = self.guest_mem.write(Gpa(resp_desc.addr), &resp.encode());
+        self.channel.queue.push_used(
+            UsedElem { id: chain.head, len: resp_desc.len },
+            self.cost().used_push,
+            &mut tl,
+        );
+        self.guest_irq.inject(VPHI_IRQ_VECTOR, &mut tl);
+        self.channel.complete(token, tl);
+    }
+
+    /// Payload descriptors: everything between the request header and the
+    /// response header.
+    fn payload<'c>(&self, chain: &'c DescChain) -> &'c [Descriptor] {
+        &chain.descriptors[1..chain.descriptors.len() - 1]
+    }
+
+    /// Per-page pin + GPA→HVA translation charge for an RMA buffer — the
+    /// term that caps vPHI remote-read throughput at 72% of native.
+    fn charge_translate(&self, bytes: u64, tl: &mut Timeline) {
+        let pages = bytes.div_ceil(vphi_sim_core::cost::PAGE_SIZE).max(1);
+        self.stats.pages_translated.fetch_add(pages, Ordering::Relaxed);
+        tl.charge(SpanLabel::PageTranslate, self.cost().page_translate * pages);
+    }
+
+    /// Execute one decoded request against the host SCIF driver.
+    fn execute(&self, req: &VphiRequest, chain: &DescChain, tl: &mut Timeline) -> VphiResponse {
+        let r: ScifResult<(u64, u64)> = (|| match *req {
+            VphiRequest::Open => {
+                tl.charge(SpanLabel::HostSyscall, self.cost().host_syscall);
+                let ep = ScifEndpoint::open(&self.fabric, HOST_NODE)?;
+                Ok((self.insert_ep(ep), 0))
+            }
+            VphiRequest::Bind { epd, port } => {
+                let p = self.ep(epd)?.bind(Port(port), tl)?;
+                Ok((p.0 as u64, 0))
+            }
+            VphiRequest::Listen { epd, backlog } => {
+                self.ep(epd)?.listen(backlog as usize, tl)?;
+                Ok((0, 0))
+            }
+            VphiRequest::Connect { epd, node, port } => {
+                let peer =
+                    self.ep(epd)?.connect(ScifAddr::new(NodeId(node), Port(port)), tl)?;
+                Ok((peer.node.0 as u64, peer.port.0 as u64))
+            }
+            VphiRequest::Accept { epd } => {
+                let conn = self.ep(epd)?.accept(tl)?;
+                let peer = conn.peer_addr().ok_or(ScifError::NotConn)?;
+                let new_epd = self.insert_ep(conn);
+                Ok((new_epd, ((peer.node.0 as u64) << 32) | peer.port.0 as u64))
+            }
+            VphiRequest::Send { epd, len } => {
+                let ep = self.ep(epd)?;
+                let mut sent = 0u64;
+                for d in self.payload(chain) {
+                    let take = (d.len as u64).min(len as u64 - sent) as usize;
+                    if take == 0 {
+                        break;
+                    }
+                    let data = self
+                        .guest_mem
+                        .with_slice(Gpa(d.addr), take as u64, |s| s.to_vec())
+                        .map_err(|_| ScifError::Inval)?;
+                    sent += ep.send(&data, tl)? as u64;
+                }
+                Ok((sent, 0))
+            }
+            VphiRequest::Recv { epd, len } => {
+                let ep = self.ep(epd)?;
+                let mut got = 0u64;
+                for d in self.payload(chain) {
+                    let want = (d.len as u64).min(len as u64 - got) as usize;
+                    if want == 0 {
+                        break;
+                    }
+                    let mut buf = vec![0u8; want];
+                    let n = ep.recv(&mut buf, tl)?;
+                    self.guest_mem
+                        .write(Gpa(d.addr), &buf[..n])
+                        .map_err(|_| ScifError::Inval)?;
+                    got += n as u64;
+                    if n < want {
+                        break; // peer closed
+                    }
+                }
+                Ok((got, 0))
+            }
+            VphiRequest::Register { epd, len, prot, fixed_offset, has_fixed } => {
+                let ep = self.ep(epd)?;
+                let d = self.payload(chain).first().copied().ok_or(ScifError::Inval)?;
+                let backing = GuestWindowBytes::new(Arc::clone(&self.guest_mem), Gpa(d.addr), len);
+                let prot = wire_prot(prot);
+                let off = ep.register(
+                    has_fixed.then_some(fixed_offset),
+                    len,
+                    prot,
+                    WindowBacking::External(Arc::new(backing)),
+                    tl,
+                )?;
+                Ok((off, 0))
+            }
+            VphiRequest::Unregister { epd, offset, len } => {
+                self.ep(epd)?.unregister(offset, len, tl)?;
+                Ok((0, 0))
+            }
+            VphiRequest::VreadFrom { epd, roffset, len, flags } => {
+                let ep = self.ep(epd)?;
+                let d = self.payload(chain).first().copied().ok_or(ScifError::Inval)?;
+                self.charge_translate(len, tl);
+                let mut buf = vec![0u8; len as usize];
+                ep.vreadfrom(&mut buf, roffset, rma_flags_from_wire(flags), tl)?;
+                self.guest_mem.write(Gpa(d.addr), &buf).map_err(|_| ScifError::Inval)?;
+                Ok((len, 0))
+            }
+            VphiRequest::VwriteTo { epd, roffset, len, flags } => {
+                let ep = self.ep(epd)?;
+                let d = self.payload(chain).first().copied().ok_or(ScifError::Inval)?;
+                self.charge_translate(len, tl);
+                let buf = self
+                    .guest_mem
+                    .with_slice(Gpa(d.addr), len, |s| s.to_vec())
+                    .map_err(|_| ScifError::Inval)?;
+                ep.vwriteto(&buf, roffset, rma_flags_from_wire(flags), tl)?;
+                Ok((len, 0))
+            }
+            VphiRequest::ReadFrom { epd, loffset, len, roffset, flags } => {
+                self.ep(epd)?.readfrom(loffset, len, roffset, rma_flags_from_wire(flags), tl)?;
+                Ok((len, 0))
+            }
+            VphiRequest::WriteTo { epd, loffset, len, roffset, flags } => {
+                self.ep(epd)?.writeto(loffset, len, roffset, rma_flags_from_wire(flags), tl)?;
+                Ok((len, 0))
+            }
+            VphiRequest::Mmap { epd, offset, len, prot } => {
+                let ep = self.ep(epd)?;
+                let prot_flags = wire_prot(prot);
+                let region = ep.mmap(offset, len, prot_flags, tl)?;
+                let base_pfn = region.device_pfn(0);
+                let backing = Arc::new(MappedRegionBacking::new(region.clone()));
+                let vaddr = self
+                    .kvm
+                    .vmas
+                    .lock()
+                    .map(
+                        None,
+                        len,
+                        VmaFlags {
+                            read: prot_flags.readable(),
+                            write: prot_flags.writable(),
+                            pfn_phi: true,
+                        },
+                        base_pfn,
+                        backing,
+                    )
+                    .map_err(|_| ScifError::Inval)?;
+                self.mmaps.lock().maps.insert(vaddr, region);
+                Ok((vaddr, 0))
+            }
+            VphiRequest::Munmap { vaddr } => {
+                self.mmaps.lock().maps.remove(&vaddr).ok_or(ScifError::Inval)?;
+                self.kvm.vmas.lock().unmap(vaddr).map_err(|_| ScifError::Inval)?;
+                self.kvm.forget_vma(vaddr);
+                Ok((0, 0))
+            }
+            VphiRequest::FenceMark { epd } => {
+                let m = self.ep(epd)?.fence_mark(tl)?;
+                Ok((m, 0))
+            }
+            VphiRequest::FenceWait { epd, marker } => {
+                self.ep(epd)?.fence_wait(marker, tl)?;
+                Ok((0, 0))
+            }
+            VphiRequest::FenceSignal { epd, loff, lval, roff, rval } => {
+                self.ep(epd)?.fence_signal(loff, lval, roff, rval, tl)?;
+                Ok((0, 0))
+            }
+            VphiRequest::Close { epd } => {
+                let removed = self.eps.lock().endpoints.remove(&epd);
+                match removed {
+                    Some(ep) => {
+                        ep.close();
+                        Ok((0, 0))
+                    }
+                    None => Err(ScifError::Inval),
+                }
+            }
+            VphiRequest::SysfsRead { mic_index } => {
+                let board =
+                    self.boards.get(mic_index as usize).ok_or(ScifError::NoDev)?;
+                let mut text = String::new();
+                for (k, v) in board.sysfs().iter() {
+                    text.push_str(k);
+                    text.push('=');
+                    text.push_str(v);
+                    text.push('\n');
+                }
+                let d = self.payload(chain).first().copied().ok_or(ScifError::Inval)?;
+                let bytes = text.as_bytes();
+                if bytes.len() as u64 > d.len as u64 {
+                    return Err(ScifError::NoMem);
+                }
+                self.guest_mem.write(Gpa(d.addr), bytes).map_err(|_| ScifError::Inval)?;
+                Ok((bytes.len() as u64, 0))
+            }
+            VphiRequest::GetNodeIds => {
+                let ids = self.fabric.node_ids();
+                Ok((ids.len() as u64, ids.iter().map(|n| n.0 as u64).max().unwrap_or(0)))
+            }
+            VphiRequest::SendTimed { epd, len } => {
+                let n = self.ep(epd)?.send_timed(len, tl)?;
+                Ok((n, 0))
+            }
+            VphiRequest::RecvTimed { epd, len } => {
+                let n = self.ep(epd)?.recv_timed(len, tl)?;
+                Ok((n, 0))
+            }
+            VphiRequest::Poll { epd, events, timeout_ms } => {
+                let ep = self.ep(epd)?;
+                let interest = crate::protocol::poll_events_from_wire(events);
+                let revents = ep.poll(
+                    interest,
+                    std::time::Duration::from_millis(timeout_ms as u64),
+                    tl,
+                )?;
+                Ok((crate::protocol::poll_events_to_wire(revents) as u64, 0))
+            }
+        })();
+        VphiResponse::from_result(r)
+    }
+}
+
+fn wire_prot(p: u8) -> Prot {
+    match p & 3 {
+        1 => Prot::READ,
+        2 => Prot::WRITE,
+        3 => Prot::READ_WRITE,
+        _ => Prot::NONE,
+    }
+}
+
+/// The virtual PCI device QEMU exposes to the guest.
+pub struct BackendDevice {
+    inner: Arc<BackendInner>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for BackendDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendDevice").field("name", &self.inner.name).finish()
+    }
+}
+
+impl BackendDevice {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        channel: Arc<VphiChannel>,
+        guest_mem: Arc<GuestMemory>,
+        guest_irq: Arc<IrqChip>,
+        kvm: Arc<KvmModule>,
+        event_loop: Arc<QemuEventLoop>,
+        fabric: Arc<ScifFabric>,
+        boards: Vec<Arc<PhiBoard>>,
+    ) -> Arc<Self> {
+        Self::with_policy(
+            name,
+            channel,
+            guest_mem,
+            guest_irq,
+            kvm,
+            event_loop,
+            fabric,
+            boards,
+            DispatchPolicy::PAPER,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_policy(
+        name: impl Into<String>,
+        channel: Arc<VphiChannel>,
+        guest_mem: Arc<GuestMemory>,
+        guest_irq: Arc<IrqChip>,
+        kvm: Arc<KvmModule>,
+        event_loop: Arc<QemuEventLoop>,
+        fabric: Arc<ScifFabric>,
+        boards: Vec<Arc<PhiBoard>>,
+        policy: DispatchPolicy,
+    ) -> Arc<Self> {
+        Arc::new(BackendDevice {
+            inner: Arc::new(BackendInner {
+                name: name.into(),
+                channel,
+                guest_mem,
+                guest_irq,
+                kvm,
+                event_loop,
+                fabric,
+                boards,
+                eps: Mutex::new(EndpointTable { endpoints: HashMap::new(), next_epd: 1 }),
+                mmaps: Mutex::new(MmapTable { maps: HashMap::new() }),
+                policy,
+                running: AtomicBool::new(false),
+                stats: BackendStats::default(),
+            }),
+            thread: Mutex::new(None),
+        })
+    }
+
+    pub fn inner(&self) -> &Arc<BackendInner> {
+        &self.inner
+    }
+
+    pub fn open_endpoints(&self) -> usize {
+        self.inner.eps.lock().endpoints.len()
+    }
+}
+
+impl VirtualPciDevice for BackendDevice {
+    fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    fn queue(&self) -> Arc<VirtQueue> {
+        Arc::clone(&self.inner.channel.queue)
+    }
+
+    fn start(&self) {
+        if self.inner.running.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::Builder::new()
+            .name(format!("vphi-backend-{}", inner.name))
+            .spawn(move || {
+                while inner.running.load(Ordering::Acquire) && inner.channel.queue.wait_kick() {
+                    loop {
+                        match inner.channel.queue.pop_avail() {
+                            Ok(Some(chain)) => inner.process(chain),
+                            Ok(None) => break,
+                            Err(_) => break,
+                        }
+                    }
+                }
+            })
+            .expect("spawn vphi backend");
+        *self.thread.lock() = Some(handle);
+    }
+
+    fn stop(&self) {
+        if !self.inner.running.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        self.inner.channel.mark_shutdown();
+        self.inner.channel.queue.shutdown();
+        if let Some(h) = self.thread.lock().take() {
+            let _ = h.join();
+        }
+        // Close any endpoints the guest leaked.
+        self.inner.eps.lock().endpoints.clear();
+    }
+}

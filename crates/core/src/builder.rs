@@ -1,0 +1,278 @@
+//! Assembling hosts and VMs.
+//!
+//! [`VphiHost`] is the physical machine of the paper's testbed: a host
+//! with one (or more) Xeon Phi cards, a SCIF fabric, and the ability to
+//! spawn QEMU-KVM virtual machines that share the cards through vPHI.
+//! Every VM gets its own QEMU process model (guest memory, event loop,
+//! virtio channel, backend device) — which is precisely why sharing works:
+//! each VM is just another host process issuing SCIF ioctls.
+
+use std::sync::Arc;
+
+use vphi_phi::{PhiBoard, PhiSpec};
+use vphi_scif::{NodeId, ScifEndpoint, ScifFabric, ScifResult, HOST_NODE};
+use vphi_sim_core::units::MIB;
+use vphi_sim_core::{CostModel, SimDuration, Timeline, VirtualClock};
+use vphi_vmm::kvm::KvmPatch;
+use vphi_vmm::Vm;
+
+use crate::backend::BackendDevice;
+use crate::frontend::{FrontendDriver, VphiChannel, WaitScheme};
+use crate::guest::GuestScif;
+use crate::sysfs::GuestSysfs;
+
+/// VM spawn parameters.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Guest RAM (default 256 MiB — enough for staging + RMA buffers in
+    /// every experiment).
+    pub mem_size: u64,
+    /// The frontend's waiting scheme.
+    pub scheme: WaitScheme,
+    /// Virtqueue size.
+    pub queue_size: u16,
+    /// Host kernel patch state (`Unpatched` reproduces the mmap failure
+    /// the paper's KVM patch fixes).
+    pub patch: KvmPatch,
+    /// Frontend staging chunk size (`KMALLOC_MAX_SIZE` in the paper;
+    /// swept by ABL-CHUNK).
+    pub chunk_size: u64,
+    /// Backend dispatch policy (paper default: only `scif_accept` on a
+    /// worker; ABL-BLOCK sweeps the size-hybrid).
+    pub dispatch: crate::backend::DispatchPolicy,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            mem_size: 256 * MIB,
+            scheme: WaitScheme::Interrupt,
+            queue_size: 256,
+            patch: KvmPatch::PfnPhi,
+            chunk_size: vphi_sim_core::cost::KMALLOC_MAX_SIZE,
+            dispatch: crate::backend::DispatchPolicy::PAPER,
+        }
+    }
+}
+
+/// The physical host: cards + fabric + clock + cost model.
+///
+/// ```
+/// use vphi::builder::{VmConfig, VphiHost};
+/// use vphi_sim_core::Timeline;
+///
+/// // A host with one Xeon Phi 3120P, and a VM sharing it through vPHI.
+/// let host = VphiHost::new(1);
+/// let vm = host.spawn_vm(VmConfig::default());
+///
+/// // Guest user space opens a SCIF endpoint — one paravirtual round trip.
+/// let mut tl = Timeline::new();
+/// let ep = vm.open_scif(&mut tl).unwrap();
+/// assert_eq!(ep.node_count(&mut tl).unwrap(), 2); // host + 1 card
+/// ep.close(&mut tl).unwrap();
+/// vm.shutdown();
+/// ```
+pub struct VphiHost {
+    cost: Arc<CostModel>,
+    clock: Arc<VirtualClock>,
+    fabric: Arc<ScifFabric>,
+    boards: Vec<Arc<PhiBoard>>,
+}
+
+impl std::fmt::Debug for VphiHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VphiHost").field("boards", &self.boards.len()).finish()
+    }
+}
+
+impl VphiHost {
+    /// A host with `num_devices` booted 3120P cards, paper-calibrated.
+    pub fn new(num_devices: usize) -> Self {
+        Self::with_cost(CostModel::paper_calibrated(), num_devices)
+    }
+
+    /// A host with a custom cost model (ablations tweak single params).
+    pub fn with_cost(cost: CostModel, num_devices: usize) -> Self {
+        let cost = Arc::new(cost);
+        let clock = Arc::new(VirtualClock::new());
+        let fabric = Arc::new(ScifFabric::new(Arc::clone(&cost), Arc::clone(&clock)));
+        let mut boards = Vec::new();
+        for i in 0..num_devices {
+            let board = Arc::new(PhiBoard::new(
+                PhiSpec::phi_3120p(),
+                i as u32,
+                Arc::clone(&cost),
+                Arc::clone(&clock),
+            ));
+            board.boot();
+            fabric.add_device(Arc::clone(&board));
+            boards.push(board);
+        }
+        VphiHost { cost, clock, fabric, boards }
+    }
+
+    pub fn cost(&self) -> &Arc<CostModel> {
+        &self.cost
+    }
+
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    pub fn fabric(&self) -> &Arc<ScifFabric> {
+        &self.fabric
+    }
+
+    pub fn boards(&self) -> &[Arc<PhiBoard>] {
+        &self.boards
+    }
+
+    pub fn board(&self, i: usize) -> &Arc<PhiBoard> {
+        &self.boards[i]
+    }
+
+    /// SCIF node id of card `i`.
+    pub fn device_node(&self, i: usize) -> NodeId {
+        NodeId(i as u16 + 1)
+    }
+
+    /// A native host endpoint — the paper's baseline path.
+    pub fn native_endpoint(&self) -> ScifResult<ScifEndpoint> {
+        ScifEndpoint::open(&self.fabric, HOST_NODE)
+    }
+
+    /// An endpoint on card `i` (code running on the coprocessor: servers,
+    /// the coi_daemon).
+    pub fn device_endpoint(&self, i: usize) -> ScifResult<ScifEndpoint> {
+        ScifEndpoint::open(&self.fabric, self.device_node(i))
+    }
+
+    /// Boot a VM with a vPHI device attached.
+    pub fn spawn_vm(&self, config: VmConfig) -> VphiVm {
+        let vm = Vm::new(config.mem_size, Arc::clone(&self.cost), config.patch);
+        let channel = VphiChannel::new(config.queue_size);
+        let frontend = FrontendDriver::insert_with_chunk(
+            Arc::clone(vm.kernel()),
+            Arc::clone(&channel),
+            config.scheme,
+            config.chunk_size,
+        );
+        let backend = BackendDevice::with_policy(
+            format!("vphi{}", vm.id()),
+            channel,
+            Arc::clone(vm.mem()),
+            Arc::clone(vm.kernel().irq()),
+            Arc::clone(vm.kvm()),
+            Arc::clone(vm.event_loop()),
+            Arc::clone(&self.fabric),
+            self.boards.clone(),
+            config.dispatch,
+        );
+        vm.attach(Arc::clone(&backend) as Arc<dyn vphi_vmm::vm::VirtualPciDevice>);
+        VphiVm { vm, frontend, backend }
+    }
+}
+
+/// A running VM with vPHI attached.
+pub struct VphiVm {
+    vm: Arc<Vm>,
+    frontend: Arc<FrontendDriver>,
+    backend: Arc<BackendDevice>,
+}
+
+impl std::fmt::Debug for VphiVm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VphiVm").field("id", &self.vm.id()).finish()
+    }
+}
+
+impl VphiVm {
+    pub fn vm(&self) -> &Arc<Vm> {
+        &self.vm
+    }
+
+    pub fn frontend(&self) -> &Arc<FrontendDriver> {
+        &self.frontend
+    }
+
+    pub fn backend(&self) -> &Arc<BackendDevice> {
+        &self.backend
+    }
+
+    /// `scif_open` from guest user space.
+    pub fn open_scif(&self, tl: &mut Timeline) -> ScifResult<GuestScif> {
+        GuestScif::open(&self.frontend, tl)
+    }
+
+    /// Allocate a guest user buffer (for RMA registration).
+    pub fn alloc_buf(&self, len: u64) -> ScifResult<crate::guest::GuestBuf> {
+        crate::guest::GuestBuf::alloc(self.vm.mem(), len)
+    }
+
+    /// Read the guest's view of `micN` sysfs.
+    pub fn sysfs(&self, mic_index: u32, tl: &mut Timeline) -> ScifResult<GuestSysfs> {
+        GuestSysfs::fetch(&self.frontend, mic_index, tl)
+    }
+
+    /// Total virtual time the VM spent frozen in blocking backend
+    /// handlers (the ABL-BLOCK metric).
+    pub fn vm_paused_total(&self) -> SimDuration {
+        self.vm.event_loop().vm_paused_total()
+    }
+
+    pub fn shutdown(&self) {
+        self.vm.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_boots_devices_onto_the_fabric() {
+        let host = VphiHost::new(2);
+        assert_eq!(host.boards().len(), 2);
+        assert_eq!(host.fabric().node_ids().len(), 3); // host + 2 cards
+        assert!(host.board(0).is_online());
+        assert_eq!(host.device_node(1), NodeId(2));
+    }
+
+    #[test]
+    fn spawn_vm_wires_the_device() {
+        let host = VphiHost::new(1);
+        let vm = host.spawn_vm(VmConfig::default());
+        assert_eq!(vm.vm().device_count(), 1);
+        assert!(vm.vm().device(&format!("vphi{}", vm.vm().id())).is_some());
+        vm.shutdown();
+    }
+
+    #[test]
+    fn guest_open_and_close_round_trip() {
+        let host = VphiHost::new(1);
+        let vm = host.spawn_vm(VmConfig::default());
+        let mut tl = Timeline::new();
+        let ep = vm.open_scif(&mut tl).unwrap();
+        assert_eq!(vm.backend().open_endpoints(), 1);
+        ep.close(&mut tl).unwrap();
+        assert_eq!(vm.backend().open_endpoints(), 0);
+        vm.shutdown();
+    }
+
+    #[test]
+    fn guest_sysfs_matches_host_table() {
+        let host = VphiHost::new(1);
+        let vm = host.spawn_vm(VmConfig::default());
+        let mut tl = Timeline::new();
+        let sysfs = vm.sysfs(0, &mut tl).unwrap();
+        assert!(sysfs.card_is_usable());
+        assert_eq!(sysfs.get("sku"), Some("3120P"));
+        assert_eq!(sysfs.get("active_cores"), Some("57"));
+        // Matches the host-side table exactly.
+        let host_table = host.board(0).sysfs();
+        for (k, v) in host_table.iter() {
+            assert_eq!(sysfs.get(k), Some(v), "mismatch on {k}");
+        }
+        vm.shutdown();
+    }
+}

@@ -1,0 +1,141 @@
+//! Runtime counters — the `/sys/kernel/debug/vphi` surface.
+//!
+//! The real driver pair exposes operational counters for debugging and
+//! capacity planning; operators of a sharing host need to see, per VM,
+//! how many requests crossed the ring, how they were dispatched, how much
+//! time the VM spent frozen, and how much memory the backend pinned.
+//! [`VphiDebugReport::collect`] snapshots all of it from a running VM.
+
+use std::sync::atomic::Ordering;
+
+use vphi_sim_core::SimDuration;
+
+use crate::builder::VphiVm;
+
+/// A point-in-time snapshot of one VM's vPHI counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VphiDebugReport {
+    pub vm_id: u32,
+    // frontend
+    pub requests: u64,
+    pub interrupt_waits: u64,
+    pub polling_waits: u64,
+    pub chunks_staged: u64,
+    pub wait_queue_wakeups: u64,
+    pub wait_queue_sleeps: u64,
+    // backend
+    pub backend_requests: u64,
+    pub worker_dispatches: u64,
+    pub pages_translated: u64,
+    pub open_endpoints: usize,
+    // vmm
+    pub vm_paused: SimDuration,
+    pub blocking_events: u64,
+    pub worker_events: u64,
+    pub irq_injections: u64,
+    pub mmap_faults: u64,
+}
+
+impl VphiDebugReport {
+    /// Snapshot the counters of a running VM.
+    pub fn collect(vm: &VphiVm) -> Self {
+        let fe = vm.frontend().stats();
+        let be = vm.backend().inner();
+        let el = vm.vm().event_loop();
+        VphiDebugReport {
+            vm_id: vm.vm().id(),
+            requests: fe.requests,
+            interrupt_waits: fe.interrupt_waits,
+            polling_waits: fe.polling_waits,
+            chunks_staged: fe.chunks_sent,
+            wait_queue_wakeups: vm.frontend().channel().waitq.wakeup_count(),
+            wait_queue_sleeps: vm.frontend().channel().waitq.sleep_count(),
+            backend_requests: be.stats.requests.load(Ordering::Relaxed),
+            worker_dispatches: be.stats.worker_dispatches.load(Ordering::Relaxed),
+            pages_translated: be.stats.pages_translated.load(Ordering::Relaxed),
+            open_endpoints: vm.backend().open_endpoints(),
+            vm_paused: el.vm_paused_total(),
+            blocking_events: el.blocking_event_count(),
+            worker_events: el.worker_event_count(),
+            irq_injections: vm
+                .vm()
+                .kernel()
+                .irq()
+                .inject_count(crate::frontend::VPHI_IRQ_VECTOR),
+            mmap_faults: vm.vm().kvm().fault_count(),
+        }
+    }
+
+    /// Render as the debugfs file would print.
+    pub fn render(&self) -> String {
+        format!(
+            "vphi{id}:\n\
+             \x20 requests            {req}\n\
+             \x20 waits (irq/poll)    {iw}/{pw}\n\
+             \x20 staging chunks      {chunks}\n\
+             \x20 waitq wake/sleep    {wk}/{sl}\n\
+             \x20 backend requests    {breq}\n\
+             \x20 worker dispatches   {wd}\n\
+             \x20 pages translated    {pt}\n\
+             \x20 open endpoints      {oe}\n\
+             \x20 vm paused           {paused}\n\
+             \x20 events (block/work) {bev}/{wev}\n\
+             \x20 irq injections      {irq}\n\
+             \x20 mmap faults         {flt}\n",
+            id = self.vm_id,
+            req = self.requests,
+            iw = self.interrupt_waits,
+            pw = self.polling_waits,
+            chunks = self.chunks_staged,
+            wk = self.wait_queue_wakeups,
+            sl = self.wait_queue_sleeps,
+            breq = self.backend_requests,
+            wd = self.worker_dispatches,
+            pt = self.pages_translated,
+            oe = self.open_endpoints,
+            paused = self.vm_paused,
+            bev = self.blocking_events,
+            wev = self.worker_events,
+            irq = self.irq_injections,
+            flt = self.mmap_faults,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{VmConfig, VphiHost};
+    use vphi_sim_core::Timeline;
+
+    #[test]
+    fn counters_track_a_simple_session() {
+        let host = VphiHost::new(1);
+        let vm = host.spawn_vm(VmConfig::default());
+        let before = VphiDebugReport::collect(&vm);
+        assert_eq!(before.requests, 0);
+        assert_eq!(before.open_endpoints, 0);
+
+        let mut tl = Timeline::new();
+        let ep = vm.open_scif(&mut tl).unwrap();
+        let after_open = VphiDebugReport::collect(&vm);
+        assert_eq!(after_open.requests, 1);
+        assert_eq!(after_open.backend_requests, 1);
+        assert_eq!(after_open.open_endpoints, 1);
+        assert_eq!(after_open.irq_injections, 1);
+        assert_eq!(after_open.interrupt_waits, 1);
+
+        ep.close(&mut tl).unwrap();
+        let after_close = VphiDebugReport::collect(&vm);
+        assert_eq!(after_close.requests, 2);
+        assert_eq!(after_close.open_endpoints, 0);
+        // Every request froze the VM briefly (blocking dispatch).
+        assert!(after_close.vm_paused > SimDuration::ZERO);
+        assert_eq!(after_close.blocking_events, 2);
+
+        let text = after_close.render();
+        assert!(text.contains("requests            2"));
+        assert!(text.contains("vm paused"));
+        vm.shutdown();
+    }
+}

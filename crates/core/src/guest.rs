@@ -1,0 +1,505 @@
+//! The guest-side SCIF API — "libscif" inside the VM.
+//!
+//! Binary compatibility is the paper's headline property: applications and
+//! libscif in the guest are unmodified; the frontend driver intercepts the
+//! same `open/ioctl/mmap/poll` surface that the native driver exposes.
+//! [`GuestScif`] mirrors [`vphi_scif::ScifEndpoint`] call-for-call, so the
+//! benchmark and example code can run the *same* logic natively or inside
+//! a VM by swapping the handle type.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use vphi_scif::{NodeId, Port, RmaFlags, ScifAddr, ScifError, ScifResult};
+use vphi_sim_core::Timeline;
+use vphi_virtio::Descriptor;
+use vphi_vmm::{Gpa, GuestMemory, KvmModule};
+
+use crate::frontend::FrontendDriver;
+use crate::protocol::{rma_flags_to_wire, GuestEpd, VphiRequest};
+
+/// A guest user-space buffer in guest physical memory — what an
+/// application would `malloc` and then pass to `scif_register`/
+/// `scif_vreadfrom`.  Allocated from guest RAM so the backend can pin and
+/// alias the real pages (zero-copy).
+pub struct GuestBuf {
+    mem: Arc<GuestMemory>,
+    gpa: Gpa,
+    len: u64,
+}
+
+impl GuestBuf {
+    pub fn alloc(mem: &Arc<GuestMemory>, len: u64) -> ScifResult<Self> {
+        let gpa = mem.alloc(len).map_err(|_| ScifError::NoMem)?;
+        Ok(GuestBuf { mem: Arc::clone(mem), gpa, len })
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn gpa(&self) -> Gpa {
+        self.gpa
+    }
+
+    /// Application write into its own buffer.
+    pub fn fill(&self, at: u64, data: &[u8]) -> ScifResult<()> {
+        if at + data.len() as u64 > self.len {
+            return Err(ScifError::Inval);
+        }
+        self.mem.write(self.gpa.offset(at), data).map_err(|_| ScifError::Inval)
+    }
+
+    /// Application read of its own buffer.
+    pub fn peek(&self, at: u64, out: &mut [u8]) -> ScifResult<()> {
+        if at + out.len() as u64 > self.len {
+            return Err(ScifError::Inval);
+        }
+        self.mem.read(self.gpa.offset(at), out).map_err(|_| ScifError::Inval)
+    }
+
+    fn read_desc(&self) -> Descriptor {
+        Descriptor::readable(self.gpa.0, self.len as u32)
+    }
+
+    fn write_desc(&self) -> Descriptor {
+        Descriptor::writable(self.gpa.0, self.len as u32)
+    }
+}
+
+impl Drop for GuestBuf {
+    fn drop(&mut self) {
+        let _ = self.mem.free(self.gpa);
+    }
+}
+
+/// A guest mapping of remote (device) memory created by `scif_mmap`.
+/// Dereferences go through the KVM fault path (`VM_PFNPHI`).
+pub struct GuestMapped {
+    kvm: Arc<KvmModule>,
+    driver: Arc<FrontendDriver>,
+    vaddr: u64,
+    len: u64,
+    unmapped: AtomicBool,
+}
+
+impl GuestMapped {
+    pub fn vaddr(&self) -> u64 {
+        self.vaddr
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A guest load (pointer dereference) — no SCIF call involved.
+    pub fn load(&self, at: u64, out: &mut [u8], tl: &mut Timeline) -> ScifResult<()> {
+        self.kvm.load(self.vaddr + at, out, tl).map_err(|_| ScifError::OutOfRange)
+    }
+
+    /// A guest store.
+    pub fn store(&self, at: u64, data: &[u8], tl: &mut Timeline) -> ScifResult<()> {
+        self.kvm.store(self.vaddr + at, data, tl).map_err(|_| ScifError::OutOfRange)
+    }
+
+    pub fn load_u64(&self, at: u64, tl: &mut Timeline) -> ScifResult<u64> {
+        let mut b = [0u8; 8];
+        self.load(at, &mut b, tl)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    pub fn store_u64(&self, at: u64, v: u64, tl: &mut Timeline) -> ScifResult<()> {
+        self.store(at, &v.to_le_bytes(), tl)
+    }
+
+    /// `scif_munmap`.
+    pub fn munmap(&self, tl: &mut Timeline) -> ScifResult<()> {
+        if self.unmapped.swap(true, Ordering::AcqRel) {
+            return Err(ScifError::Inval);
+        }
+        self.driver.simple(VphiRequest::Munmap { vaddr: self.vaddr }, tl)?;
+        Ok(())
+    }
+}
+
+/// A SCIF endpoint descriptor inside the guest.
+pub struct GuestScif {
+    driver: Arc<FrontendDriver>,
+    epd: GuestEpd,
+    closed: AtomicBool,
+}
+
+impl std::fmt::Debug for GuestScif {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GuestScif(epd={})", self.epd)
+    }
+}
+
+impl GuestScif {
+    /// `scif_open` through the paravirtual path.
+    pub fn open(driver: &Arc<FrontendDriver>, tl: &mut Timeline) -> ScifResult<Self> {
+        let (epd, _) = driver.simple(VphiRequest::Open, tl)?;
+        Ok(GuestScif { driver: Arc::clone(driver), epd, closed: AtomicBool::new(false) })
+    }
+
+    pub fn epd(&self) -> GuestEpd {
+        self.epd
+    }
+
+    pub fn driver(&self) -> &Arc<FrontendDriver> {
+        &self.driver
+    }
+
+    /// `scif_bind`.
+    pub fn bind(&self, port: Port, tl: &mut Timeline) -> ScifResult<Port> {
+        let (p, _) = self.driver.simple(VphiRequest::Bind { epd: self.epd, port: port.0 }, tl)?;
+        Ok(Port(p as u16))
+    }
+
+    /// `scif_listen`.
+    pub fn listen(&self, backlog: u32, tl: &mut Timeline) -> ScifResult<()> {
+        self.driver.simple(VphiRequest::Listen { epd: self.epd, backlog }, tl)?;
+        Ok(())
+    }
+
+    /// `scif_connect`.
+    pub fn connect(&self, dst: ScifAddr, tl: &mut Timeline) -> ScifResult<ScifAddr> {
+        let (node, port) = self.driver.simple(
+            VphiRequest::Connect { epd: self.epd, node: dst.node.0, port: dst.port.0 },
+            tl,
+        )?;
+        Ok(ScifAddr::new(NodeId(node as u16), Port(port as u16)))
+    }
+
+    /// `scif_accept` (blocking).
+    pub fn accept(&self, tl: &mut Timeline) -> ScifResult<(GuestScif, ScifAddr)> {
+        let (epd, packed) = self.driver.simple(VphiRequest::Accept { epd: self.epd }, tl)?;
+        let peer = ScifAddr::new(NodeId((packed >> 32) as u16), Port(packed as u16));
+        Ok((
+            GuestScif { driver: Arc::clone(&self.driver), epd, closed: AtomicBool::new(false) },
+            peer,
+        ))
+    }
+
+    /// `scif_send` — staged through kmalloc chunks, one ring transaction
+    /// per chunk (paper §III).
+    pub fn send(&self, data: &[u8], tl: &mut Timeline) -> ScifResult<usize> {
+        let mut sent = 0usize;
+        for chunk in data.chunks(self.driver.chunk_size() as usize) {
+            let (bufs, descs) = self.driver.stage_out(chunk, tl)?;
+            let resp = self.driver.transact(
+                &VphiRequest::Send { epd: self.epd, len: chunk.len() as u32 },
+                &descs,
+                chunk.len() as u64,
+                tl,
+            )?;
+            self.driver.free_staging(bufs);
+            let (n, _) = resp.into_result()?;
+            sent += n as usize;
+        }
+        Ok(sent)
+    }
+
+    /// `scif_recv` (blocking until `out` is full or the peer closed).
+    pub fn recv(&self, out: &mut [u8], tl: &mut Timeline) -> ScifResult<usize> {
+        let mut got = 0usize;
+        while got < out.len() {
+            let want = (out.len() - got).min(self.driver.chunk_size() as usize);
+            let (bufs, descs) = self.driver.stage_in(want as u64, tl)?;
+            let resp = self.driver.transact(
+                &VphiRequest::Recv { epd: self.epd, len: want as u32 },
+                &descs,
+                want as u64,
+                tl,
+            )?;
+            let (n, _) = resp.into_result()?;
+            self.driver.unstage(bufs, &mut out[got..got + n as usize], tl)?;
+            got += n as usize;
+            if (n as usize) < want {
+                break; // peer closed
+            }
+        }
+        Ok(got)
+    }
+
+    /// Timed-bulk-lane send: the same per-chunk staging costs as a real
+    /// send of `len` bytes (kmalloc + copy + one ring transaction per
+    /// `KMALLOC_MAX_SIZE`), with no payload bytes moved.
+    pub fn send_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64> {
+        if len == 0 {
+            return Ok(0);
+        }
+        let cost = Arc::clone(self.driver.kernel().cost());
+        let mut sent = 0u64;
+        let mut remaining = len;
+        while remaining > 0 {
+            let chunk = remaining.min(self.driver.chunk_size());
+            // Staging: one kmalloc'd chunk plus the user→kernel copy.
+            let buf =
+                self.driver.kernel().kmalloc(chunk, tl).map_err(|_| ScifError::NoMem)?;
+            tl.charge(vphi_sim_core::SpanLabel::GuestCopy, cost.cpu_copy(chunk));
+            let resp = self.driver.transact(
+                &VphiRequest::SendTimed { epd: self.epd, len: chunk },
+                &[],
+                chunk,
+                tl,
+            );
+            let _ = self.driver.kernel().kfree(buf);
+            let (n, _) = resp?.into_result()?;
+            sent += n;
+            remaining -= chunk;
+        }
+        Ok(sent)
+    }
+
+    /// Timed-bulk-lane receive.
+    pub fn recv_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64> {
+        let cost = Arc::clone(self.driver.kernel().cost());
+        let mut got = 0u64;
+        let mut remaining = len;
+        while remaining > 0 {
+            let chunk = remaining.min(self.driver.chunk_size());
+            let buf =
+                self.driver.kernel().kmalloc(chunk, tl).map_err(|_| ScifError::NoMem)?;
+            let resp = self.driver.transact(
+                &VphiRequest::RecvTimed { epd: self.epd, len: chunk },
+                &[],
+                chunk,
+                tl,
+            );
+            tl.charge(vphi_sim_core::SpanLabel::GuestCopy, cost.cpu_copy(chunk));
+            let _ = self.driver.kernel().kfree(buf);
+            let (n, _) = resp?.into_result()?;
+            got += n;
+            remaining -= chunk;
+        }
+        Ok(got)
+    }
+
+    /// `scif_register` of a guest buffer (the buffer's pages are pinned in
+    /// the guest, then re-pinned/translated by the backend).
+    pub fn register(
+        &self,
+        buf: &GuestBuf,
+        prot: vphi_scif::Prot,
+        fixed_offset: Option<u64>,
+        tl: &mut Timeline,
+    ) -> ScifResult<u64> {
+        let resp = self.driver.transact(
+            &VphiRequest::Register {
+                epd: self.epd,
+                len: buf.len(),
+                prot: prot_wire(prot),
+                fixed_offset: fixed_offset.unwrap_or(0),
+                has_fixed: fixed_offset.is_some(),
+            },
+            &[buf.read_desc()],
+            0,
+            tl,
+        )?;
+        let (off, _) = resp.into_result()?;
+        Ok(off)
+    }
+
+    /// `scif_unregister`.
+    pub fn unregister(&self, offset: u64, len: u64, tl: &mut Timeline) -> ScifResult<()> {
+        self.driver.simple(VphiRequest::Unregister { epd: self.epd, offset, len }, tl)?;
+        Ok(())
+    }
+
+    /// `scif_vreadfrom`: remote window → guest buffer.
+    pub fn vreadfrom(
+        &self,
+        buf: &GuestBuf,
+        roffset: u64,
+        flags: RmaFlags,
+        tl: &mut Timeline,
+    ) -> ScifResult<()> {
+        let resp = self.driver.transact(
+            &VphiRequest::VreadFrom {
+                epd: self.epd,
+                roffset,
+                len: buf.len(),
+                flags: rma_flags_to_wire(flags),
+            },
+            &[buf.write_desc()],
+            buf.len(),
+            tl,
+        )?;
+        resp.into_result()?;
+        Ok(())
+    }
+
+    /// `scif_vwriteto`: guest buffer → remote window.
+    pub fn vwriteto(
+        &self,
+        buf: &GuestBuf,
+        roffset: u64,
+        flags: RmaFlags,
+        tl: &mut Timeline,
+    ) -> ScifResult<()> {
+        let resp = self.driver.transact(
+            &VphiRequest::VwriteTo {
+                epd: self.epd,
+                roffset,
+                len: buf.len(),
+                flags: rma_flags_to_wire(flags),
+            },
+            &[buf.read_desc()],
+            buf.len(),
+            tl,
+        )?;
+        resp.into_result()?;
+        Ok(())
+    }
+
+    /// `scif_readfrom` (window-to-window).
+    pub fn readfrom(
+        &self,
+        loffset: u64,
+        len: u64,
+        roffset: u64,
+        flags: RmaFlags,
+        tl: &mut Timeline,
+    ) -> ScifResult<()> {
+        self.driver.simple(
+            VphiRequest::ReadFrom {
+                epd: self.epd,
+                loffset,
+                len,
+                roffset,
+                flags: rma_flags_to_wire(flags),
+            },
+            tl,
+        )?;
+        Ok(())
+    }
+
+    /// `scif_writeto` (window-to-window).
+    pub fn writeto(
+        &self,
+        loffset: u64,
+        len: u64,
+        roffset: u64,
+        flags: RmaFlags,
+        tl: &mut Timeline,
+    ) -> ScifResult<()> {
+        self.driver.simple(
+            VphiRequest::WriteTo {
+                epd: self.epd,
+                loffset,
+                len,
+                roffset,
+                flags: rma_flags_to_wire(flags),
+            },
+            tl,
+        )?;
+        Ok(())
+    }
+
+    /// `scif_mmap`: returns a dereferenceable guest mapping.
+    pub fn mmap(
+        &self,
+        kvm: &Arc<KvmModule>,
+        offset: u64,
+        len: u64,
+        prot: vphi_scif::Prot,
+        tl: &mut Timeline,
+    ) -> ScifResult<GuestMapped> {
+        let (vaddr, _) = self.driver.simple(
+            VphiRequest::Mmap { epd: self.epd, offset, len, prot: prot_wire(prot) },
+            tl,
+        )?;
+        Ok(GuestMapped {
+            kvm: Arc::clone(kvm),
+            driver: Arc::clone(&self.driver),
+            vaddr,
+            len,
+            unmapped: AtomicBool::new(false),
+        })
+    }
+
+    /// `scif_fence_mark`.
+    pub fn fence_mark(&self, tl: &mut Timeline) -> ScifResult<u64> {
+        let (m, _) = self.driver.simple(VphiRequest::FenceMark { epd: self.epd }, tl)?;
+        Ok(m)
+    }
+
+    /// `scif_fence_wait`.
+    pub fn fence_wait(&self, marker: u64, tl: &mut Timeline) -> ScifResult<()> {
+        self.driver.simple(VphiRequest::FenceWait { epd: self.epd, marker }, tl)?;
+        Ok(())
+    }
+
+    /// `scif_fence_signal`.
+    pub fn fence_signal(
+        &self,
+        loff: u64,
+        lval: u64,
+        roff: u64,
+        rval: u64,
+        tl: &mut Timeline,
+    ) -> ScifResult<()> {
+        self.driver.simple(
+            VphiRequest::FenceSignal { epd: self.epd, loff, lval, roff, rval },
+            tl,
+        )?;
+        Ok(())
+    }
+
+    /// `scif_poll` on this endpoint: returns the ready events, waiting up
+    /// to `timeout_ms` of wall time.  A nonzero timeout is dispatched on a
+    /// backend worker so the VM is not frozen while the poll parks.
+    pub fn poll(
+        &self,
+        events: vphi_scif::PollEvents,
+        timeout_ms: u32,
+        tl: &mut Timeline,
+    ) -> ScifResult<vphi_scif::PollEvents> {
+        let (re, _) = self.driver.simple(
+            VphiRequest::Poll {
+                epd: self.epd,
+                events: crate::protocol::poll_events_to_wire(events),
+                timeout_ms,
+            },
+            tl,
+        )?;
+        Ok(crate::protocol::poll_events_from_wire(re as u8))
+    }
+
+    /// `scif_get_node_ids` — number of SCIF nodes visible to the guest.
+    pub fn node_count(&self, tl: &mut Timeline) -> ScifResult<u64> {
+        let (count, _) = self.driver.simple(VphiRequest::GetNodeIds, tl)?;
+        Ok(count)
+    }
+
+    /// `scif_close`.
+    pub fn close(&self, tl: &mut Timeline) -> ScifResult<()> {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        self.driver.simple(VphiRequest::Close { epd: self.epd }, tl)?;
+        Ok(())
+    }
+}
+
+impl Drop for GuestScif {
+    fn drop(&mut self) {
+        if !self.closed.swap(true, Ordering::AcqRel) {
+            let mut tl = Timeline::new();
+            let _ = self.driver.simple(VphiRequest::Close { epd: self.epd }, &mut tl);
+        }
+    }
+}
+
+fn prot_wire(p: vphi_scif::Prot) -> u8 {
+    (p.readable() as u8) | ((p.writable() as u8) << 1)
+}

@@ -1,0 +1,105 @@
+//! Guest-side sysfs emulation.
+//!
+//! "Host Xeon Phi driver exposes a set of information related to the Xeon
+//! Phi, such as the family codename of the accelerator, through the sysfs
+//! filesystem.  Some of Intel's MPSS software runtimes and tools,
+//! including micnativeloadex, rely on this information … we expose the
+//! same information that is provided in the host." (paper §III)
+//!
+//! The frontend fetches the host table once over the ring and serves it to
+//! guest tools as `/sys/class/mic/micN`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use vphi_scif::{ScifError, ScifResult};
+use vphi_sim_core::Timeline;
+use vphi_virtio::Descriptor;
+
+use crate::frontend::FrontendDriver;
+use crate::protocol::VphiRequest;
+
+/// The guest's view of one card's sysfs attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuestSysfs {
+    mic_index: u32,
+    attrs: BTreeMap<String, String>,
+}
+
+impl GuestSysfs {
+    /// Fetch the host's table for `micN` through the paravirtual channel.
+    pub fn fetch(
+        driver: &Arc<FrontendDriver>,
+        mic_index: u32,
+        tl: &mut Timeline,
+    ) -> ScifResult<GuestSysfs> {
+        // Stage a 4 KiB response buffer for the serialized table.
+        let buf = driver.kernel().kmalloc(4096, tl).map_err(|_| ScifError::NoMem)?;
+        let desc = Descriptor::writable(buf.gpa.0, 4096);
+        let resp =
+            driver.transact(&VphiRequest::SysfsRead { mic_index }, &[desc], 0, tl)?;
+        let (len, _) = resp.into_result()?;
+        let mut bytes = vec![0u8; len as usize];
+        driver.kernel().mem().read(buf.gpa, &mut bytes).map_err(|_| ScifError::Inval)?;
+        let _ = driver.kernel().kfree(buf);
+        let text = String::from_utf8(bytes).map_err(|_| ScifError::Inval)?;
+        Ok(GuestSysfs { mic_index, attrs: parse_table(&text) })
+    }
+
+    pub fn mic_index(&self) -> u32 {
+        self.mic_index
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.attrs.get(key).map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The preflight micnativeloadex performs: an online x100 card.
+    pub fn card_is_usable(&self) -> bool {
+        self.get("state") == Some("online") && self.get("family") == Some("x100")
+    }
+}
+
+fn parse_table(text: &str) -> BTreeMap<String, String> {
+    text.lines()
+        .filter_map(|line| {
+            let (k, v) = line.split_once('=')?;
+            Some((k.trim().to_string(), v.trim().to_string()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_parser_handles_noise() {
+        let t = parse_table("a=1\nb = two \n\nmalformed-line\nc=3");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get("a").map(String::as_str), Some("1"));
+        assert_eq!(t.get("b").map(String::as_str), Some("two"));
+        assert_eq!(t.get("c").map(String::as_str), Some("3"));
+    }
+
+    #[test]
+    fn usability_check() {
+        let mut attrs = BTreeMap::new();
+        attrs.insert("state".into(), "online".into());
+        attrs.insert("family".into(), "x100".into());
+        let s = GuestSysfs { mic_index: 0, attrs: attrs.clone() };
+        assert!(s.card_is_usable());
+
+        attrs.insert("state".into(), "offline".into());
+        let s = GuestSysfs { mic_index: 0, attrs };
+        assert!(!s.card_is_usable());
+    }
+}

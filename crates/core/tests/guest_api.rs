@@ -1,0 +1,181 @@
+//! Guest API surface tests: buffer discipline, timed-lane equivalence,
+//! EOF semantics, and endpoint lifecycle through the full stack.
+
+use vphi::builder::{VmConfig, VphiHost};
+use vphi_scif::{Port, ScifAddr, ScifError};
+use vphi_sim_core::{SimDuration, SpanLabel, Timeline};
+
+fn sink(host: &VphiHost, port: Port) -> std::thread::JoinHandle<u64> {
+    let server = host.device_endpoint(0).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let h = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(port, &mut tl).unwrap();
+        server.listen(4, &mut tl).unwrap();
+        tx.send(()).unwrap();
+        let conn = server.accept(&mut tl).unwrap();
+        let mut total = 0u64;
+        let mut buf = vec![0u8; 1 << 16];
+        loop {
+            match conn.core().recv(&mut buf[..1], &mut tl) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => total += n as u64,
+            }
+        }
+        total
+    });
+    rx.recv().unwrap();
+    h
+}
+
+#[test]
+fn guest_buf_bounds_are_enforced() {
+    let host = VphiHost::new(1);
+    let vm = host.spawn_vm(VmConfig::default());
+    let buf = vm.alloc_buf(100).unwrap();
+    assert_eq!(buf.len(), 100);
+    assert!(!buf.is_empty());
+    buf.fill(0, &[1; 100]).unwrap();
+    assert_eq!(buf.fill(1, &[0; 100]), Err(ScifError::Inval));
+    let mut out = [0u8; 100];
+    buf.peek(0, &mut out).unwrap();
+    assert_eq!(out, [1u8; 100]);
+    let mut too_big = [0u8; 101];
+    assert_eq!(buf.peek(0, &mut too_big), Err(ScifError::Inval));
+    vm.shutdown();
+}
+
+#[test]
+fn timed_lane_costs_what_the_real_lane_costs() {
+    let host = VphiHost::new(1);
+    let s1 = sink(&host, Port(940));
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    ep.connect(ScifAddr::new(host.device_node(0), Port(940)), &mut tl).unwrap();
+
+    let len = 8u64 << 20; // two staging chunks
+    let mut timed_tl = Timeline::new();
+    ep.send_timed(len, &mut timed_tl).unwrap();
+    let mut real_tl = Timeline::new();
+    ep.send(&vec![0u8; len as usize], &mut real_tl).unwrap();
+
+    // Same structural spans, same order of magnitude; the only difference
+    // is the real lane's per-chunk Send op vs SendTimed (identical
+    // charges), so totals must match exactly.
+    assert_eq!(timed_tl.total(), real_tl.total());
+    assert_eq!(
+        timed_tl.total_for(SpanLabel::VmExitKick),
+        real_tl.total_for(SpanLabel::VmExitKick)
+    );
+    assert_eq!(
+        timed_tl.total_for(SpanLabel::GuestWakeup),
+        real_tl.total_for(SpanLabel::GuestWakeup)
+    );
+
+    ep.close(&mut tl).unwrap();
+    vm.shutdown();
+    let _ = s1.join();
+}
+
+#[test]
+fn recv_returns_short_count_on_peer_close() {
+    let host = VphiHost::new(1);
+    let server = host.device_endpoint(0).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let dev = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(Port(941), &mut tl).unwrap();
+        server.listen(2, &mut tl).unwrap();
+        tx.send(()).unwrap();
+        let conn = server.accept(&mut tl).unwrap();
+        conn.core().send(b"abc", &mut tl).unwrap();
+        conn.close(); // only 3 of the requested 8 bytes will ever exist
+    });
+    rx.recv().unwrap();
+
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    ep.connect(ScifAddr::new(host.device_node(0), Port(941)), &mut tl).unwrap();
+    dev.join().unwrap();
+    let mut out = [0u8; 8];
+    let n = ep.recv(&mut out, &mut tl).unwrap();
+    assert_eq!(n, 3);
+    assert_eq!(&out[..3], b"abc");
+    ep.close(&mut tl).unwrap();
+    vm.shutdown();
+}
+
+#[test]
+fn close_is_idempotent_and_drop_is_quiet() {
+    let host = VphiHost::new(1);
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    ep.close(&mut tl).unwrap();
+    ep.close(&mut tl).unwrap(); // second close: Ok, no second ring trip
+    drop(ep); // drop after close must not send another Close
+    assert_eq!(vm.backend().open_endpoints(), 0);
+
+    // Drop without close sends exactly one Close.
+    let before = vm.frontend().stats().requests;
+    let ep2 = vm.open_scif(&mut tl).unwrap();
+    drop(ep2);
+    let after = vm.frontend().stats().requests;
+    assert_eq!(after - before, 2); // Open + Close
+    assert_eq!(vm.backend().open_endpoints(), 0);
+    vm.shutdown();
+}
+
+#[test]
+fn calls_after_vm_shutdown_fail_fast() {
+    let host = VphiHost::new(1);
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    vm.shutdown();
+    let started = std::time::Instant::now();
+    assert_eq!(ep.bind(Port(942), &mut tl), Err(ScifError::NoDev));
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(1),
+        "post-shutdown call must not hang"
+    );
+}
+
+#[test]
+fn paravirtual_spans_appear_exactly_once_per_request() {
+    let host = VphiHost::new(1);
+    let s = sink(&host, Port(943));
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    ep.connect(ScifAddr::new(host.device_node(0), Port(943)), &mut tl).unwrap();
+
+    let cost = host.cost();
+    let mut send_tl = Timeline::new();
+    ep.send(&[9], &mut send_tl).unwrap();
+    for (label, expect) in [
+        (SpanLabel::GuestSyscall, cost.guest_syscall),
+        (SpanLabel::RingPush, cost.ring_push),
+        (SpanLabel::VmExitKick, cost.vmexit_kick),
+        (SpanLabel::BackendDecode, cost.backend_decode),
+        (SpanLabel::GuestBufMap, cost.guest_buf_map),
+        (SpanLabel::UsedPush, cost.used_push),
+        (SpanLabel::IrqInject, cost.irq_inject),
+        (SpanLabel::GuestWakeup, cost.guest_wakeup),
+    ] {
+        assert_eq!(
+            send_tl.total_for(label),
+            expect,
+            "span {label:?} charged wrong amount"
+        );
+    }
+    // And the waiting-scheme counters agree with one interrupt wait.
+    assert_eq!(vm.frontend().stats().interrupt_waits, 3); // open+connect+send
+    assert_eq!(send_tl.total(), SimDuration::from_micros(382));
+
+    ep.close(&mut tl).unwrap();
+    vm.shutdown();
+    let _ = s.join();
+}

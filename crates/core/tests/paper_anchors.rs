@@ -1,0 +1,228 @@
+//! End-to-end validation of the paper's calibration anchors.
+//!
+//! These tests run the *whole* stack — guest shim → frontend → virtio →
+//! backend → host SCIF → PCIe → device — and check that the paper's
+//! measured numbers emerge from the mechanism, not from hard-coding:
+//!
+//! * Fig. 4: native 1-byte send = 7 µs, vPHI = 382 µs (overhead 375 µs).
+//! * In-text breakdown: 93% of the overhead is the frontend waiting
+//!   scheme.
+//! * Fig. 5: vPHI remote-read peak ≈ 72% of native.
+
+use std::sync::Arc;
+
+use vphi::builder::{VmConfig, VphiHost};
+use vphi_scif::window::WindowBacking;
+use vphi_scif::{Port, Prot, RmaFlags, ScifAddr, ScifEndpoint};
+use vphi_sim_core::units::MIB;
+use vphi_sim_core::{SimDuration, SpanLabel, Timeline};
+
+/// Launch a device-side server that accepts one connection and then
+/// serves `recv` of any size until EOF.
+fn spawn_device_sink(host: &VphiHost, port: Port) -> std::thread::JoinHandle<()> {
+    let server = host.device_endpoint(0).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(port, &mut tl).unwrap();
+        server.listen(4, &mut tl).unwrap();
+        tx.send(()).unwrap();
+        let conn = server.accept(&mut tl).unwrap();
+        // Drain whatever arrives until the client closes.
+        let mut buf = vec![0u8; 1 << 20];
+        loop {
+            match conn.core().recv(&mut buf[..1], &mut tl) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    });
+    rx.recv().unwrap();
+    handle
+}
+
+/// Device server that registers a GDDR window and parks.
+fn spawn_device_window(
+    host: &VphiHost,
+    port: Port,
+    window_len: u64,
+) -> (std::thread::JoinHandle<()>, Arc<vphi_phi::PhiBoard>) {
+    let board = Arc::clone(host.board(0));
+    let server = host.device_endpoint(0).unwrap();
+    let b2 = Arc::clone(&board);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let h = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(port, &mut tl).unwrap();
+        server.listen(4, &mut tl).unwrap();
+        tx.send(()).unwrap();
+        let conn = server.accept(&mut tl).unwrap();
+        // Timed region: capacity accounting only (reads as zeros) — the
+        // throughput benchmark never checks payload contents, matching how
+        // the paper's benchmark registers an uninitialized device area.
+        let region = b2.memory().alloc_timed(window_len).unwrap();
+        conn.register(
+            Some(0),
+            window_len,
+            Prot::READ_WRITE,
+            WindowBacking::Device(region),
+            &mut tl,
+        )
+        .unwrap();
+        // Park until the peer hangs up.
+        let mut b = [0u8; 1];
+        let _ = conn.core().recv(&mut b, &mut tl);
+    });
+    rx.recv().unwrap();
+    (h, board)
+}
+
+#[test]
+fn fig4_one_byte_latency_anchors() {
+    let host = VphiHost::new(1);
+
+    // --- native ---
+    let sink = spawn_device_sink(&host, Port(700));
+    let native = host.native_endpoint().unwrap();
+    let mut tl = Timeline::new();
+    native.connect(ScifAddr::new(host.device_node(0), Port(700)), &mut tl).unwrap();
+    let mut native_tl = Timeline::new();
+    native.send(&[1], &mut native_tl).unwrap();
+    assert_eq!(native_tl.total(), SimDuration::from_micros(7), "native 1B = 7us");
+    native.close();
+    sink.join().unwrap();
+
+    // --- vPHI ---
+    let sink = spawn_device_sink(&host, Port(701));
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let guest = vm.open_scif(&mut tl).unwrap();
+    guest.connect(ScifAddr::new(host.device_node(0), Port(701)), &mut tl).unwrap();
+
+    let mut vphi_tl = Timeline::new();
+    guest.send(&[1], &mut vphi_tl).unwrap();
+    let total = vphi_tl.total();
+    assert_eq!(total, SimDuration::from_micros(382), "vPHI 1B = 382us, got {vphi_tl}");
+
+    // Overhead 375 µs, 93% of it in the waiting scheme.
+    let overhead = vphi_tl.virtualization_overhead();
+    assert_eq!(overhead, SimDuration::from_micros(375));
+    let wakeup = vphi_tl.total_for(SpanLabel::GuestWakeup);
+    let share = wakeup.as_nanos() as f64 / overhead.as_nanos() as f64;
+    assert!((share - 0.93).abs() < 0.001, "waiting-scheme share = {share}");
+
+    guest.close(&mut tl).unwrap();
+    vm.shutdown();
+    sink.join().unwrap();
+}
+
+#[test]
+fn fig4_offset_is_constant_across_sizes() {
+    let host = VphiHost::new(1);
+    let sink = spawn_device_sink(&host, Port(710));
+    let native = host.native_endpoint().unwrap();
+    let mut tl = Timeline::new();
+    native.connect(ScifAddr::new(host.device_node(0), Port(710)), &mut tl).unwrap();
+
+    let sink2 = spawn_device_sink(&host, Port(711));
+    let vm = host.spawn_vm(VmConfig::default());
+    let guest = vm.open_scif(&mut tl).unwrap();
+    guest.connect(ScifAddr::new(host.device_node(0), Port(711)), &mut tl).unwrap();
+
+    let mut offsets = Vec::new();
+    for size in [1usize, 64, 1024, 16 * 1024] {
+        let data = vec![0u8; size];
+        let mut ntl = Timeline::new();
+        native.send(&data, &mut ntl).unwrap();
+        let mut vtl = Timeline::new();
+        guest.send(&data, &mut vtl).unwrap();
+        offsets.push(vtl.total().saturating_sub(ntl.total()));
+    }
+    // "the previously mentioned overhead remains constant as data size
+    // increases" — within a microsecond across 1B..16KiB.
+    // Constant within a few µs (the only size-dependent vPHI-side term is
+    // the guest staging copy, ~2 µs at 16 KiB).
+    let min = offsets.iter().min().unwrap();
+    let max = offsets.iter().max().unwrap();
+    assert!(
+        max.as_nanos() - min.as_nanos() < 5_000,
+        "offset should be constant: {offsets:?}"
+    );
+
+    native.close();
+    guest.close(&mut tl).unwrap();
+    vm.shutdown();
+    sink.join().unwrap();
+    sink2.join().unwrap();
+}
+
+#[test]
+fn fig5_remote_read_peak_is_72_percent_of_native() {
+    let host = VphiHost::new(1);
+    // Large enough that the constant 375 µs request overhead is amortized
+    // and the per-page translate term dominates the gap (the paper's peak
+    // regime).
+    let size = 256 * MIB;
+
+    // --- native remote read ---
+    let (server, _board) = spawn_device_window(&host, Port(720), size);
+    let native = host.native_endpoint().unwrap();
+    let mut tl = Timeline::new();
+    native.connect(ScifAddr::new(host.device_node(0), Port(720)), &mut tl).unwrap();
+    // Give the device thread time to register its window.
+    wait_for_window(&native);
+    let mut buf = vec![0u8; size as usize];
+    let mut native_tl = Timeline::new();
+    native.vreadfrom(&mut buf, 0, RmaFlags::SYNC, &mut native_tl).unwrap();
+    let native_bw = native_tl.total().throughput(size);
+    // Native peak ≈ 6.4 GB/s.
+    assert!((native_bw / 1e9 - 6.4).abs() < 0.05, "native bw = {native_bw}");
+    native.close();
+    server.join().unwrap();
+
+    // --- vPHI remote read ---
+    let (server, _board) = spawn_device_window(&host, Port(721), size);
+    let vm = host.spawn_vm(VmConfig { mem_size: 384 * MIB, ..VmConfig::default() });
+    let guest = vm.open_scif(&mut tl).unwrap();
+    guest.connect(ScifAddr::new(host.device_node(0), Port(721)), &mut tl).unwrap();
+    wait_for_guest_window(&guest, &vm);
+    let gbuf = vm.alloc_buf(size).unwrap();
+    let mut vphi_tl = Timeline::new();
+    guest.vreadfrom(&gbuf, 0, RmaFlags::SYNC, &mut vphi_tl).unwrap();
+    let vphi_bw = vphi_tl.total().throughput(size);
+
+    let ratio = vphi_bw / native_bw;
+    assert!((ratio - 0.72).abs() < 0.01, "vPHI/native = {ratio} (expected ~0.72)");
+    // ≈ 4.6 GB/s in absolute terms.
+    assert!((vphi_bw / 1e9 - 4.6).abs() < 0.1, "vPHI bw = {vphi_bw}");
+
+    guest.close(&mut tl).unwrap();
+    vm.shutdown();
+    server.join().unwrap();
+}
+
+/// Wait (wall clock) until the device-side window is registered, by
+/// retrying a tiny read.
+fn wait_for_window(ep: &ScifEndpoint) {
+    let mut b = [0u8; 1];
+    for _ in 0..1000 {
+        let mut tl = Timeline::new();
+        if ep.vreadfrom(&mut b, 0, RmaFlags::SYNC, &mut tl).is_ok() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!("device window never appeared");
+}
+
+fn wait_for_guest_window(guest: &vphi::GuestScif, vm: &vphi::VphiVm) {
+    let buf = vm.alloc_buf(1).unwrap();
+    for _ in 0..1000 {
+        let mut tl = Timeline::new();
+        if guest.vreadfrom(&buf, 0, RmaFlags::SYNC, &mut tl).is_ok() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!("device window never appeared (guest)");
+}

@@ -1,0 +1,78 @@
+//! `micinfo` — the board report tool.
+
+use std::sync::Arc;
+
+use vphi::builder::{VphiHost, VphiVm};
+use vphi::sysfs::GuestSysfs;
+use vphi_scif::ScifResult;
+use vphi_sim_core::Timeline;
+
+/// Render one card's report from a key→value lookup.
+fn render(get: impl Fn(&str) -> Option<String>, mic: u32) -> String {
+    let g = |k: &str| get(k).unwrap_or_else(|| "unknown".to_string());
+    format!(
+        "mic{mic} ({sku}, family {family}, stepping {stepping})\n\
+         \x20 State .............. {state}\n\
+         \x20 Cores .............. {cores} @ {freq} MHz ({tpc} threads/core)\n\
+         \x20 GDDR ............... {mem} bytes\n\
+         \x20 DMA channels ....... {dma}\n",
+        sku = g("sku"),
+        family = g("family"),
+        stepping = g("stepping"),
+        state = g("state"),
+        cores = g("active_cores"),
+        freq = g("frequency_mhz"),
+        tpc = g("threads_per_core"),
+        mem = g("memsize"),
+        dma = g("dma_channels"),
+    )
+}
+
+/// micinfo on the host.
+pub fn micinfo_native(host: &VphiHost) -> String {
+    let mut out = String::new();
+    for (i, board) in host.boards().iter().enumerate() {
+        let sysfs = board.sysfs();
+        out.push_str(&render(|k| sysfs.get(k).map(str::to_string), i as u32));
+    }
+    out
+}
+
+/// micinfo inside a VM (reads the vPHI-exported sysfs).
+pub fn micinfo_guest(vm: &VphiVm, cards: u32) -> ScifResult<String> {
+    let mut out = String::new();
+    for mic in 0..cards {
+        let mut tl = Timeline::new();
+        let sysfs = GuestSysfs::fetch(&Arc::clone(vm.frontend()), mic, &mut tl)?;
+        out.push_str(&render(|k| sysfs.get(k).map(str::to_string), mic));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vphi::builder::VmConfig;
+
+    #[test]
+    fn native_and_guest_reports_match() {
+        let host = VphiHost::new(1);
+        let native = micinfo_native(&host);
+        assert!(native.contains("3120P"));
+        assert!(native.contains("online"));
+        assert!(native.contains("57 @ 1100 MHz"));
+
+        let vm = host.spawn_vm(VmConfig::default());
+        let guest = micinfo_guest(&vm, 1).unwrap();
+        assert_eq!(native, guest, "the VM must see exactly the host's card info");
+        vm.shutdown();
+    }
+
+    #[test]
+    fn two_cards_two_sections() {
+        let host = VphiHost::new(2);
+        let report = micinfo_native(&host);
+        assert!(report.contains("mic0"));
+        assert!(report.contains("mic1"));
+    }
+}

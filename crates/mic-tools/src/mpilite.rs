@@ -1,0 +1,345 @@
+//! mpi-lite — a minimal MPI-style communicator over SCIF for the
+//! **symmetric** execution mode.
+//!
+//! "In symmetric mode Xeon Phi can be viewed as an independent node and …
+//! a user can launch some processes of the same parallel application on
+//! the host side and some other processes on the accelerator, using for
+//! example MPI." (paper §II-A).  Intel MPI on MPSS rides on SCIF for the
+//! host↔card hops, which is why vPHI supports the mode transparently.
+//!
+//! Topology: a star rooted at rank 0.  Rank 0 (host or VM) listens; every
+//! other rank (host, VM or card) connects and announces itself.
+//! Collectives are implemented gather/scatter-at-root, the classic small-
+//! world MPI fallback.
+
+use vphi_scif::{NodeId, Port, ScifError, ScifResult};
+use vphi_sim_core::Timeline;
+use vphi_coi::transport::{CoiEnv, CoiListener, CoiTransport};
+
+/// One participant in the communicator.
+pub struct MpiRank {
+    rank: usize,
+    size: usize,
+    /// Root: one link per leaf (index = leaf rank - 1).  Leaf: one link to
+    /// the root.
+    links: Vec<Box<dyn CoiTransport>>,
+}
+
+impl std::fmt::Debug for MpiRank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpiRank").field("rank", &self.rank).field("size", &self.size).finish()
+    }
+}
+
+impl MpiRank {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.rank == 0
+    }
+
+    fn link_to(&self, peer: usize) -> ScifResult<&dyn CoiTransport> {
+        if self.is_root() {
+            if peer == 0 || peer >= self.size {
+                return Err(ScifError::Inval);
+            }
+            Ok(self.links[peer - 1].as_ref())
+        } else {
+            if peer != 0 {
+                return Err(ScifError::OpNotSupported); // leaves only talk to root
+            }
+            Ok(self.links[0].as_ref())
+        }
+    }
+
+    /// Point-to-point send (root↔leaf only, star topology).
+    pub fn send(&self, peer: usize, data: &[u8], tl: &mut Timeline) -> ScifResult<()> {
+        let link = self.link_to(peer)?;
+        link.send(&(data.len() as u32).to_le_bytes(), tl)?;
+        link.send(data, tl)?;
+        Ok(())
+    }
+
+    /// Point-to-point receive (blocking).
+    pub fn recv(&self, peer: usize, tl: &mut Timeline) -> ScifResult<Vec<u8>> {
+        let link = self.link_to(peer)?;
+        let mut len = [0u8; 4];
+        if link.recv(&mut len, tl)? < 4 {
+            return Err(ScifError::ConnReset);
+        }
+        let mut data = vec![0u8; u32::from_le_bytes(len) as usize];
+        if !data.is_empty() && link.recv(&mut data, tl)? < data.len() {
+            return Err(ScifError::ConnReset);
+        }
+        Ok(data)
+    }
+
+    /// MPI_Barrier.
+    pub fn barrier(&self, tl: &mut Timeline) -> ScifResult<()> {
+        if self.is_root() {
+            for peer in 1..self.size {
+                self.recv(peer, tl)?;
+            }
+            for peer in 1..self.size {
+                self.send(peer, &[1], tl)?;
+            }
+        } else {
+            self.send(0, &[1], tl)?;
+            self.recv(0, tl)?;
+        }
+        Ok(())
+    }
+
+    /// MPI_Allreduce(SUM) over one f64.
+    pub fn allreduce_sum(&self, x: f64, tl: &mut Timeline) -> ScifResult<f64> {
+        if self.is_root() {
+            let mut total = x;
+            for peer in 1..self.size {
+                let data = self.recv(peer, tl)?;
+                let bytes: [u8; 8] = data.as_slice().try_into().map_err(|_| ScifError::Inval)?;
+                total += f64::from_le_bytes(bytes);
+            }
+            for peer in 1..self.size {
+                self.send(peer, &total.to_le_bytes(), tl)?;
+            }
+            Ok(total)
+        } else {
+            self.send(0, &x.to_le_bytes(), tl)?;
+            let data = self.recv(0, tl)?;
+            let bytes: [u8; 8] = data.as_slice().try_into().map_err(|_| ScifError::Inval)?;
+            Ok(f64::from_le_bytes(bytes))
+        }
+    }
+
+    /// MPI_Bcast of a byte payload from the root.
+    pub fn bcast(&self, data: Option<&[u8]>, tl: &mut Timeline) -> ScifResult<Vec<u8>> {
+        if self.is_root() {
+            let payload = data.ok_or(ScifError::Inval)?;
+            for peer in 1..self.size {
+                self.send(peer, payload, tl)?;
+            }
+            Ok(payload.to_vec())
+        } else {
+            self.recv(0, tl)
+        }
+    }
+
+    /// MPI_Gather of one f64 per rank to the root (root receives all in
+    /// rank order, leaves return their own value).
+    pub fn gather(&self, x: f64, tl: &mut Timeline) -> ScifResult<Vec<f64>> {
+        if self.is_root() {
+            let mut out = vec![x];
+            for peer in 1..self.size {
+                let data = self.recv(peer, tl)?;
+                let bytes: [u8; 8] = data.as_slice().try_into().map_err(|_| ScifError::Inval)?;
+                out.push(f64::from_le_bytes(bytes));
+            }
+            Ok(out)
+        } else {
+            self.send(0, &x.to_le_bytes(), tl)?;
+            Ok(vec![x])
+        }
+    }
+}
+
+/// Establish rank 0: listen on `port` and accept `size - 1` leaves.
+/// Leaves announce their ranks; the world is complete when every rank
+/// 1..size has checked in.
+pub fn establish_root(
+    env: &dyn CoiEnv,
+    port: Port,
+    size: usize,
+    tl: &mut Timeline,
+) -> ScifResult<MpiRank> {
+    if size < 2 {
+        return Err(ScifError::Inval);
+    }
+    let listener: Box<dyn CoiListener> = env.listen(port, tl)?;
+    let mut links: Vec<Option<Box<dyn CoiTransport>>> = (1..size).map(|_| None).collect();
+    for _ in 1..size {
+        let conn = listener.accept(tl)?;
+        let mut rank_bytes = [0u8; 8];
+        if conn.recv(&mut rank_bytes, tl)? < 8 {
+            return Err(ScifError::ConnReset);
+        }
+        let rank = u64::from_le_bytes(rank_bytes) as usize;
+        if rank == 0 || rank >= size || links[rank - 1].is_some() {
+            return Err(ScifError::Inval);
+        }
+        links[rank - 1] = Some(conn);
+    }
+    listener.close();
+    Ok(MpiRank {
+        rank: 0,
+        size,
+        links: links.into_iter().map(|l| l.expect("all ranks checked in")).collect(),
+    })
+}
+
+/// Establish a leaf rank: connect to the root at `(root_node, port)` and
+/// announce `rank`.  Retries while the root's listener is not yet up —
+/// mpirun-style rendezvous, since rank launch order is unordered.
+pub fn establish_leaf(
+    env: &dyn CoiEnv,
+    root_node: NodeId,
+    port: Port,
+    rank: usize,
+    size: usize,
+    tl: &mut Timeline,
+) -> ScifResult<MpiRank> {
+    if rank == 0 || rank >= size {
+        return Err(ScifError::Inval);
+    }
+    let mut last = ScifError::ConnRefused;
+    for _ in 0..2000 {
+        match env.connect(root_node, port, tl) {
+            Ok(conn) => {
+                conn.send(&(rank as u64).to_le_bytes(), tl)?;
+                return Ok(MpiRank { rank, size, links: vec![conn] });
+            }
+            Err(ScifError::ConnRefused) => {
+                last = ScifError::ConnRefused;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vphi::builder::VphiHost;
+    use vphi_coi::NativeEnv;
+    use vphi_scif::HOST_NODE;
+
+    /// Device-side environment: opens endpoints on a card's node so that
+    /// symmetric-mode ranks can run "on the coprocessor".
+    pub struct DeviceSideEnv {
+        fabric: Arc<vphi_scif::ScifFabric>,
+        node: NodeId,
+    }
+
+    impl DeviceSideEnv {
+        pub fn new(host: &VphiHost, mic: usize) -> Self {
+            DeviceSideEnv { fabric: Arc::clone(host.fabric()), node: host.device_node(mic) }
+        }
+    }
+
+    impl CoiEnv for DeviceSideEnv {
+        fn connect(
+            &self,
+            node: NodeId,
+            port: Port,
+            tl: &mut Timeline,
+        ) -> ScifResult<Box<dyn CoiTransport>> {
+            let ep = vphi_scif::ScifEndpoint::open(&self.fabric, self.node)?;
+            ep.connect(vphi_scif::ScifAddr::new(node, port), tl)?;
+            Ok(Box::new(ep))
+        }
+
+        fn listen(&self, port: Port, tl: &mut Timeline) -> ScifResult<Box<dyn CoiListener>> {
+            let ep = vphi_scif::ScifEndpoint::open(&self.fabric, self.node)?;
+            ep.bind(port, tl)?;
+            ep.listen(16, tl)?;
+            Ok(Box::new(ep))
+        }
+
+        fn device_count(&self) -> usize {
+            1
+        }
+
+        fn card_usable(&self, _mic: u32, _tl: &mut Timeline) -> bool {
+            true
+        }
+
+        fn label(&self) -> String {
+            format!("{}", self.node)
+        }
+    }
+
+    fn world(host: &VphiHost, port: u16, size: usize) -> Vec<std::thread::JoinHandle<Vec<f64>>> {
+        // Rank 0 on the host, odd ranks on the card, even on the host —
+        // the symmetric layout.
+        let mut handles = Vec::new();
+        for rank in 0..size {
+            let env: Arc<dyn CoiEnv> = if rank % 2 == 1 {
+                Arc::new(DeviceSideEnv::new(host, 0))
+            } else {
+                Arc::new(NativeEnv::new(host))
+            };
+            handles.push(std::thread::spawn(move || {
+                let mut tl = Timeline::new();
+                let comm = if rank == 0 {
+                    establish_root(env.as_ref(), Port(port), size, &mut tl).unwrap()
+                } else {
+                    establish_leaf(env.as_ref(), HOST_NODE, Port(port), rank, size, &mut tl)
+                        .unwrap()
+                };
+                comm.barrier(&mut tl).unwrap();
+                let sum = comm.allreduce_sum(rank as f64 + 1.0, &mut tl).unwrap();
+                let gathered = comm.gather(rank as f64, &mut tl).unwrap();
+                comm.barrier(&mut tl).unwrap();
+                let mut out = vec![sum];
+                out.extend(gathered);
+                out
+            }));
+        }
+        handles
+    }
+
+    #[test]
+    fn symmetric_world_collectives() {
+        let host = VphiHost::new(1);
+        let size = 4;
+        let results: Vec<Vec<f64>> =
+            world(&host, 555, size).into_iter().map(|h| h.join().unwrap()).collect();
+        // Allreduce: 1+2+3+4 = 10 on every rank.
+        for r in &results {
+            assert_eq!(r[0], 10.0);
+        }
+        // Root's gather saw every rank in order.
+        let root = results.iter().find(|r| r.len() == 1 + size).unwrap();
+        assert_eq!(&root[1..], &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn bcast_reaches_leaves() {
+        let host = VphiHost::new(1);
+        let mut handles = Vec::new();
+        for rank in 0..3usize {
+            let env: Arc<dyn CoiEnv> = Arc::new(NativeEnv::new(&host));
+            handles.push(std::thread::spawn(move || {
+                let mut tl = Timeline::new();
+                let comm = if rank == 0 {
+                    establish_root(env.as_ref(), Port(556), 3, &mut tl).unwrap()
+                } else {
+                    establish_leaf(env.as_ref(), HOST_NODE, Port(556), rank, 3, &mut tl).unwrap()
+                };
+                comm.bcast(if rank == 0 { Some(b"model-params") } else { None }, &mut tl)
+                    .unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), b"model-params");
+        }
+    }
+
+    #[test]
+    fn invalid_topologies_rejected() {
+        let host = VphiHost::new(1);
+        let env = NativeEnv::new(&host);
+        let mut tl = Timeline::new();
+        assert!(establish_root(&env, Port(557), 1, &mut tl).is_err());
+        assert!(establish_leaf(&env, HOST_NODE, Port(557), 0, 4, &mut tl).is_err());
+        assert!(establish_leaf(&env, HOST_NODE, Port(557), 4, 4, &mut tl).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Workload kernels and their compute characterizations.
+
+use vphi_coi::ComputeManifest;
+
+/// A kernel a MIC binary runs on the card.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// `cblas_dgemm`: C = alpha·A·B + beta·C with N×N matrices — the
+    /// paper's application benchmark (MKL sample).
+    Dgemm { n: u64 },
+    /// STREAM triad over arrays of `elems` f64s, `iters` passes.
+    Stream { elems: u64, iters: u64 },
+    /// All-pairs n-body, `steps` timesteps.
+    NBody { bodies: u64, steps: u64 },
+    /// Park for a fixed virtual time (expressed as flops at 1 GFLOPS).
+    Spin { gflop: f64 },
+}
+
+impl Workload {
+    /// Total floating-point operations.
+    pub fn flops(&self) -> f64 {
+        match *self {
+            // 2N³ multiply-adds (the standard dgemm count).
+            Workload::Dgemm { n } => 2.0 * (n as f64).powi(3),
+            // Triad: 2 flops per element per iteration.
+            Workload::Stream { elems, iters } => 2.0 * elems as f64 * iters as f64,
+            // ~20 flops per pair interaction.
+            Workload::NBody { bodies, steps } => {
+                20.0 * (bodies as f64) * (bodies as f64) * steps as f64
+            }
+            Workload::Spin { gflop } => gflop * 1e9,
+        }
+    }
+
+    /// Total GDDR traffic (for the roofline's memory-bound side).
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            // Three matrices streamed once per blocked pass; blocking keeps
+            // dgemm compute-bound, so count each matrix once.
+            Workload::Dgemm { n } => 3 * n * n * 8,
+            // Triad reads two arrays and writes one, per iteration.
+            Workload::Stream { elems, iters } => 3 * elems * 8 * iters,
+            Workload::NBody { bodies, .. } => bodies * 64,
+            Workload::Spin { .. } => 0,
+        }
+    }
+
+    /// Input-data footprint as the paper's Figs. 6–8 x-axis defines it:
+    /// "the total size of the two input arrays".
+    pub fn input_bytes(&self) -> u64 {
+        match *self {
+            Workload::Dgemm { n } => 2 * n * n * 8,
+            Workload::Stream { elems, .. } => 2 * elems * 8,
+            Workload::NBody { bodies, .. } => bodies * 32,
+            Workload::Spin { .. } => 0,
+        }
+    }
+
+    /// The COI manifest for running this workload with `threads`.
+    pub fn manifest(&self, threads: u32) -> ComputeManifest {
+        ComputeManifest::new(self.flops(), self.bytes(), threads)
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Dgemm { .. } => "dgemm_mic",
+            Workload::Stream { .. } => "stream_mic",
+            Workload::NBody { .. } => "nbody_mic",
+            Workload::Spin { .. } => "spin_mic",
+        }
+    }
+
+    /// Execute the workload *for real* on the uOS (validation scale) and
+    /// return a checksum of the result alongside the modeled outcome.
+    /// This is how the test suite proves the timing model sits on top of a
+    /// kernel that actually computes the right answer.
+    pub fn execute_real(
+        &self,
+        uos: &vphi_phi::UosScheduler,
+        threads: u32,
+        tl: &mut vphi_sim_core::Timeline,
+    ) -> (vphi_phi::JobOutcome, f64) {
+        let job =
+            vphi_phi::ComputeJob::new(self.name(), threads, self.flops(), self.bytes());
+        let work = self.clone();
+        let (outcome, checksum) = uos.run_with(&job, tl, move || match work {
+            Workload::Dgemm { n } => {
+                let n = n as usize;
+                let a = crate::dgemm::init_matrix(n, 1);
+                let b = crate::dgemm::init_matrix(n, 2);
+                let mut c = vec![0.0; n * n];
+                crate::dgemm::dgemm(n, 1.0, &a, &b, 0.0, &mut c);
+                c.iter().sum::<f64>()
+            }
+            Workload::Stream { elems, iters } => {
+                let n = elems as usize;
+                let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                let b: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+                let mut c = vec![0.0; n];
+                for _ in 0..iters {
+                    // STREAM triad: c = a + 3.0 * b
+                    for i in 0..n {
+                        c[i] = a[i] + 3.0 * b[i];
+                    }
+                }
+                c.iter().sum::<f64>()
+            }
+            Workload::NBody { bodies, steps } => {
+                let n = bodies as usize;
+                let mut pos: Vec<(f64, f64)> =
+                    (0..n).map(|i| (i as f64, (i * 7 % 11) as f64)).collect();
+                let mut vel = vec![(0.0f64, 0.0f64); n];
+                for _ in 0..steps {
+                    for i in 0..n {
+                        let (mut ax, mut ay) = (0.0, 0.0);
+                        for j in 0..n {
+                            if i == j {
+                                continue;
+                            }
+                            let dx = pos[j].0 - pos[i].0;
+                            let dy = pos[j].1 - pos[i].1;
+                            let d2 = dx * dx + dy * dy + 1e-9;
+                            let inv = 1.0 / (d2 * d2.sqrt());
+                            ax += dx * inv;
+                            ay += dy * inv;
+                        }
+                        vel[i].0 += ax * 1e-3;
+                        vel[i].1 += ay * 1e-3;
+                    }
+                    for i in 0..n {
+                        pos[i].0 += vel[i].0;
+                        pos[i].1 += vel[i].1;
+                    }
+                }
+                pos.iter().map(|p| p.0 + p.1).sum::<f64>()
+            }
+            Workload::Spin { gflop } => gflop,
+        });
+        (outcome, checksum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgemm_flop_count() {
+        let w = Workload::Dgemm { n: 1024 };
+        assert_eq!(w.flops(), 2.0 * 1024f64.powi(3));
+        assert_eq!(w.bytes(), 3 * 1024 * 1024 * 8);
+        assert_eq!(w.input_bytes(), 2 * 1024 * 1024 * 8);
+        assert_eq!(w.name(), "dgemm_mic");
+    }
+
+    #[test]
+    fn stream_is_memory_bound() {
+        // Arithmetic intensity of the triad is 2 flops / 24 bytes << the
+        // machine balance, so bytes must dominate the manifest.
+        let w = Workload::Stream { elems: 1 << 20, iters: 10 };
+        let intensity = w.flops() / w.bytes() as f64;
+        assert!(intensity < 0.1, "triad intensity = {intensity}");
+    }
+
+    #[test]
+    fn manifests_carry_threads() {
+        let m = Workload::Dgemm { n: 512 }.manifest(224);
+        assert_eq!(m.threads, 224);
+        assert_eq!(m.flops, 2.0 * 512f64.powi(3));
+    }
+
+    #[test]
+    fn nbody_quadratic_in_bodies() {
+        let small = Workload::NBody { bodies: 100, steps: 1 }.flops();
+        let big = Workload::NBody { bodies: 200, steps: 1 }.flops();
+        assert!((big / small - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spin_has_no_memory_traffic() {
+        let w = Workload::Spin { gflop: 2.0 };
+        assert_eq!(w.bytes(), 0);
+        assert_eq!(w.flops(), 2e9);
+    }
+
+    #[test]
+    fn real_execution_on_the_uos_is_deterministic_and_timed() {
+        use std::sync::Arc;
+        use vphi_phi::{PhiSpec, UosScheduler};
+        use vphi_sim_core::{CostModel, Timeline, VirtualClock};
+
+        let uos = UosScheduler::new(
+            PhiSpec::phi_3120p(),
+            Arc::new(CostModel::paper_calibrated()),
+            Arc::new(VirtualClock::new()),
+        );
+        // dgemm at validation scale: real math + modeled time.
+        let w = Workload::Dgemm { n: 64 };
+        let mut tl = Timeline::new();
+        let (out, sum1) = w.execute_real(&uos, 112, &mut tl);
+        assert!(out.duration > vphi_sim_core::SimDuration::ZERO);
+        let mut tl2 = Timeline::new();
+        let (_, sum2) = w.execute_real(&uos, 112, &mut tl2);
+        assert_eq!(sum1, sum2, "real dgemm must be deterministic");
+        assert!(sum1.is_finite() && sum1 != 0.0);
+
+        // The checksum matches the reference kernel.
+        let n = 64usize;
+        let a = crate::dgemm::init_matrix(n, 1);
+        let b = crate::dgemm::init_matrix(n, 2);
+        let mut c = vec![0.0; n * n];
+        crate::dgemm::dgemm_reference(n, 1.0, &a, &b, 0.0, &mut c);
+        let reference: f64 = c.iter().sum();
+        assert!((sum1 - reference).abs() < 1e-6, "{sum1} vs {reference}");
+
+        // The other kernels run too.
+        let (_, triad) =
+            Workload::Stream { elems: 1000, iters: 2 }.execute_real(&uos, 56, &mut tl);
+        // c[i] = i + 3*(i%13): closed-form checkable.
+        let expected: f64 = (0..1000).map(|i| i as f64 + 3.0 * ((i % 13) as f64)).sum();
+        assert_eq!(triad, expected);
+        let (_, nbody) =
+            Workload::NBody { bodies: 16, steps: 2 }.execute_real(&uos, 56, &mut tl);
+        assert!(nbody.is_finite());
+    }
+}

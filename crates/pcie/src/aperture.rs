@@ -1,0 +1,112 @@
+//! MMIO apertures.
+//!
+//! The host maps regions of Xeon Phi GDDR through a PCIe BAR aperture;
+//! `scif_mmap` ultimately hands user space a pointer into such a window.
+//! An [`Aperture`] is a handle to a `(base, len)` window of device memory
+//! identified by a *device page frame number* range.  Actual byte access
+//! goes through the owner of the device memory (the `phi-device` crate);
+//! the aperture's job is address arithmetic and bounds discipline, which is
+//! where the paper's `VM_PFNPHI` two-level mapping plugs in.
+
+use vphi_sim_core::cost::PAGE_SIZE;
+
+/// A host-visible window into device memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aperture {
+    /// Byte offset of the window within device memory.
+    base: u64,
+    /// Window length in bytes (page-aligned).
+    len: u64,
+}
+
+impl Aperture {
+    /// Create a window.  `base` and `len` must be page-aligned and `len`
+    /// nonzero.
+    pub fn new(base: u64, len: u64) -> Self {
+        assert_eq!(base % PAGE_SIZE, 0, "aperture base must be page-aligned");
+        assert_eq!(len % PAGE_SIZE, 0, "aperture length must be page-aligned");
+        assert!(len > 0, "aperture cannot be empty");
+        Aperture { base, len }
+    }
+
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // construction forbids empty windows
+    }
+
+    pub fn pages(&self) -> u64 {
+        self.len / PAGE_SIZE
+    }
+
+    /// Device byte address for an offset within the window, if in bounds.
+    pub fn resolve(&self, offset: u64) -> Option<u64> {
+        if offset < self.len {
+            Some(self.base + offset)
+        } else {
+            None
+        }
+    }
+
+    /// Device *page frame number* backing a window offset — what the
+    /// host/KVM fault path stores in a `VM_PFNPHI`-tagged VMA.
+    pub fn pfn_of(&self, offset: u64) -> Option<u64> {
+        self.resolve(offset).map(|addr| addr / PAGE_SIZE)
+    }
+
+    /// Split off a page-aligned sub-window.
+    pub fn subwindow(&self, offset: u64, len: u64) -> Option<Aperture> {
+        if !offset.is_multiple_of(PAGE_SIZE) || !len.is_multiple_of(PAGE_SIZE) || len == 0 {
+            return None;
+        }
+        if offset.checked_add(len)? > self.len {
+            return None;
+        }
+        Some(Aperture { base: self.base + offset, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_in_and_out_of_bounds() {
+        let a = Aperture::new(0x10000, 4 * PAGE_SIZE);
+        assert_eq!(a.resolve(0), Some(0x10000));
+        assert_eq!(a.resolve(4 * PAGE_SIZE - 1), Some(0x10000 + 4 * PAGE_SIZE - 1));
+        assert_eq!(a.resolve(4 * PAGE_SIZE), None);
+        assert_eq!(a.pages(), 4);
+    }
+
+    #[test]
+    fn pfn_mapping() {
+        let a = Aperture::new(8 * PAGE_SIZE, 2 * PAGE_SIZE);
+        assert_eq!(a.pfn_of(0), Some(8));
+        assert_eq!(a.pfn_of(PAGE_SIZE), Some(9));
+        assert_eq!(a.pfn_of(2 * PAGE_SIZE), None);
+    }
+
+    #[test]
+    fn subwindow_bounds() {
+        let a = Aperture::new(0, 8 * PAGE_SIZE);
+        let s = a.subwindow(2 * PAGE_SIZE, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(s.base(), 2 * PAGE_SIZE);
+        assert_eq!(s.len(), 4 * PAGE_SIZE);
+        assert!(a.subwindow(6 * PAGE_SIZE, 4 * PAGE_SIZE).is_none());
+        assert!(a.subwindow(1, PAGE_SIZE).is_none()); // unaligned offset
+        assert!(a.subwindow(0, 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn unaligned_base_rejected() {
+        Aperture::new(3, PAGE_SIZE);
+    }
+}

@@ -1,0 +1,170 @@
+//! Doorbell registers.
+//!
+//! The SCIF fabric rings a doorbell to tell the peer node "there is work in
+//! your mailbox".  We model a doorbell as a counting register with blocking
+//! wait — real threads block on a condvar, while the virtual-time cost of
+//! the MMIO write is charged by the caller through the link's
+//! `control_transaction`.
+
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A counting doorbell: `ring` increments, `wait` blocks until the count
+/// exceeds what the waiter has already consumed.
+#[derive(Debug, Default)]
+pub struct Doorbell {
+    state: Mutex<DoorbellState>,
+    cond: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct DoorbellState {
+    rung: u64,
+    consumed: u64,
+    shutdown: bool,
+}
+
+impl Doorbell {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ring the doorbell once, waking all waiters.
+    pub fn ring(&self) {
+        let mut st = self.state.lock();
+        st.rung += 1;
+        self.cond.notify_all();
+    }
+
+    /// Block until at least one unconsumed ring is available (or shutdown).
+    /// Returns `false` if the doorbell has been shut down.
+    pub fn wait(&self) -> bool {
+        let mut st = self.state.lock();
+        loop {
+            if st.shutdown {
+                return false;
+            }
+            if st.rung > st.consumed {
+                st.consumed += 1;
+                return true;
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Like [`wait`](Doorbell::wait) but gives up after `timeout` of *wall*
+    /// time (used only to keep tests from hanging on bugs).
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let mut st = self.state.lock();
+        loop {
+            if st.shutdown {
+                return false;
+            }
+            if st.rung > st.consumed {
+                st.consumed += 1;
+                return true;
+            }
+            if self.cond.wait_for(&mut st, timeout).timed_out() {
+                return false;
+            }
+        }
+    }
+
+    /// Non-blocking check; consumes a ring if present.
+    pub fn try_consume(&self) -> bool {
+        let mut st = self.state.lock();
+        if st.rung > st.consumed {
+            st.consumed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Unconsumed rings.
+    pub fn pending(&self) -> u64 {
+        let st = self.state.lock();
+        st.rung - st.consumed
+    }
+
+    /// Wake all waiters and make every future wait return `false`.
+    pub fn shutdown(&self) {
+        let mut st = self.state.lock();
+        st.shutdown = true;
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_then_wait_does_not_block() {
+        let d = Doorbell::new();
+        d.ring();
+        assert!(d.wait());
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn wait_blocks_until_ring() {
+        let d = Arc::new(Doorbell::new());
+        let d2 = Arc::clone(&d);
+        let waiter = std::thread::spawn(move || d2.wait());
+        std::thread::sleep(Duration::from_millis(20));
+        d.ring();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn rings_are_counted_not_coalesced() {
+        let d = Doorbell::new();
+        d.ring();
+        d.ring();
+        d.ring();
+        assert_eq!(d.pending(), 3);
+        assert!(d.wait());
+        assert!(d.wait());
+        assert!(d.try_consume());
+        assert!(!d.try_consume());
+    }
+
+    #[test]
+    fn shutdown_unblocks_waiters() {
+        let d = Arc::new(Doorbell::new());
+        let d2 = Arc::clone(&d);
+        let waiter = std::thread::spawn(move || d2.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        d.shutdown();
+        assert!(!waiter.join().unwrap());
+        // Post-shutdown waits fail immediately.
+        assert!(!d.wait());
+    }
+
+    #[test]
+    fn wait_timeout_expires() {
+        let d = Doorbell::new();
+        assert!(!d.wait_timeout(Duration::from_millis(5)));
+        d.ring();
+        assert!(d.wait_timeout(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn concurrent_waiters_each_get_one_ring() {
+        let d = Arc::new(Doorbell::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let d = Arc::clone(&d);
+            handles.push(std::thread::spawn(move || d.wait()));
+        }
+        for _ in 0..4 {
+            d.ring();
+        }
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+        assert_eq!(d.pending(), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests of the PCIe link timing model.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use vphi_pcie::{DmaEngine, LinkConfig, PcieLink};
+use vphi_sim_core::{CostModel, SimTime, Timeline, VirtualClock};
+
+fn link() -> Arc<PcieLink> {
+    Arc::new(PcieLink::new(
+        LinkConfig::default(),
+        Arc::new(CostModel::paper_calibrated()),
+        Arc::new(VirtualClock::new()),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Transfer time is additive: t(a) + t(b) ≈ t(a+b) (within rounding).
+    #[test]
+    fn transfer_time_is_additive(a in 1u64..1 << 30, b in 1u64..1 << 30) {
+        let l = link();
+        let ta = l.transfer_time(a).as_nanos();
+        let tb = l.transfer_time(b).as_nanos();
+        let tab = l.transfer_time(a + b).as_nanos();
+        prop_assert!(tab.abs_diff(ta + tb) <= 2, "{ta}+{tb} vs {tab}");
+    }
+
+    /// Serialized transmissions: total busy time equals the sum of holds
+    /// and the completion times are strictly increasing.
+    #[test]
+    fn serialized_transmissions_accumulate(sizes in prop::collection::vec(1u64..1 << 24, 1..20)) {
+        let l = link();
+        let mut tl = Timeline::new();
+        let mut last_end = SimTime::ZERO;
+        for &s in &sizes {
+            let end = l.transmit(s, &mut tl);
+            prop_assert!(end > last_end);
+            last_end = end;
+        }
+        let expected: u64 = sizes.iter().map(|&s| l.transfer_time(s).as_nanos()).sum();
+        prop_assert_eq!(l.busy_total().as_nanos(), expected);
+        prop_assert_eq!(l.transaction_count(), sizes.len() as u64);
+    }
+
+    /// DMA copies of arbitrary sizes are byte-exact and charge the same
+    /// link time as a timed transfer of the same size.
+    #[test]
+    fn dma_copy_is_exact(data in prop::collection::vec(any::<u8>(), 1..50_000)) {
+        let engine = DmaEngine::new(link(), 8);
+        let mut dst = vec![0u8; data.len()];
+        let mut tl_copy = Timeline::new();
+        engine.copy(&data, &mut dst, &mut tl_copy);
+        prop_assert_eq!(&dst, &data);
+        let mut tl_timed = Timeline::new();
+        engine.transfer_timed(data.len() as u64, &mut tl_timed);
+        prop_assert_eq!(tl_copy.total(), tl_timed.total());
+    }
+}

@@ -1,0 +1,199 @@
+//! The assembled coprocessor board.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use vphi_sim_core::{CostModel, SimDuration, VirtualClock};
+use vphi_pcie::{DmaEngine, Doorbell, LinkConfig, MsiVector, PcieLink};
+
+use crate::memory::DeviceMemory;
+use crate::spec::PhiSpec;
+use crate::sysfs::SysfsInfo;
+use crate::uos::UosScheduler;
+
+/// Boot state, mirroring the MPSS `state` sysfs attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoardState {
+    Offline,
+    Booting,
+    Online,
+}
+
+impl BoardState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BoardState::Offline => "offline",
+            BoardState::Booting => "booting",
+            BoardState::Online => "online",
+        }
+    }
+}
+
+/// One Xeon Phi card plugged into the host: spec, GDDR, DMA engine on a
+/// PCIe link, doorbells in both directions, an MSI vector toward the host,
+/// and the uOS scheduler once booted.
+pub struct PhiBoard {
+    spec: PhiSpec,
+    state: RwLock<BoardState>,
+    memory: Arc<DeviceMemory>,
+    link: Arc<PcieLink>,
+    dma: Arc<DmaEngine>,
+    /// Host → device "there is work" doorbell.
+    pub db_to_device: Arc<Doorbell>,
+    /// Device → host "there is a reply" doorbell.
+    pub db_to_host: Arc<Doorbell>,
+    /// MSI toward the host SCIF driver.
+    pub msi: Arc<MsiVector>,
+    uos: Arc<UosScheduler>,
+    sysfs: RwLock<SysfsInfo>,
+    mic_index: u32,
+}
+
+impl std::fmt::Debug for PhiBoard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhiBoard")
+            .field("spec", &self.spec.model)
+            .field("state", &*self.state.read())
+            .field("mic_index", &self.mic_index)
+            .finish()
+    }
+}
+
+impl PhiBoard {
+    /// Plug a card in (state: offline).  `mic_index` is its `/dev/mic`
+    /// slot number.
+    pub fn new(
+        spec: PhiSpec,
+        mic_index: u32,
+        cost: Arc<CostModel>,
+        clock: Arc<VirtualClock>,
+    ) -> Self {
+        let link = Arc::new(PcieLink::new(
+            LinkConfig::default(),
+            Arc::clone(&cost),
+            Arc::clone(&clock),
+        ));
+        let dma = Arc::new(DmaEngine::new(Arc::clone(&link), spec.dma_channels));
+        let memory = Arc::new(DeviceMemory::new(spec.memory_bytes));
+        let uos = Arc::new(UosScheduler::new(spec.clone(), cost, clock));
+        let sysfs = RwLock::new(SysfsInfo::from_spec(&spec, mic_index, "offline"));
+        PhiBoard {
+            spec,
+            state: RwLock::new(BoardState::Offline),
+            memory,
+            link,
+            dma,
+            db_to_device: Arc::new(Doorbell::new()),
+            db_to_host: Arc::new(Doorbell::new()),
+            msi: Arc::new(MsiVector::new(mic_index)),
+            uos,
+            sysfs,
+            mic_index,
+        }
+    }
+
+    /// Boot the uOS.  Returns the virtual boot duration (KNC cards take
+    /// tens of seconds to boot; we charge a token 10 s so traces stay
+    /// realistic without dominating experiments).
+    pub fn boot(&self) -> SimDuration {
+        {
+            let mut st = self.state.write();
+            if *st == BoardState::Online {
+                return SimDuration::ZERO;
+            }
+            *st = BoardState::Booting;
+        }
+        self.sysfs.write().set("state", "booting");
+        let boot_time = SimDuration::from_secs(10);
+        *self.state.write() = BoardState::Online;
+        self.sysfs.write().set("state", "online");
+        boot_time
+    }
+
+    pub fn state(&self) -> BoardState {
+        *self.state.read()
+    }
+
+    pub fn is_online(&self) -> bool {
+        self.state() == BoardState::Online
+    }
+
+    pub fn spec(&self) -> &PhiSpec {
+        &self.spec
+    }
+
+    pub fn mic_index(&self) -> u32 {
+        self.mic_index
+    }
+
+    pub fn memory(&self) -> &Arc<DeviceMemory> {
+        &self.memory
+    }
+
+    pub fn link(&self) -> &Arc<PcieLink> {
+        &self.link
+    }
+
+    pub fn dma(&self) -> &Arc<DmaEngine> {
+        &self.dma
+    }
+
+    pub fn uos(&self) -> &Arc<UosScheduler> {
+        &self.uos
+    }
+
+    pub fn sysfs(&self) -> SysfsInfo {
+        self.sysfs.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn board() -> PhiBoard {
+        PhiBoard::new(
+            PhiSpec::phi_3120p(),
+            0,
+            Arc::new(CostModel::paper_calibrated()),
+            Arc::new(VirtualClock::new()),
+        )
+    }
+
+    #[test]
+    fn starts_offline_and_boots_once() {
+        let b = board();
+        assert_eq!(b.state(), BoardState::Offline);
+        assert_eq!(b.sysfs().get("state"), Some("offline"));
+        let t = b.boot();
+        assert!(t > SimDuration::ZERO);
+        assert!(b.is_online());
+        assert_eq!(b.sysfs().get("state"), Some("online"));
+        // Second boot is a no-op.
+        assert_eq!(b.boot(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn components_are_wired_to_the_spec() {
+        let b = board();
+        assert_eq!(b.memory().capacity(), PhiSpec::phi_3120p().memory_bytes);
+        assert_eq!(b.dma().channels(), 8);
+        assert_eq!(b.uos().spec().model, "3120P");
+        assert_eq!(b.mic_index(), 0);
+    }
+
+    #[test]
+    fn doorbells_are_independent() {
+        let b = board();
+        b.db_to_device.ring();
+        assert_eq!(b.db_to_device.pending(), 1);
+        assert_eq!(b.db_to_host.pending(), 0);
+    }
+
+    #[test]
+    fn state_strings() {
+        assert_eq!(BoardState::Offline.as_str(), "offline");
+        assert_eq!(BoardState::Booting.as_str(), "booting");
+        assert_eq!(BoardState::Online.as_str(), "online");
+    }
+}

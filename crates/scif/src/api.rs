@@ -1,0 +1,351 @@
+//! The libscif-style user API.
+//!
+//! [`ScifEndpoint`] corresponds to an `scif_epd_t` descriptor held by an
+//! application.  Every call crosses the user/kernel boundary (libscif
+//! issues `ioctl`/`open`/`mmap` on `/dev/mic/scif`), so each method
+//! charges one `host_syscall` before delegating to the kernel-side
+//! [`EndpointCore`].  The native microbenchmarks in the paper measure this
+//! exact surface; vPHI's guest shim re-implements it over the virtio ring
+//! (`vphi::guest`), and its backend replays onto this one.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use vphi_sim_core::{SpanLabel, Timeline};
+
+use crate::endpoint::{EndpointCore, EpState};
+use crate::error::ScifResult;
+use crate::fabric::ScifFabric;
+use crate::mmap::MappedRegion;
+use crate::types::{NodeId, Port, Prot, RmaFlags, ScifAddr};
+use crate::window::WindowBacking;
+
+/// A user-space SCIF endpoint descriptor.
+pub struct ScifEndpoint {
+    core: Arc<EndpointCore>,
+}
+
+impl std::fmt::Debug for ScifEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ScifEndpoint({:?})", self.core)
+    }
+}
+
+impl ScifEndpoint {
+    /// `scif_open` on the given node's driver.
+    pub fn open(fabric: &ScifFabric, node: NodeId) -> ScifResult<Self> {
+        Ok(ScifEndpoint { core: fabric.open(node)? })
+    }
+
+    /// Wrap an existing kernel endpoint (used by `accept` and by the vPHI
+    /// backend, which holds cores directly).
+    pub fn from_core(core: Arc<EndpointCore>) -> Self {
+        ScifEndpoint { core }
+    }
+
+    pub fn core(&self) -> &Arc<EndpointCore> {
+        &self.core
+    }
+
+    fn syscall(&self, tl: &mut Timeline) {
+        tl.charge(SpanLabel::HostSyscall, self.core.shared.cost.host_syscall);
+    }
+
+    pub fn state(&self) -> EpState {
+        self.core.state()
+    }
+
+    pub fn local_addr(&self) -> Option<ScifAddr> {
+        self.core.local_addr()
+    }
+
+    pub fn peer_addr(&self) -> Option<ScifAddr> {
+        self.core.peer_addr()
+    }
+
+    /// `scif_bind`.
+    pub fn bind(&self, port: Port, tl: &mut Timeline) -> ScifResult<Port> {
+        self.syscall(tl);
+        self.core.bind(port)
+    }
+
+    /// `scif_listen`.
+    pub fn listen(&self, backlog: usize, tl: &mut Timeline) -> ScifResult<()> {
+        self.syscall(tl);
+        self.core.listen(backlog)
+    }
+
+    /// `scif_connect` (blocking).
+    pub fn connect(&self, dst: ScifAddr, tl: &mut Timeline) -> ScifResult<ScifAddr> {
+        self.syscall(tl);
+        self.core.connect(dst, tl)
+    }
+
+    /// `scif_accept` (`SCIF_ACCEPT_SYNC`).
+    pub fn accept(&self, tl: &mut Timeline) -> ScifResult<ScifEndpoint> {
+        self.syscall(tl);
+        Ok(ScifEndpoint { core: self.core.accept(tl)? })
+    }
+
+    /// `scif_accept` (`SCIF_ACCEPT_ASYNC`): `None` if nothing is pending.
+    pub fn try_accept(&self, tl: &mut Timeline) -> ScifResult<Option<ScifEndpoint>> {
+        self.syscall(tl);
+        Ok(self.core.try_accept(tl)?.map(|core| ScifEndpoint { core }))
+    }
+
+    /// `scif_send` with `SCIF_SEND_BLOCK`.
+    pub fn send(&self, data: &[u8], tl: &mut Timeline) -> ScifResult<usize> {
+        self.syscall(tl);
+        self.core.send(data, tl)
+    }
+
+    /// `scif_recv` with `SCIF_RECV_BLOCK`.
+    pub fn recv(&self, out: &mut [u8], tl: &mut Timeline) -> ScifResult<usize> {
+        self.syscall(tl);
+        self.core.recv(out, tl)
+    }
+
+    /// Non-blocking `scif_recv`.
+    pub fn try_recv(&self, out: &mut [u8], tl: &mut Timeline) -> ScifResult<usize> {
+        self.syscall(tl);
+        self.core.try_recv(out, tl)
+    }
+
+    /// Timed-bulk-lane send (see [`EndpointCore::send_timed`]).
+    pub fn send_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64> {
+        self.syscall(tl);
+        self.core.send_timed(len, tl)
+    }
+
+    /// Timed-bulk-lane receive.
+    pub fn recv_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64> {
+        self.syscall(tl);
+        self.core.recv_timed(len, tl)
+    }
+
+    /// `scif_register`.
+    pub fn register(
+        &self,
+        fixed_offset: Option<u64>,
+        len: u64,
+        prot: Prot,
+        backing: WindowBacking,
+        tl: &mut Timeline,
+    ) -> ScifResult<u64> {
+        self.syscall(tl);
+        // Pinning cost: the driver walks and pins each page.
+        tl.charge(SpanLabel::RmaSetup, self.core.shared.cost.translate_pages(len));
+        self.core.register(fixed_offset, len, prot, backing)
+    }
+
+    /// `scif_unregister`.
+    pub fn unregister(&self, offset: u64, len: u64, tl: &mut Timeline) -> ScifResult<()> {
+        self.syscall(tl);
+        self.core.unregister(offset, len)
+    }
+
+    /// `scif_vreadfrom`.
+    pub fn vreadfrom(
+        &self,
+        buf: &mut [u8],
+        roffset: u64,
+        flags: RmaFlags,
+        tl: &mut Timeline,
+    ) -> ScifResult<()> {
+        self.syscall(tl);
+        self.core.vreadfrom(buf, roffset, flags, tl)
+    }
+
+    /// `scif_vwriteto`.
+    pub fn vwriteto(
+        &self,
+        buf: &[u8],
+        roffset: u64,
+        flags: RmaFlags,
+        tl: &mut Timeline,
+    ) -> ScifResult<()> {
+        self.syscall(tl);
+        self.core.vwriteto(buf, roffset, flags, tl)
+    }
+
+    /// `scif_readfrom`.
+    pub fn readfrom(
+        &self,
+        loffset: u64,
+        len: u64,
+        roffset: u64,
+        flags: RmaFlags,
+        tl: &mut Timeline,
+    ) -> ScifResult<()> {
+        self.syscall(tl);
+        self.core.readfrom(loffset, len, roffset, flags, tl)
+    }
+
+    /// `scif_writeto`.
+    pub fn writeto(
+        &self,
+        loffset: u64,
+        len: u64,
+        roffset: u64,
+        flags: RmaFlags,
+        tl: &mut Timeline,
+    ) -> ScifResult<()> {
+        self.syscall(tl);
+        self.core.writeto(loffset, len, roffset, flags, tl)
+    }
+
+    /// `scif_mmap`.
+    pub fn mmap(&self, offset: u64, len: u64, prot: Prot, tl: &mut Timeline) -> ScifResult<MappedRegion> {
+        self.syscall(tl);
+        self.core.mmap(offset, len, prot)
+    }
+
+    /// `scif_fence_mark`.
+    pub fn fence_mark(&self, tl: &mut Timeline) -> ScifResult<u64> {
+        self.syscall(tl);
+        self.core.fence_mark()
+    }
+
+    /// `scif_fence_wait`.
+    pub fn fence_wait(&self, marker: u64, tl: &mut Timeline) -> ScifResult<()> {
+        self.syscall(tl);
+        self.core.fence_wait(marker, tl)
+    }
+
+    /// `scif_fence_signal`.
+    pub fn fence_signal(
+        &self,
+        loff: u64,
+        lval: u64,
+        roff: u64,
+        rval: u64,
+        tl: &mut Timeline,
+    ) -> ScifResult<()> {
+        self.syscall(tl);
+        self.core.fence_signal(loff, lval, roff, rval, tl)
+    }
+
+    /// `scif_poll` over this single endpoint (convenience).
+    pub fn poll(
+        &self,
+        events: crate::poll::PollEvents,
+        wall_timeout: Duration,
+        tl: &mut Timeline,
+    ) -> ScifResult<crate::poll::PollEvents> {
+        self.syscall(tl);
+        let mut fds = [crate::poll::PollFd::new(Arc::clone(&self.core), events)];
+        crate::poll::poll(&mut fds, wall_timeout, tl)?;
+        Ok(fds[0].revents)
+    }
+
+    /// `scif_close`.
+    pub fn close(&self) {
+        self.core.close();
+    }
+}
+
+impl Drop for ScifEndpoint {
+    fn drop(&mut self) {
+        // libscif closes the descriptor when the fd is released.
+        self.core.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vphi_phi::{PhiBoard, PhiSpec};
+    use vphi_sim_core::{CostModel, SimDuration, VirtualClock};
+
+    use crate::types::HOST_NODE;
+
+    fn setup() -> (ScifFabric, NodeId) {
+        let cost = Arc::new(CostModel::paper_calibrated());
+        let clock = Arc::new(VirtualClock::new());
+        let fabric = ScifFabric::new(Arc::clone(&cost), Arc::clone(&clock));
+        let board = Arc::new(PhiBoard::new(PhiSpec::phi_3120p(), 0, cost, clock));
+        board.boot();
+        let node = fabric.add_device(board);
+        (fabric, node)
+    }
+
+    #[test]
+    fn native_one_byte_send_hits_the_seven_microsecond_floor() {
+        let (fabric, dev) = setup();
+        let server = ScifEndpoint::open(&fabric, dev).unwrap();
+        let mut tl = Timeline::new();
+        server.bind(Port(88), &mut tl).unwrap();
+        server.listen(2, &mut tl).unwrap();
+        let client = ScifEndpoint::open(&fabric, HOST_NODE).unwrap();
+        let acceptor = std::thread::spawn({
+            let core = Arc::clone(server.core());
+            move || {
+                let mut tl = Timeline::new();
+                core.accept(&mut tl).unwrap()
+            }
+        });
+        client.connect(ScifAddr::new(dev, Port(88)), &mut tl).unwrap();
+        let _conn = acceptor.join().unwrap();
+
+        // This is the paper's Fig. 4 native anchor: 7 µs for 1 byte.
+        let mut send_tl = Timeline::new();
+        client.send(&[0x42], &mut send_tl).unwrap();
+        assert_eq!(send_tl.total(), SimDuration::from_micros(7));
+    }
+
+    #[test]
+    fn every_call_charges_a_syscall() {
+        let (fabric, _) = setup();
+        let ep = ScifEndpoint::open(&fabric, HOST_NODE).unwrap();
+        let mut tl = Timeline::new();
+        ep.bind(Port::ANY, &mut tl).unwrap();
+        ep.listen(1, &mut tl).unwrap();
+        let syscalls = tl.total_for(SpanLabel::HostSyscall);
+        assert_eq!(syscalls, CostModel::paper_calibrated().host_syscall * 2);
+    }
+
+    #[test]
+    fn drop_closes_the_endpoint() {
+        let (fabric, _) = setup();
+        let core = {
+            let ep = ScifEndpoint::open(&fabric, HOST_NODE).unwrap();
+            Arc::clone(ep.core())
+        };
+        assert_eq!(core.state(), EpState::Closed);
+    }
+
+    #[test]
+    fn register_charges_per_page_pinning() {
+        use vphi_sim_core::cost::PAGE_SIZE;
+        let (fabric, dev) = setup();
+        // Connect a pair.
+        let server = ScifEndpoint::open(&fabric, dev).unwrap();
+        let mut tl = Timeline::new();
+        server.bind(Port(89), &mut tl).unwrap();
+        server.listen(1, &mut tl).unwrap();
+        let client = ScifEndpoint::open(&fabric, HOST_NODE).unwrap();
+        let acc = std::thread::spawn({
+            let core = Arc::clone(server.core());
+            move || {
+                let mut tl = Timeline::new();
+                core.accept(&mut tl).unwrap()
+            }
+        });
+        client.connect(ScifAddr::new(dev, Port(89)), &mut tl).unwrap();
+        let _conn = acc.join().unwrap();
+
+        let mut tl1 = Timeline::new();
+        let buf1 = crate::types::pinned_buf(PAGE_SIZE as usize);
+        client
+            .register(None, PAGE_SIZE, Prot::READ, WindowBacking::Pinned(buf1), &mut tl1)
+            .unwrap();
+        let mut tl16 = Timeline::new();
+        let buf16 = crate::types::pinned_buf(16 * PAGE_SIZE as usize);
+        client
+            .register(None, 16 * PAGE_SIZE, Prot::READ, WindowBacking::Pinned(buf16), &mut tl16)
+            .unwrap();
+        let pin1 = tl1.total_for(SpanLabel::RmaSetup);
+        let pin16 = tl16.total_for(SpanLabel::RmaSetup);
+        assert_eq!(pin16, pin1 * 16);
+    }
+}

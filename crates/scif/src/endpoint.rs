@@ -1,0 +1,660 @@
+//! The endpoint state machine and connection-oriented operations.
+//!
+//! Lifecycle (mirroring libscif):
+//!
+//! ```text
+//! scif_open -> Unbound -- bind --> Bound -- listen --> Listening -- accept --> (new Connected ep)
+//!                                        \-- connect -------------------------> Connected
+//! any state -- close --> Closed
+//! ```
+
+use std::sync::{Arc, OnceLock, Weak};
+
+use parking_lot::Mutex;
+use vphi_sim_core::{SimTime, SpanLabel, Timeline};
+
+use crate::error::{ScifError, ScifResult};
+use crate::fabric::{enqueue_connect, FabricShared, Listener, NodeCore};
+use crate::queue::MsgQueue;
+use crate::types::{NodeId, Port, Prot, ScifAddr};
+use crate::window::{WindowBacking, WindowTable};
+
+/// Endpoint connection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpState {
+    Unbound,
+    Bound,
+    Listening,
+    Connecting,
+    Connected,
+    Closed,
+}
+
+/// An asynchronous RMA in flight (see [`crate::rma`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RmaCompletion {
+    pub marker: u64,
+    pub completes_at: SimTime,
+}
+
+/// The kernel-side object behind one SCIF endpoint descriptor.
+pub struct EndpointCore {
+    id: u64,
+    pub(crate) shared: Arc<FabricShared>,
+    pub(crate) node: Arc<NodeCore>,
+    state: Mutex<EpState>,
+    local_port: Mutex<Option<Port>>,
+    listener: Mutex<Option<Arc<Listener>>>,
+    pub(crate) recv_q: OnceLock<Arc<MsgQueue>>,
+    pub(crate) send_q: OnceLock<Arc<MsgQueue>>,
+    pub(crate) peer: OnceLock<Weak<EndpointCore>>,
+    peer_addr: OnceLock<ScifAddr>,
+    pub(crate) windows: Mutex<WindowTable>,
+    pub(crate) rma_pending: Mutex<Vec<RmaCompletion>>,
+    pub(crate) next_marker: Mutex<u64>,
+    /// Bytes available on the *timed bulk lane* (see
+    /// [`send_timed`](EndpointCore::send_timed)).
+    timed_rx: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for EndpointCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EndpointCore")
+            .field("id", &self.id)
+            .field("node", &self.node.id())
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+impl EndpointCore {
+    pub(crate) fn new(shared: Arc<FabricShared>, node: Arc<NodeCore>) -> Arc<Self> {
+        let id = shared.next_endpoint_id();
+        Arc::new(EndpointCore {
+            id,
+            shared,
+            node,
+            state: Mutex::new(EpState::Unbound),
+            local_port: Mutex::new(None),
+            listener: Mutex::new(None),
+            recv_q: OnceLock::new(),
+            send_q: OnceLock::new(),
+            peer: OnceLock::new(),
+            peer_addr: OnceLock::new(),
+            windows: Mutex::new(WindowTable::new()),
+            rma_pending: Mutex::new(Vec::new()),
+            next_marker: Mutex::new(1),
+            timed_rx: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn state(&self) -> EpState {
+        *self.state.lock()
+    }
+
+    pub fn node_id(&self) -> NodeId {
+        self.node.id()
+    }
+
+    pub fn local_port(&self) -> Option<Port> {
+        *self.local_port.lock()
+    }
+
+    pub fn local_addr(&self) -> Option<ScifAddr> {
+        self.local_port.lock().map(|p| ScifAddr::new(self.node.id(), p))
+    }
+
+    pub fn peer_addr(&self) -> Option<ScifAddr> {
+        self.peer_addr.get().copied()
+    }
+
+    pub(crate) fn peer_core(&self) -> ScifResult<Arc<EndpointCore>> {
+        self.peer
+            .get()
+            .and_then(Weak::upgrade)
+            .ok_or(ScifError::ConnReset)
+    }
+
+    /// `scif_bind`.
+    pub fn bind(&self, port: Port) -> ScifResult<Port> {
+        let mut st = self.state.lock();
+        match *st {
+            EpState::Unbound => {
+                let chosen = self.node.bind_port(port)?;
+                *self.local_port.lock() = Some(chosen);
+                *st = EpState::Bound;
+                Ok(chosen)
+            }
+            EpState::Closed => Err(ScifError::Inval),
+            _ => Err(ScifError::IsConn),
+        }
+    }
+
+    /// `scif_listen`.
+    pub fn listen(&self, backlog: usize) -> ScifResult<()> {
+        let mut st = self.state.lock();
+        match *st {
+            EpState::Bound => {
+                let port = self.local_port.lock().expect("bound implies port");
+                let l = self.node.start_listening(port, backlog)?;
+                *self.listener.lock() = Some(l);
+                *st = EpState::Listening;
+                Ok(())
+            }
+            EpState::Listening => Err(ScifError::Inval),
+            EpState::Closed => Err(ScifError::Inval),
+            _ => Err(ScifError::NotConn),
+        }
+    }
+
+    /// `scif_connect` — blocks until an acceptor picks us up.  The caller
+    /// must pass its own `Arc` (libscif owns the descriptor).
+    pub fn connect(self: &Arc<Self>, dst: ScifAddr, tl: &mut Timeline) -> ScifResult<ScifAddr> {
+        {
+            let mut st = self.state.lock();
+            match *st {
+                EpState::Unbound => {
+                    // Auto-bind an ephemeral port, as libscif does.
+                    let p = self.node.bind_port(Port::ANY)?;
+                    *self.local_port.lock() = Some(p);
+                    *st = EpState::Connecting;
+                }
+                EpState::Bound => *st = EpState::Connecting,
+                EpState::Connected => return Err(ScifError::IsConn),
+                _ => return Err(ScifError::Inval),
+            }
+        }
+        // Connection request control message crosses the fabric.
+        self.shared.charge_message_path(self.node.id(), dst.node, 64, tl)?;
+        if let Err(e) = enqueue_connect(&self.shared, dst, self) {
+            *self.state.lock() = EpState::Bound;
+            return Err(e);
+        }
+        // Wait for accept (or listener teardown).
+        let mut seen = self.shared.activity.version();
+        loop {
+            match self.state() {
+                EpState::Connected => {
+                    return Ok(self.peer_addr().expect("connected implies peer"));
+                }
+                EpState::Closed => return Err(ScifError::ConnReset),
+                _ => {}
+            }
+            match self.shared.activity.wait_change(seen) {
+                Some(v) => seen = v,
+                None => {
+                    *self.state.lock() = EpState::Bound;
+                    return Err(ScifError::ConnRefused);
+                }
+            }
+        }
+    }
+
+    /// `scif_accept` with `SCIF_ACCEPT_SYNC` semantics: blocks for a
+    /// pending connection and returns the new connected endpoint.
+    pub fn accept(self: &Arc<Self>, tl: &mut Timeline) -> ScifResult<Arc<EndpointCore>> {
+        loop {
+            match self.try_accept(tl)? {
+                Some(ep) => return Ok(ep),
+                None => {
+                    let seen = self.shared.activity.version();
+                    // Re-check in case a connector raced in before we read
+                    // the version.
+                    if let Some(ep) = self.try_accept(tl)? {
+                        return Ok(ep);
+                    }
+                    if self.shared.activity.wait_change(seen).is_none() {
+                        return Err(ScifError::Again);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking accept (`SCIF_ACCEPT_ASYNC`): `Ok(None)` when no
+    /// connection is pending.
+    pub fn try_accept(self: &Arc<Self>, tl: &mut Timeline) -> ScifResult<Option<Arc<EndpointCore>>> {
+        if self.state() != EpState::Listening {
+            return Err(ScifError::Inval);
+        }
+        let listener = self.listener.lock().as_ref().map(Arc::clone).ok_or(ScifError::Inval)?;
+        let connector = {
+            let mut pending = listener.pending.lock();
+            loop {
+                match pending.pop_front() {
+                    Some(p) => {
+                        if let Some(c) = p.connector.upgrade() {
+                            break c;
+                        }
+                        // Connector vanished (gave up); try the next one.
+                    }
+                    None => return Ok(None),
+                }
+            }
+        };
+        // Build the connected pair.
+        let newep = EndpointCore::new(Arc::clone(&self.shared), Arc::clone(&self.node));
+        let port = self.node.bind_port(Port::ANY)?;
+        *newep.local_port.lock() = Some(port);
+        let q_a = Arc::new(MsgQueue::with_default_capacity()); // connector -> acceptor
+        let q_b = Arc::new(MsgQueue::with_default_capacity()); // acceptor -> connector
+        newep.recv_q.set(Arc::clone(&q_a)).expect("fresh endpoint");
+        newep.send_q.set(Arc::clone(&q_b)).expect("fresh endpoint");
+        connector.recv_q.set(q_b).map_err(|_| ScifError::Inval)?;
+        connector.send_q.set(q_a).map_err(|_| ScifError::Inval)?;
+        newep.peer.set(Arc::downgrade(&connector)).expect("fresh endpoint");
+        connector.peer.set(Arc::downgrade(&newep)).map_err(|_| ScifError::Inval)?;
+        let conn_addr = connector.local_addr().expect("connector is bound");
+        newep.peer_addr.set(conn_addr).expect("fresh endpoint");
+        connector
+            .peer_addr
+            .set(ScifAddr::new(self.node.id(), port))
+            .map_err(|_| ScifError::Inval)?;
+        *newep.state.lock() = EpState::Connected;
+        *connector.state.lock() = EpState::Connected;
+        // Accept acknowledgement control message back to the connector.
+        self.shared.charge_message_path(self.node.id(), conn_addr.node, 64, tl)?;
+        self.shared.activity.bump();
+        Ok(Some(newep))
+    }
+
+    /// `scif_send` (blocking): delivers all of `data` to the peer's
+    /// receive queue, charging the full delivery path.
+    pub fn send(&self, data: &[u8], tl: &mut Timeline) -> ScifResult<usize> {
+        if self.state() != EpState::Connected {
+            return Err(ScifError::NotConn);
+        }
+        let peer = self.peer_core()?;
+        let q = self.send_q.get().ok_or(ScifError::NotConn)?;
+        // Copy user -> kernel.
+        tl.charge(SpanLabel::CopyUserKernel, self.shared.cost.cpu_copy(data.len() as u64));
+        if !q.write_all(data) {
+            return Err(ScifError::ConnReset);
+        }
+        self.shared.charge_message_path(self.node.id(), peer.node_id(), data.len() as u64, tl)?;
+        self.shared.activity.bump();
+        Ok(data.len())
+    }
+
+    /// `scif_recv` with `SCIF_RECV_BLOCK`: blocks until `out` is full (or
+    /// the peer closed — then returns the short count).
+    pub fn recv(&self, out: &mut [u8], tl: &mut Timeline) -> ScifResult<usize> {
+        let q = self.recv_q.get().ok_or(ScifError::NotConn)?;
+        let n = q.read_exact(out);
+        tl.charge(SpanLabel::CopyUserKernel, self.shared.cost.cpu_copy(n as u64));
+        self.shared.activity.bump();
+        Ok(n)
+    }
+
+    /// Non-blocking receive: whatever is available now.
+    pub fn try_recv(&self, out: &mut [u8], tl: &mut Timeline) -> ScifResult<usize> {
+        let q = self.recv_q.get().ok_or(ScifError::NotConn)?;
+        let n = q.try_read(out);
+        tl.charge(SpanLabel::CopyUserKernel, self.shared.cost.cpu_copy(n as u64));
+        if n > 0 {
+            self.shared.activity.bump();
+        }
+        Ok(n)
+    }
+
+    /// `scif_send` on the **timed bulk lane**: identical timing charges to
+    /// a real send of `len` bytes, but no payload bytes move — for
+    /// paper-scale transfers (multi-hundred-MB binaries/libraries) whose
+    /// *contents* the experiment never inspects.  Timed and byte-exact
+    /// sends on the same endpoint are independent lanes; protocols put
+    /// their headers on the real lane and bulk on this one.
+    pub fn send_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64> {
+        if self.state() != EpState::Connected {
+            return Err(ScifError::NotConn);
+        }
+        let peer = self.peer_core()?;
+        tl.charge(SpanLabel::CopyUserKernel, self.shared.cost.cpu_copy(len));
+        peer.timed_rx.fetch_add(len, std::sync::atomic::Ordering::AcqRel);
+        self.shared.charge_message_path(self.node.id(), peer.node_id(), len, tl)?;
+        self.shared.activity.bump();
+        Ok(len)
+    }
+
+    /// Receive `len` bytes from the timed bulk lane (blocking).
+    pub fn recv_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64> {
+        use std::sync::atomic::Ordering;
+        let mut seen = self.shared.activity.version();
+        loop {
+            let avail = self.timed_rx.load(Ordering::Acquire);
+            if avail >= len {
+                match self.timed_rx.compare_exchange(
+                    avail,
+                    avail - len,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        tl.charge(SpanLabel::CopyUserKernel, self.shared.cost.cpu_copy(len));
+                        return Ok(len);
+                    }
+                    Err(_) => continue,
+                }
+            }
+            if self.state() == EpState::Closed {
+                return Err(ScifError::ConnReset);
+            }
+            let peer_gone =
+                self.peer_core().map(|p| p.state() == EpState::Closed).unwrap_or(true);
+            if peer_gone {
+                return Err(ScifError::ConnReset);
+            }
+            match self.shared.activity.wait_change(seen) {
+                Some(v) => seen = v,
+                None => return Err(ScifError::Again),
+            }
+        }
+    }
+
+    /// Bytes waiting to be received.
+    pub fn recv_pending(&self) -> usize {
+        self.recv_q.get().map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Free space in the send direction.
+    pub fn send_space(&self) -> usize {
+        self.send_q.get().map(|q| q.space()).unwrap_or(0)
+    }
+
+    /// `scif_register`.
+    pub fn register(
+        &self,
+        fixed_offset: Option<u64>,
+        len: u64,
+        prot: Prot,
+        backing: WindowBacking,
+    ) -> ScifResult<u64> {
+        if self.state() != EpState::Connected {
+            return Err(ScifError::NotConn);
+        }
+        self.windows.lock().register(fixed_offset, len, prot, backing)
+    }
+
+    /// `scif_unregister`.
+    pub fn unregister(&self, offset: u64, len: u64) -> ScifResult<()> {
+        self.windows.lock().unregister(offset, len)
+    }
+
+    pub fn window_count(&self) -> usize {
+        self.windows.lock().window_count()
+    }
+
+    /// `scif_close`: tear down queues, release the port, wake everyone.
+    pub fn close(&self) {
+        {
+            let mut st = self.state.lock();
+            if *st == EpState::Closed {
+                return;
+            }
+            *st = EpState::Closed;
+        }
+        if let Some(q) = self.send_q.get() {
+            q.close();
+        }
+        if let Some(q) = self.recv_q.get() {
+            q.close();
+        }
+        if let Some(l) = self.listener.lock().take() {
+            l.closed.store(true, std::sync::atomic::Ordering::Release);
+        }
+        if let Some(p) = *self.local_port.lock() {
+            self.node.release_port(p);
+        }
+        self.shared.activity.bump();
+    }
+}
+
+impl Drop for EndpointCore {
+    fn drop(&mut self) {
+        // Safety net; explicit close is the normal path.
+        if *self.state.lock() != EpState::Closed {
+            if let Some(q) = self.send_q.get() {
+                q.close();
+            }
+            if let Some(q) = self.recv_q.get() {
+                q.close();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::ScifFabric;
+    use crate::types::HOST_NODE;
+    use std::sync::Arc;
+    use vphi_phi::{PhiBoard, PhiSpec};
+    use vphi_sim_core::{CostModel, VirtualClock};
+
+    pub(crate) fn test_fabric() -> (ScifFabric, NodeId) {
+        let cost = Arc::new(CostModel::paper_calibrated());
+        let clock = Arc::new(VirtualClock::new());
+        let fabric = ScifFabric::new(Arc::clone(&cost), Arc::clone(&clock));
+        let board = Arc::new(PhiBoard::new(PhiSpec::phi_3120p(), 0, cost, clock));
+        board.boot();
+        let node = fabric.add_device(board);
+        (fabric, node)
+    }
+
+    /// Spin up a device-side echo-ready server and return the connected
+    /// host-side endpoint plus the server's connected endpoint.
+    fn connected_pair(
+        fabric: &ScifFabric,
+        dev: NodeId,
+        port: Port,
+    ) -> (Arc<EndpointCore>, Arc<EndpointCore>) {
+        let server = fabric.open(dev).unwrap();
+        server.bind(port).unwrap();
+        server.listen(4).unwrap();
+        let client = fabric.open(HOST_NODE).unwrap();
+        let s2 = Arc::clone(&server);
+        let acceptor = std::thread::spawn(move || {
+            let mut tl = Timeline::new();
+            s2.accept(&mut tl).unwrap()
+        });
+        let mut tl = Timeline::new();
+        client.connect(ScifAddr::new(dev, port), &mut tl).unwrap();
+        let conn = acceptor.join().unwrap();
+        (client, conn)
+    }
+
+    #[test]
+    fn state_machine_happy_path() {
+        let (fabric, dev) = test_fabric();
+        let (client, server_conn) = connected_pair(&fabric, dev, Port(101));
+        assert_eq!(client.state(), EpState::Connected);
+        assert_eq!(server_conn.state(), EpState::Connected);
+        assert_eq!(client.peer_addr().unwrap().node, dev);
+        assert_eq!(server_conn.peer_addr().unwrap().node, HOST_NODE);
+    }
+
+    #[test]
+    fn bind_state_errors() {
+        let (fabric, _) = test_fabric();
+        let ep = fabric.open(HOST_NODE).unwrap();
+        ep.bind(Port(200)).unwrap();
+        assert_eq!(ep.bind(Port(201)), Err(ScifError::IsConn));
+        let mut tl = Timeline::new();
+        // Listen before bind fails.
+        let ep2 = fabric.open(HOST_NODE).unwrap();
+        assert_eq!(ep2.listen(1), Err(ScifError::NotConn));
+        // Send on unconnected endpoint fails.
+        assert_eq!(ep2.send(b"x", &mut tl), Err(ScifError::NotConn));
+    }
+
+    #[test]
+    fn connect_to_dead_port_is_refused() {
+        let (fabric, dev) = test_fabric();
+        let ep = fabric.open(HOST_NODE).unwrap();
+        let mut tl = Timeline::new();
+        assert_eq!(
+            ep.connect(ScifAddr::new(dev, Port(999)), &mut tl),
+            Err(ScifError::ConnRefused)
+        );
+        // Endpoint is reusable afterwards.
+        assert_eq!(ep.state(), EpState::Bound);
+    }
+
+    #[test]
+    fn connect_to_unknown_node_fails() {
+        let (fabric, _) = test_fabric();
+        let ep = fabric.open(HOST_NODE).unwrap();
+        let mut tl = Timeline::new();
+        assert_eq!(ep.connect(ScifAddr::new(NodeId(7), Port(1)), &mut tl), Err(ScifError::NoDev));
+    }
+
+    #[test]
+    fn send_recv_roundtrip_with_native_floor_timing() {
+        let (fabric, dev) = test_fabric();
+        let (client, server_conn) = connected_pair(&fabric, dev, Port(102));
+        let mut send_tl = Timeline::new();
+        client.send(b"p", &mut send_tl).unwrap();
+        // Message-path charges: everything except the API syscall.
+        let cost = CostModel::paper_calibrated();
+        assert_eq!(send_tl.total(), cost.native_floor() - cost.host_syscall);
+
+        let mut recv_tl = Timeline::new();
+        let mut buf = [0u8; 1];
+        assert_eq!(server_conn.recv(&mut buf, &mut recv_tl).unwrap(), 1);
+        assert_eq!(&buf, b"p");
+    }
+
+    #[test]
+    fn bidirectional_traffic() {
+        let (fabric, dev) = test_fabric();
+        let (client, server_conn) = connected_pair(&fabric, dev, Port(103));
+        let mut tl = Timeline::new();
+        client.send(b"ping", &mut tl).unwrap();
+        let mut buf = [0u8; 4];
+        server_conn.recv(&mut buf, &mut tl).unwrap();
+        assert_eq!(&buf, b"ping");
+        server_conn.send(b"pong", &mut tl).unwrap();
+        client.recv(&mut buf, &mut tl).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn close_gives_peer_eof_and_frees_port() {
+        let (fabric, dev) = test_fabric();
+        let (client, server_conn) = connected_pair(&fabric, dev, Port(104));
+        client.close();
+        let mut tl = Timeline::new();
+        let mut buf = [0u8; 8];
+        assert_eq!(server_conn.recv(&mut buf, &mut tl).unwrap(), 0);
+        assert_eq!(server_conn.send(b"x", &mut tl), Err(ScifError::ConnReset));
+        assert_eq!(client.state(), EpState::Closed);
+    }
+
+    #[test]
+    fn try_accept_nonblocking() {
+        let (fabric, dev) = test_fabric();
+        let server = fabric.open(dev).unwrap();
+        server.bind(Port(105)).unwrap();
+        server.listen(2).unwrap();
+        let mut tl = Timeline::new();
+        assert!(server.try_accept(&mut tl).unwrap().is_none());
+    }
+
+    #[test]
+    fn backlog_limit_refuses_excess() {
+        let (fabric, dev) = test_fabric();
+        let server = fabric.open(dev).unwrap();
+        server.bind(Port(106)).unwrap();
+        server.listen(1).unwrap();
+        // Fill the backlog with one pending connection (do it on a thread,
+        // since connect blocks).
+        let c1 = fabric.open(HOST_NODE).unwrap();
+        let c1c = Arc::clone(&c1);
+        let t1 = std::thread::spawn(move || {
+            let mut tl = Timeline::new();
+            c1c.connect(ScifAddr::new(dev, Port(106)), &mut tl)
+        });
+        // Give the first connect time to enqueue.
+        while server.listener.lock().as_ref().unwrap().pending.lock().is_empty() {
+            std::thread::yield_now();
+        }
+        let c2 = fabric.open(HOST_NODE).unwrap();
+        let mut tl = Timeline::new();
+        assert_eq!(
+            c2.connect(ScifAddr::new(dev, Port(106)), &mut tl),
+            Err(ScifError::ConnRefused)
+        );
+        // Drain the backlog so the first connector completes.
+        let mut tl2 = Timeline::new();
+        server.accept(&mut tl2).unwrap();
+        t1.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn recv_pending_and_send_space_reflect_queue() {
+        let (fabric, dev) = test_fabric();
+        let (client, server_conn) = connected_pair(&fabric, dev, Port(107));
+        assert_eq!(server_conn.recv_pending(), 0);
+        let mut tl = Timeline::new();
+        client.send(&[0u8; 100], &mut tl).unwrap();
+        assert_eq!(server_conn.recv_pending(), 100);
+        assert!(client.send_space() > 0);
+    }
+
+    #[test]
+    fn timed_lane_charges_like_a_real_send() {
+        let (fabric, dev) = test_fabric();
+        let (client, server_conn) = connected_pair(&fabric, dev, Port(109));
+        // Under the queue capacity, so the real send needs no reader.
+        let len = 1u64 << 20;
+        let mut timed_tl = Timeline::new();
+        client.send_timed(len, &mut timed_tl).unwrap();
+        let mut real_tl = Timeline::new();
+        client.send(&vec![0u8; len as usize], &mut real_tl).unwrap();
+        assert_eq!(timed_tl.total(), real_tl.total(), "timed lane must cost the same");
+        // Receiver can drain in pieces.
+        let mut tl = Timeline::new();
+        assert_eq!(server_conn.recv_timed(len / 2, &mut tl).unwrap(), len / 2);
+        assert_eq!(server_conn.recv_timed(len / 2, &mut tl).unwrap(), len / 2);
+    }
+
+    #[test]
+    fn timed_recv_blocks_until_bytes_arrive_and_resets_on_close() {
+        let (fabric, dev) = test_fabric();
+        let (client, server_conn) = connected_pair(&fabric, dev, Port(110));
+        let s2 = Arc::clone(&server_conn);
+        let waiter = std::thread::spawn(move || {
+            let mut tl = Timeline::new();
+            s2.recv_timed(1000, &mut tl)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let mut tl = Timeline::new();
+        client.send_timed(1000, &mut tl).unwrap();
+        assert_eq!(waiter.join().unwrap().unwrap(), 1000);
+        // A waiter left hanging gets ConnReset when the peer closes.
+        let s3 = Arc::clone(&server_conn);
+        let waiter = std::thread::spawn(move || {
+            let mut tl = Timeline::new();
+            s3.recv_timed(1, &mut tl)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        client.close();
+        assert_eq!(waiter.join().unwrap(), Err(ScifError::ConnReset));
+    }
+
+    #[test]
+    fn try_recv_returns_partial() {
+        let (fabric, dev) = test_fabric();
+        let (client, server_conn) = connected_pair(&fabric, dev, Port(108));
+        let mut tl = Timeline::new();
+        let mut buf = [0u8; 16];
+        assert_eq!(server_conn.try_recv(&mut buf, &mut tl).unwrap(), 0);
+        client.send(b"abc", &mut tl).unwrap();
+        assert_eq!(server_conn.try_recv(&mut buf, &mut tl).unwrap(), 3);
+        assert_eq!(&buf[..3], b"abc");
+    }
+}

@@ -1,0 +1,131 @@
+//! SCIF error codes.
+//!
+//! libscif surfaces errno values; we mirror the ones the documented API
+//! can produce so upper layers (and the vPHI wire protocol) can round-trip
+//! them.
+
+/// Result alias used across the crate.
+pub type ScifResult<T> = Result<T, ScifError>;
+
+/// The errno-style failures of the SCIF API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScifError {
+    /// ECONNREFUSED — no listener on the destination port.
+    ConnRefused,
+    /// EADDRINUSE — port already bound.
+    AddrInUse,
+    /// ENOTCONN — operation requires a connected endpoint.
+    NotConn,
+    /// EISCONN — endpoint already connected/bound where it must not be.
+    IsConn,
+    /// EINVAL — bad argument (flags, lengths, states).
+    Inval,
+    /// ECONNRESET — peer closed underneath us.
+    ConnReset,
+    /// ENODEV — no such node, or node offline.
+    NoDev,
+    /// ENOMEM — out of memory (device GDDR or window space).
+    NoMem,
+    /// ENXIO — RMA offset not covered by a registered window.
+    OutOfRange,
+    /// EACCES — window protection forbids the access.
+    Access,
+    /// EAGAIN — non-blocking operation would block.
+    Again,
+    /// Invalid listener backlog or endpoint listening misuse.
+    OpNotSupported,
+}
+
+impl ScifError {
+    /// The errno number libscif would report, for protocol encoding.
+    pub fn errno(self) -> i32 {
+        match self {
+            ScifError::ConnRefused => 111,
+            ScifError::AddrInUse => 98,
+            ScifError::NotConn => 107,
+            ScifError::IsConn => 106,
+            ScifError::Inval => 22,
+            ScifError::ConnReset => 104,
+            ScifError::NoDev => 19,
+            ScifError::NoMem => 12,
+            ScifError::OutOfRange => 6,
+            ScifError::Access => 13,
+            ScifError::Again => 11,
+            ScifError::OpNotSupported => 95,
+        }
+    }
+
+    /// Inverse of [`errno`](ScifError::errno) for protocol decoding.
+    pub fn from_errno(e: i32) -> Option<ScifError> {
+        Some(match e {
+            111 => ScifError::ConnRefused,
+            98 => ScifError::AddrInUse,
+            107 => ScifError::NotConn,
+            106 => ScifError::IsConn,
+            22 => ScifError::Inval,
+            104 => ScifError::ConnReset,
+            19 => ScifError::NoDev,
+            12 => ScifError::NoMem,
+            6 => ScifError::OutOfRange,
+            13 => ScifError::Access,
+            11 => ScifError::Again,
+            95 => ScifError::OpNotSupported,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ScifError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (name, msg) = match self {
+            ScifError::ConnRefused => ("ECONNREFUSED", "connection refused"),
+            ScifError::AddrInUse => ("EADDRINUSE", "port already bound"),
+            ScifError::NotConn => ("ENOTCONN", "endpoint not connected"),
+            ScifError::IsConn => ("EISCONN", "endpoint already connected"),
+            ScifError::Inval => ("EINVAL", "invalid argument"),
+            ScifError::ConnReset => ("ECONNRESET", "connection reset by peer"),
+            ScifError::NoDev => ("ENODEV", "no such SCIF node"),
+            ScifError::NoMem => ("ENOMEM", "out of memory"),
+            ScifError::OutOfRange => ("ENXIO", "offset not in a registered window"),
+            ScifError::Access => ("EACCES", "window protection violation"),
+            ScifError::Again => ("EAGAIN", "operation would block"),
+            ScifError::OpNotSupported => ("EOPNOTSUPP", "operation not supported"),
+        };
+        write!(f, "{name}: {msg}")
+    }
+}
+
+impl std::error::Error for ScifError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_round_trips() {
+        for e in [
+            ScifError::ConnRefused,
+            ScifError::AddrInUse,
+            ScifError::NotConn,
+            ScifError::IsConn,
+            ScifError::Inval,
+            ScifError::ConnReset,
+            ScifError::NoDev,
+            ScifError::NoMem,
+            ScifError::OutOfRange,
+            ScifError::Access,
+            ScifError::Again,
+            ScifError::OpNotSupported,
+        ] {
+            assert_eq!(ScifError::from_errno(e.errno()), Some(e));
+        }
+        assert_eq!(ScifError::from_errno(0), None);
+        assert_eq!(ScifError::from_errno(-1), None);
+    }
+
+    #[test]
+    fn display_uses_errno_names() {
+        assert!(ScifError::ConnRefused.to_string().contains("ECONNREFUSED"));
+        assert!(ScifError::OutOfRange.to_string().contains("registered window"));
+    }
+}

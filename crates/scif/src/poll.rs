@@ -1,0 +1,225 @@
+//! `scif_poll` — readiness notification over endpoint sets.
+//!
+//! The paper's background (§II-B) highlights `scif_poll` as the
+//! completion-notification primitive used with RDMA: a caller blocks until
+//! a subsequent operation on some endpoint can proceed without blocking.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use vphi_sim_core::{SpanLabel, Timeline};
+
+use crate::endpoint::{EndpointCore, EpState};
+use crate::error::{ScifError, ScifResult};
+
+/// Poll event bits, mirroring POLLIN/POLLOUT/POLLHUP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PollEvents(u8);
+
+impl PollEvents {
+    pub const NONE: PollEvents = PollEvents(0);
+    pub const IN: PollEvents = PollEvents(1);
+    pub const OUT: PollEvents = PollEvents(2);
+    pub const HUP: PollEvents = PollEvents(4);
+
+    pub fn contains(self, other: PollEvents) -> bool {
+        self.0 & other.0 == other.0 && other.0 != 0
+    }
+
+    pub fn intersects(self, other: PollEvents) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::BitOr for PollEvents {
+    type Output = PollEvents;
+    fn bitor(self, rhs: PollEvents) -> PollEvents {
+        PollEvents(self.0 | rhs.0)
+    }
+}
+
+/// One entry of a poll set.
+pub struct PollFd {
+    pub ep: Arc<EndpointCore>,
+    /// Events the caller is interested in.
+    pub events: PollEvents,
+    /// Events that are ready (filled by [`poll`]).
+    pub revents: PollEvents,
+}
+
+impl PollFd {
+    pub fn new(ep: Arc<EndpointCore>, events: PollEvents) -> Self {
+        PollFd { ep, events, revents: PollEvents::NONE }
+    }
+}
+
+fn ready_events(ep: &EndpointCore, interest: PollEvents) -> PollEvents {
+    let mut r = PollEvents::NONE;
+    let state = ep.state();
+    if state == EpState::Closed {
+        return PollEvents::HUP;
+    }
+    if interest.intersects(PollEvents::IN) && ep.recv_pending() > 0 {
+        r = r | PollEvents::IN;
+    }
+    // A peer that closed or went away is HUP (and recv would return EOF).
+    let peer_gone = state == EpState::Connected
+        && ep.peer_core().map(|p| p.state() == EpState::Closed).unwrap_or(true);
+    if peer_gone {
+        r = r | PollEvents::HUP;
+    }
+    if interest.intersects(PollEvents::OUT)
+        && state == EpState::Connected
+        && !peer_gone
+        && ep.send_space() > 0
+    {
+        r = r | PollEvents::OUT;
+    }
+    r
+}
+
+/// Poll a set of endpoints.  Blocks (really) until at least one endpoint
+/// is ready or `wall_timeout` elapses; charges one `PollWait` span per
+/// wake-up iteration.  Returns the number of ready entries (0 = timeout).
+pub fn poll(
+    fds: &mut [PollFd],
+    wall_timeout: Duration,
+    tl: &mut Timeline,
+) -> ScifResult<usize> {
+    if fds.is_empty() {
+        return Err(ScifError::Inval);
+    }
+    let shared = Arc::clone(&fds[0].ep.shared);
+    let deadline = std::time::Instant::now() + wall_timeout;
+    let mut seen = shared.activity.version();
+    loop {
+        let mut ready = 0;
+        for fd in fds.iter_mut() {
+            fd.revents = ready_events(&fd.ep, fd.events);
+            if !fd.revents.is_empty() {
+                ready += 1;
+            }
+        }
+        if ready > 0 {
+            tl.charge(SpanLabel::PollWait, shared.cost.poll_observe);
+            return Ok(ready);
+        }
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return Ok(0);
+        }
+        tl.charge(SpanLabel::PollWait, shared.cost.poll_iteration);
+        // Re-check after reading the version to close the race, then wait
+        // bounded by the remaining timeout.
+        let v = shared.activity.version();
+        if v != seen {
+            seen = v;
+            continue;
+        }
+        let (v, changed) = shared.activity.wait_change_for(seen, deadline - now);
+        if !changed {
+            return Ok(0);
+        }
+        seen = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::ScifFabric;
+    use crate::types::{Port, ScifAddr, HOST_NODE};
+    use vphi_phi::{PhiBoard, PhiSpec};
+    use vphi_sim_core::{CostModel, VirtualClock};
+
+    fn setup() -> (Arc<EndpointCore>, Arc<EndpointCore>) {
+        let cost = Arc::new(CostModel::paper_calibrated());
+        let clock = Arc::new(VirtualClock::new());
+        let fabric = ScifFabric::new(Arc::clone(&cost), Arc::clone(&clock));
+        let board = Arc::new(PhiBoard::new(PhiSpec::phi_3120p(), 0, cost, clock));
+        board.boot();
+        let dev = fabric.add_device(board);
+        let server = fabric.open(dev).unwrap();
+        server.bind(Port(9)).unwrap();
+        server.listen(2).unwrap();
+        let client = fabric.open(HOST_NODE).unwrap();
+        let s2 = Arc::clone(&server);
+        let acc = std::thread::spawn(move || {
+            let mut tl = Timeline::new();
+            s2.accept(&mut tl).unwrap()
+        });
+        let mut tl = Timeline::new();
+        client.connect(ScifAddr::new(dev, Port(9)), &mut tl).unwrap();
+        (client, acc.join().unwrap())
+    }
+
+    #[test]
+    fn pollout_ready_on_fresh_connection() {
+        let (client, _server) = setup();
+        let mut fds = [PollFd::new(client, PollEvents::OUT)];
+        let mut tl = Timeline::new();
+        let n = poll(&mut fds, Duration::from_secs(1), &mut tl).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].revents.contains(PollEvents::OUT));
+        assert!(!fds[0].revents.contains(PollEvents::IN));
+    }
+
+    #[test]
+    fn pollin_fires_when_data_arrives() {
+        let (client, server) = setup();
+        let c2 = Arc::clone(&client);
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(15));
+            let mut tl = Timeline::new();
+            c2.send(b"wake", &mut tl).unwrap();
+        });
+        let mut fds = [PollFd::new(server, PollEvents::IN)];
+        let mut tl = Timeline::new();
+        let n = poll(&mut fds, Duration::from_secs(5), &mut tl).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].revents.contains(PollEvents::IN));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn poll_timeout_returns_zero() {
+        let (_client, server) = setup();
+        let mut fds = [PollFd::new(server, PollEvents::IN)];
+        let mut tl = Timeline::new();
+        let n = poll(&mut fds, Duration::from_millis(20), &mut tl).unwrap();
+        assert_eq!(n, 0);
+        assert!(fds[0].revents.is_empty());
+    }
+
+    #[test]
+    fn hup_on_closed_endpoint() {
+        let (client, server) = setup();
+        client.close();
+        let mut fds = [PollFd::new(server, PollEvents::IN | PollEvents::OUT)];
+        let mut tl = Timeline::new();
+        let n = poll(&mut fds, Duration::from_secs(1), &mut tl).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].revents.contains(PollEvents::HUP));
+        assert!(!fds[0].revents.contains(PollEvents::OUT));
+    }
+
+    #[test]
+    fn empty_poll_set_is_invalid() {
+        let mut tl = Timeline::new();
+        assert_eq!(poll(&mut [], Duration::ZERO, &mut tl), Err(ScifError::Inval));
+    }
+
+    #[test]
+    fn event_bit_algebra() {
+        let e = PollEvents::IN | PollEvents::HUP;
+        assert!(e.contains(PollEvents::IN));
+        assert!(e.intersects(PollEvents::HUP));
+        assert!(!e.contains(PollEvents::OUT));
+        assert!(!PollEvents::NONE.contains(PollEvents::NONE));
+        assert!(PollEvents::NONE.is_empty());
+    }
+}

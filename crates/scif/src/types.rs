@@ -1,0 +1,173 @@
+//! Core SCIF identifiers and flag types.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A SCIF node: 0 is the host ("self" in MPSS terms), 1..N are cards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u16);
+
+/// The host's node id.
+pub const HOST_NODE: NodeId = NodeId(0);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A SCIF port number.  Ports below [`Port::EPHEMERAL_START`] are
+/// "well-known" (bindable explicitly); `bind(0)` allocates an ephemeral
+/// port above it, as in MPSS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Port(pub u16);
+
+impl Port {
+    pub const EPHEMERAL_START: u16 = 1088;
+    /// Request an ephemeral port from `scif_bind`.
+    pub const ANY: Port = Port(0);
+
+    pub fn is_ephemeral(self) -> bool {
+        self.0 >= Self::EPHEMERAL_START
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ":{}", self.0)
+    }
+}
+
+/// A (node, port) pair — `struct scif_port_id` in MPSS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScifAddr {
+    pub node: NodeId,
+    pub port: Port,
+}
+
+impl ScifAddr {
+    pub fn new(node: NodeId, port: Port) -> Self {
+        ScifAddr { node, port }
+    }
+}
+
+impl fmt::Display for ScifAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.node, self.port)
+    }
+}
+
+/// Window protection bits (`SCIF_PROT_READ` / `SCIF_PROT_WRITE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prot(u8);
+
+impl Prot {
+    pub const NONE: Prot = Prot(0);
+    pub const READ: Prot = Prot(1);
+    pub const WRITE: Prot = Prot(2);
+    pub const READ_WRITE: Prot = Prot(3);
+
+    pub fn readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    pub fn writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    pub fn contains(self, other: Prot) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl std::ops::BitOr for Prot {
+    type Output = Prot;
+    fn bitor(self, rhs: Prot) -> Prot {
+        Prot(self.0 | rhs.0)
+    }
+}
+
+/// RMA operation flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RmaFlags {
+    /// `SCIF_RMA_SYNC`: the call returns only after the transfer is
+    /// complete.  Without it the transfer is queued and a later fence
+    /// synchronizes (see [`crate::rma`]).
+    pub sync: bool,
+    /// `SCIF_RMA_USECPU`: copy with the CPU instead of the DMA engine —
+    /// lower setup cost, lower bandwidth; real SCIF uses it for small
+    /// transfers.
+    pub use_cpu: bool,
+}
+
+impl RmaFlags {
+    pub const SYNC: RmaFlags = RmaFlags { sync: true, use_cpu: false };
+    pub const ASYNC: RmaFlags = RmaFlags { sync: false, use_cpu: false };
+    pub const SYNC_CPU: RmaFlags = RmaFlags { sync: true, use_cpu: true };
+}
+
+/// A pinned, shareable user buffer — what `scif_register` pins and RMA
+/// peers access.  Cloning shares the same storage, like a pinned page set
+/// shared between the app and the driver.
+pub type PinnedBuf = Arc<Mutex<Vec<u8>>>;
+
+/// Convenience constructor for a zeroed pinned buffer.
+pub fn pinned_buf(len: usize) -> PinnedBuf {
+    Arc::new(Mutex::new(vec![0u8; len]))
+}
+
+/// Convenience constructor from existing bytes.
+pub fn pinned_from(data: &[u8]) -> PinnedBuf {
+    Arc::new(Mutex::new(data.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prot_bit_algebra() {
+        assert!(Prot::READ.readable());
+        assert!(!Prot::READ.writable());
+        assert!(Prot::READ_WRITE.contains(Prot::READ));
+        assert!(Prot::READ_WRITE.contains(Prot::WRITE));
+        assert!(!Prot::READ.contains(Prot::WRITE));
+        assert_eq!(Prot::READ | Prot::WRITE, Prot::READ_WRITE);
+        assert!(!Prot::NONE.readable() && !Prot::NONE.writable());
+    }
+
+    #[test]
+    fn port_classification() {
+        assert!(!Port(80).is_ephemeral());
+        assert!(Port(2000).is_ephemeral());
+        assert_eq!(Port::ANY, Port(0));
+    }
+
+    #[test]
+    fn addr_display() {
+        let a = ScifAddr::new(NodeId(1), Port(42));
+        assert_eq!(a.to_string(), "node1:42");
+        assert_eq!(HOST_NODE.to_string(), "node0");
+    }
+
+    #[test]
+    fn pinned_buf_is_shared() {
+        let b = pinned_from(&[1, 2, 3]);
+        let b2 = Arc::clone(&b);
+        b.lock()[0] = 9;
+        assert_eq!(b2.lock()[0], 9);
+        let z = pinned_buf(4);
+        assert_eq!(&*z.lock(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn rma_flag_presets() {
+        assert!(RmaFlags::SYNC.sync && !RmaFlags::SYNC.use_cpu);
+        assert!(!RmaFlags::ASYNC.sync);
+        assert!(RmaFlags::SYNC_CPU.use_cpu);
+        assert_eq!(RmaFlags::default(), RmaFlags::ASYNC);
+    }
+}

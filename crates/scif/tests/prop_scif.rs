@@ -1,0 +1,175 @@
+//! Property-based tests over SCIF's core data structures.
+
+use proptest::prelude::*;
+
+use vphi_scif::queue::MsgQueue;
+use vphi_scif::types::{pinned_buf, Prot};
+use vphi_scif::window::{WindowBacking, WindowTable};
+use vphi_sim_core::cost::PAGE_SIZE;
+
+// ------------------------------------------------------------ window table
+
+#[derive(Debug, Clone)]
+enum WinOp {
+    /// Register `pages` pages, optionally at fixed offset `slot * pages_gap`.
+    Register { pages: u64, fixed_slot: Option<u64> },
+    /// Unregister the nth live window.
+    Unregister(usize),
+    /// Look up a random (offset, len) inside or outside windows.
+    Lookup { offset: u64, len: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<WinOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..16, prop::option::of(0u64..32))
+                .prop_map(|(pages, fixed_slot)| WinOp::Register { pages, fixed_slot }),
+            (0usize..32).prop_map(WinOp::Unregister),
+            (0u64..0x3000_0000, 1u64..0x10_0000)
+                .prop_map(|(offset, len)| WinOp::Lookup { offset, len }),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn window_table_invariants(ops in arb_ops()) {
+        let mut t = WindowTable::new();
+        // (offset, len) of live windows, kept as the reference model.
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                WinOp::Register { pages, fixed_slot } => {
+                    let len = pages * PAGE_SIZE;
+                    let fixed = fixed_slot.map(|s| s * 64 * PAGE_SIZE);
+                    let backing = WindowBacking::Pinned(pinned_buf(len as usize));
+                    match t.register(fixed, len, Prot::READ_WRITE, backing) {
+                        Ok(off) => {
+                            if let Some(f) = fixed {
+                                prop_assert_eq!(off, f);
+                            }
+                            // Must not overlap any live window.
+                            for &(o, l) in &live {
+                                prop_assert!(off + len <= o || o + l <= off);
+                            }
+                            live.push((off, len));
+                        }
+                        Err(_) => {
+                            // A rejected *fixed* registration must overlap
+                            // something live.
+                            if let Some(f) = fixed {
+                                let clash = live
+                                    .iter()
+                                    .any(|&(o, l)| f < o + l && o < f + len);
+                                prop_assert!(clash, "fixed register refused without overlap");
+                            }
+                        }
+                    }
+                }
+                WinOp::Unregister(i) => {
+                    if !live.is_empty() {
+                        let (off, len) = live.remove(i % live.len());
+                        prop_assert!(t.unregister(off, len).is_ok());
+                    }
+                }
+                WinOp::Lookup { offset, len } => {
+                    let model_hit = live
+                        .iter()
+                        .any(|&(o, l)| offset >= o && offset.saturating_add(len) <= o + l);
+                    prop_assert_eq!(t.lookup(offset, len).is_ok(), model_hit);
+                }
+            }
+            prop_assert_eq!(t.window_count(), live.len());
+            prop_assert_eq!(t.total_registered(), live.iter().map(|&(_, l)| l).sum::<u64>());
+        }
+    }
+}
+
+// ---------------------------------------------------------------- queues
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interleaved writers on separate queues never cross streams, and a
+    /// queue's capacity bound is never exceeded.
+    #[test]
+    fn queue_capacity_is_respected(
+        writes in prop::collection::vec(1usize..600, 1..30),
+        capacity in 64usize..2048,
+    ) {
+        let q = MsgQueue::new(capacity);
+        let mut accepted = 0usize;
+        for w in writes {
+            let n = q.write_some(&vec![7u8; w]);
+            accepted += n;
+            prop_assert!(q.len() <= capacity);
+            prop_assert_eq!(q.len(), accepted);
+            if n < w {
+                break; // full
+            }
+        }
+        // Draining returns exactly what was accepted.
+        let mut out = vec![0u8; accepted];
+        prop_assert_eq!(q.try_read(&mut out), accepted);
+        prop_assert!(out.iter().all(|&b| b == 7));
+        prop_assert!(q.is_empty());
+    }
+
+    /// read_exact over a closing queue returns exactly the bytes written.
+    #[test]
+    fn read_exact_is_exact(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let q = MsgQueue::new(8192);
+        if !data.is_empty() {
+            prop_assert!(q.write_all(&data));
+        }
+        q.close();
+        let mut out = vec![0u8; data.len() + 32];
+        let n = q.read_exact(&mut out);
+        prop_assert_eq!(n, data.len());
+        prop_assert_eq!(&out[..n], &data[..]);
+    }
+}
+
+// ---------------------------------------------------------- fabric smoke
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any payload survives a cross-node send/recv round trip intact.
+    #[test]
+    fn cross_node_payload_integrity(data in prop::collection::vec(any::<u8>(), 1..20_000)) {
+        use std::sync::Arc;
+        use vphi_phi::{PhiBoard, PhiSpec};
+        use vphi_scif::{Port, ScifAddr, ScifFabric, HOST_NODE};
+        use vphi_sim_core::{CostModel, Timeline, VirtualClock};
+
+        let cost = Arc::new(CostModel::paper_calibrated());
+        let clock = Arc::new(VirtualClock::new());
+        let fabric = ScifFabric::new(Arc::clone(&cost), Arc::clone(&clock));
+        let board = Arc::new(PhiBoard::new(PhiSpec::phi_3120p(), 0, cost, clock));
+        board.boot();
+        let dev = fabric.add_device(board);
+
+        let server = fabric.open(dev).unwrap();
+        let mut tl = Timeline::new();
+        server.bind(Port(123)).unwrap();
+        server.listen(2).unwrap();
+        let client = fabric.open(HOST_NODE).unwrap();
+        let s2 = Arc::clone(&server);
+        let acc = std::thread::spawn(move || {
+            let mut tl = Timeline::new();
+            s2.accept(&mut tl).unwrap()
+        });
+        client.connect(ScifAddr::new(dev, Port(123)), &mut tl).unwrap();
+        let conn = acc.join().unwrap();
+
+        client.send(&data, &mut tl).unwrap();
+        let mut out = vec![0u8; data.len()];
+        prop_assert_eq!(conn.recv(&mut out, &mut tl).unwrap(), data.len());
+        prop_assert_eq!(out, data);
+        client.close();
+    }
+}

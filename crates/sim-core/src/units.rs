@@ -1,0 +1,282 @@
+//! Virtual time and size units.
+//!
+//! All virtual durations in the simulation are integer nanoseconds.  We use
+//! newtypes rather than `std::time::Duration` so that virtual time can never
+//! be confused with wall-clock time measured by the host OS.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// One kibibyte (2^10 bytes).
+pub const KIB: u64 = 1024;
+/// One mebibyte (2^20 bytes).
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte (2^30 bytes).
+pub const GIB: u64 = 1024 * MIB;
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from a floating-point number of seconds, rounding to the
+    /// nearest nanosecond.  Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Throughput achieved when moving `bytes` in this duration, in bytes
+    /// per (virtual) second.  Returns `f64::INFINITY` for a zero duration.
+    pub fn throughput(self, bytes: u64) -> f64 {
+        if self.0 == 0 {
+            f64::INFINITY
+        } else {
+            bytes as f64 / self.as_secs_f64()
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.2}us", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.2}ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        }
+    }
+}
+
+/// An absolute point on the virtual clock, in nanoseconds since boot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    pub fn elapsed_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+/// Render a byte count with a binary-unit suffix ("4KiB", "2.5MiB", …).
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes < KIB {
+        format!("{bytes}B")
+    } else if bytes < MIB {
+        let v = bytes as f64 / KIB as f64;
+        if v.fract() == 0.0 {
+            format!("{v:.0}KiB")
+        } else {
+            format!("{v:.1}KiB")
+        }
+    } else if bytes < GIB {
+        let v = bytes as f64 / MIB as f64;
+        if v.fract() == 0.0 {
+            format!("{v:.0}MiB")
+        } else {
+            format!("{v:.1}MiB")
+        }
+    } else {
+        format!("{:.2}GiB", bytes as f64 / GIB as f64)
+    }
+}
+
+/// Render a throughput (bytes/s) as "X.XX GB/s" using decimal gigabytes,
+/// matching the units of the paper's Figure 5.
+pub fn format_throughput(bytes_per_sec: f64) -> String {
+    format!("{:.2}GB/s", bytes_per_sec / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_micros(7), SimDuration(7_000));
+        assert_eq!(SimDuration::from_millis(3), SimDuration(3_000_000));
+        assert_eq!(SimDuration::from_secs(2), SimDuration(2_000_000_000));
+        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration(1_500_000_000));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_micros(10);
+        let b = SimDuration::from_micros(4);
+        assert_eq!(a + b, SimDuration::from_micros(14));
+        assert_eq!(a - b, SimDuration::from_micros(6));
+        assert_eq!(a * 3, SimDuration::from_micros(30));
+        assert_eq!(a / 2, SimDuration::from_micros(5));
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
+        assert_eq!(total, SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn throughput_of_transfer() {
+        // 6.4 GB in one virtual second is 6.4 GB/s.
+        let d = SimDuration::from_secs(1);
+        let tput = d.throughput(6_400_000_000);
+        assert!((tput - 6.4e9).abs() < 1.0);
+        assert!(SimDuration::ZERO.throughput(1).is_infinite());
+    }
+
+    #[test]
+    fn time_ordering_and_elapsed() {
+        let t0 = SimTime(100);
+        let t1 = t0 + SimDuration(50);
+        assert!(t1 > t0);
+        assert_eq!(t1.elapsed_since(t0), SimDuration(50));
+        assert_eq!(t0.elapsed_since(t1), SimDuration::ZERO);
+        assert_eq!(t0.max(t1), t1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration(382_000).to_string(), "382.00us");
+        assert_eq!(SimDuration(7_000).to_string(), "7.00us");
+        assert_eq!(SimDuration(999).to_string(), "999ns");
+        assert_eq!(SimDuration(1_500_000).to_string(), "1.50ms");
+        assert_eq!(SimDuration(2_000_000_000).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(1), "1B");
+        assert_eq!(format_bytes(4 * KIB), "4KiB");
+        assert_eq!(format_bytes(4 * MIB), "4MiB");
+        assert_eq!(format_bytes(3 * MIB / 2), "1.5MiB");
+        assert_eq!(format_bytes(2 * GIB), "2.00GiB");
+    }
+
+    #[test]
+    fn throughput_formatting() {
+        assert_eq!(format_throughput(6.4e9), "6.40GB/s");
+    }
+}

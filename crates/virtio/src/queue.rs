@@ -1,0 +1,417 @@
+//! The split virtqueue.
+//!
+//! One lock protects the descriptor table, avail ring, used ring and the
+//! free-descriptor list.  Guest-side and device-side APIs are both on
+//! [`VirtQueue`]; in the vPHI stack the frontend driver holds the guest
+//! side and the QEMU backend the device side of the *same* queue — a
+//! shared-memory structure, exactly as in Fig. 2 of the paper.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vphi_pcie::Doorbell;
+use vphi_sim_core::{SpanLabel, Timeline};
+
+use crate::ring::{DescChain, Descriptor, UsedElem};
+
+/// Errors from queue operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueError {
+    /// Not enough free descriptors for the chain.
+    NoSpace,
+    /// An empty chain was submitted.
+    EmptyChain,
+    /// A descriptor index was out of range or the chain was corrupt.
+    Corrupt,
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::NoSpace => write!(f, "virtqueue descriptor table full"),
+            QueueError::EmptyChain => write!(f, "empty descriptor chain"),
+            QueueError::Corrupt => write!(f, "corrupt descriptor chain"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// The device → guest used-buffer notification callback.
+pub type IrqCallback = Box<dyn Fn(&mut Timeline) + Send + Sync>;
+
+/// Kick/interrupt plumbing shared by the two sides.
+pub struct Notifiers {
+    /// Guest → device "avail ring has work".
+    pub kick: Arc<Doorbell>,
+    /// Device → guest "used ring has completions" (the vPHI backend wires
+    /// this to a virtual-interrupt injection).
+    pub irq: Mutex<Option<IrqCallback>>,
+}
+
+impl Default for Notifiers {
+    fn default() -> Self {
+        Notifiers { kick: Arc::new(Doorbell::new()), irq: Mutex::new(None) }
+    }
+}
+
+impl std::fmt::Debug for Notifiers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Notifiers").finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug)]
+struct QueueState {
+    table: Vec<Option<Descriptor>>,
+    free: Vec<u16>,
+    avail: VecDeque<u16>,
+    used: VecDeque<UsedElem>,
+    /// `VRING_AVAIL_F_NO_INTERRUPT`: guest asks the device not to
+    /// interrupt on used pushes (polling mode).
+    suppress_irq: bool,
+    /// `VRING_USED_F_NO_NOTIFY`: device asks the guest not to kick.
+    suppress_kick: bool,
+}
+
+/// A split virtqueue of `size` descriptors.
+pub struct VirtQueue {
+    size: u16,
+    state: Mutex<QueueState>,
+    pub notifiers: Notifiers,
+}
+
+impl std::fmt::Debug for VirtQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtQueue").field("size", &self.size).finish()
+    }
+}
+
+impl VirtQueue {
+    pub fn new(size: u16) -> Arc<Self> {
+        assert!(size > 0 && size.is_power_of_two(), "queue size must be a power of two");
+        Arc::new(VirtQueue {
+            size,
+            state: Mutex::new(QueueState {
+                table: vec![None; size as usize],
+                free: (0..size).rev().collect(),
+                avail: VecDeque::new(),
+                used: VecDeque::new(),
+                suppress_irq: false,
+                suppress_kick: false,
+            }),
+            notifiers: Notifiers::default(),
+        })
+    }
+
+    pub fn size(&self) -> u16 {
+        self.size
+    }
+
+    pub fn free_descriptors(&self) -> usize {
+        self.state.lock().free.len()
+    }
+
+    // ---- guest (driver) side ----------------------------------------------
+
+    /// Post a chain on the avail ring; returns the head index.  Charges
+    /// the `RingPush` cost.  The caller kicks separately via
+    /// [`kick`](VirtQueue::kick) so batching is possible.
+    pub fn add_chain(
+        &self,
+        descriptors: &[Descriptor],
+        cost_ring_push: vphi_sim_core::SimDuration,
+        tl: &mut Timeline,
+    ) -> Result<u16, QueueError> {
+        if descriptors.is_empty() {
+            return Err(QueueError::EmptyChain);
+        }
+        let mut st = self.state.lock();
+        if st.free.len() < descriptors.len() {
+            return Err(QueueError::NoSpace);
+        }
+        let indices: Vec<u16> =
+            (0..descriptors.len()).map(|_| st.free.pop().expect("len checked")).collect();
+        for (i, (&idx, desc)) in indices.iter().zip(descriptors).enumerate() {
+            let mut d = *desc;
+            if i + 1 < indices.len() {
+                d.flags.next = true;
+                d.next = indices[i + 1];
+            } else {
+                d.flags.next = false;
+            }
+            st.table[idx as usize] = Some(d);
+        }
+        let head = indices[0];
+        st.avail.push_back(head);
+        tl.charge(SpanLabel::RingPush, cost_ring_push);
+        Ok(head)
+    }
+
+    /// Notify the device (one vm-exit unless suppressed).  Returns whether
+    /// a kick was actually delivered.
+    pub fn kick(&self, cost_vmexit: vphi_sim_core::SimDuration, tl: &mut Timeline) -> bool {
+        let suppressed = self.state.lock().suppress_kick;
+        if suppressed {
+            return false;
+        }
+        tl.charge(SpanLabel::VmExitKick, cost_vmexit);
+        self.notifiers.kick.ring();
+        true
+    }
+
+    /// Drain completed chains from the used ring, releasing their
+    /// descriptors.
+    pub fn take_used(&self) -> Vec<UsedElem> {
+        let mut st = self.state.lock();
+        let drained: Vec<UsedElem> = st.used.drain(..).collect();
+        for u in &drained {
+            // Walk and free the chain; a missing entry means it was
+            // already freed (corrupt id) and the walk stops there.
+            let mut idx = u.id;
+            while let Some(d) = st.table[idx as usize].take() {
+                st.free.push(idx);
+                if d.flags.next {
+                    idx = d.next;
+                } else {
+                    break;
+                }
+            }
+        }
+        drained
+    }
+
+    /// Whether completions are waiting.
+    pub fn used_pending(&self) -> bool {
+        !self.state.lock().used.is_empty()
+    }
+
+    /// Guest-side interrupt suppression (polling mode).
+    pub fn set_suppress_irq(&self, suppress: bool) {
+        self.state.lock().suppress_irq = suppress;
+    }
+
+    // ---- device (backend) side ---------------------------------------------
+
+    /// Pop the next available chain, resolving its descriptors.
+    pub fn pop_avail(&self) -> Result<Option<DescChain>, QueueError> {
+        let mut st = self.state.lock();
+        let head = match st.avail.pop_front() {
+            Some(h) => h,
+            None => return Ok(None),
+        };
+        let mut descriptors = Vec::new();
+        let mut idx = head;
+        loop {
+            if idx >= self.size {
+                return Err(QueueError::Corrupt);
+            }
+            let d = st.table[idx as usize].ok_or(QueueError::Corrupt)?;
+            descriptors.push(d);
+            if descriptors.len() > self.size as usize {
+                return Err(QueueError::Corrupt); // cycle guard
+            }
+            if d.flags.next {
+                idx = d.next;
+            } else {
+                break;
+            }
+        }
+        Ok(Some(DescChain { head, descriptors }))
+    }
+
+    /// Block (really) until a kick arrives or the queue shuts down.
+    pub fn wait_kick(&self) -> bool {
+        self.notifiers.kick.wait()
+    }
+
+    /// Push a completion and fire the guest interrupt unless suppressed.
+    /// Charges `UsedPush` (and the IRQ callback charges its own spans).
+    pub fn push_used(
+        &self,
+        elem: UsedElem,
+        cost_used_push: vphi_sim_core::SimDuration,
+        tl: &mut Timeline,
+    ) {
+        let suppress = {
+            let mut st = self.state.lock();
+            st.used.push_back(elem);
+            st.suppress_irq
+        };
+        tl.charge(SpanLabel::UsedPush, cost_used_push);
+        if !suppress {
+            if let Some(irq) = self.notifiers.irq.lock().as_ref() {
+                irq(tl);
+            }
+        }
+    }
+
+    /// Device-side kick suppression.
+    pub fn set_suppress_kick(&self, suppress: bool) {
+        self.state.lock().suppress_kick = suppress;
+    }
+
+    /// Register the used-buffer interrupt callback.
+    pub fn set_irq_handler(&self, handler: IrqCallback) {
+        *self.notifiers.irq.lock() = Some(handler);
+    }
+
+    /// Shut the queue down: wakes any device thread blocked in
+    /// [`wait_kick`](VirtQueue::wait_kick).
+    pub fn shutdown(&self) {
+        self.notifiers.kick.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::DescFlags;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use vphi_sim_core::SimDuration;
+
+    const PUSH: SimDuration = SimDuration::from_nanos(650);
+    const KICK: SimDuration = SimDuration::from_nanos(10_500);
+
+    #[test]
+    fn add_pop_push_take_lifecycle() {
+        let q = VirtQueue::new(8);
+        let mut tl = Timeline::new();
+        let head = q
+            .add_chain(
+                &[Descriptor::readable(0x1000, 64), Descriptor::writable(0x2000, 64)],
+                PUSH,
+                &mut tl,
+            )
+            .unwrap();
+        assert_eq!(q.free_descriptors(), 6);
+
+        let chain = q.pop_avail().unwrap().unwrap();
+        assert_eq!(chain.head, head);
+        assert_eq!(chain.descriptors.len(), 2);
+        assert_eq!(chain.readable().count(), 1);
+        assert_eq!(chain.writable().count(), 1);
+        // Chain linkage was fixed up by add_chain.
+        assert!(chain.descriptors[0].flags.next);
+        assert!(!chain.descriptors[1].flags.next);
+
+        q.push_used(UsedElem { id: head, len: 64 }, PUSH, &mut tl);
+        assert!(q.used_pending());
+        let used = q.take_used();
+        assert_eq!(used, vec![UsedElem { id: head, len: 64 }]);
+        assert_eq!(q.free_descriptors(), 8);
+        assert!(!q.used_pending());
+    }
+
+    #[test]
+    fn empty_and_full_conditions() {
+        let q = VirtQueue::new(2);
+        let mut tl = Timeline::new();
+        assert_eq!(q.pop_avail().unwrap(), None);
+        assert_eq!(q.add_chain(&[], PUSH, &mut tl), Err(QueueError::EmptyChain));
+        q.add_chain(&[Descriptor::readable(0, 1), Descriptor::readable(0, 1)], PUSH, &mut tl)
+            .unwrap();
+        assert_eq!(
+            q.add_chain(&[Descriptor::readable(0, 1)], PUSH, &mut tl),
+            Err(QueueError::NoSpace)
+        );
+    }
+
+    #[test]
+    fn kick_wakes_device_thread() {
+        let q = VirtQueue::new(4);
+        let q2 = Arc::clone(&q);
+        let dev = std::thread::spawn(move || q2.wait_kick());
+        let mut tl = Timeline::new();
+        q.add_chain(&[Descriptor::readable(0, 4)], PUSH, &mut tl).unwrap();
+        assert!(q.kick(KICK, &mut tl));
+        assert!(dev.join().unwrap());
+        assert_eq!(tl.total_for(SpanLabel::VmExitKick), KICK);
+    }
+
+    #[test]
+    fn irq_handler_fires_on_push_unless_suppressed() {
+        let q = VirtQueue::new(4);
+        let fired = Arc::new(AtomicU32::new(0));
+        let f = Arc::clone(&fired);
+        q.set_irq_handler(Box::new(move |_tl| {
+            f.fetch_add(1, Ordering::Relaxed);
+        }));
+        let mut tl = Timeline::new();
+        let head =
+            q.add_chain(&[Descriptor::readable(0, 1)], PUSH, &mut tl).unwrap();
+        q.pop_avail().unwrap().unwrap();
+        q.push_used(UsedElem { id: head, len: 0 }, PUSH, &mut tl);
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+
+        // Suppressed: completion is queued but no interrupt.
+        q.take_used();
+        q.set_suppress_irq(true);
+        let head2 = q.add_chain(&[Descriptor::readable(0, 1)], PUSH, &mut tl).unwrap();
+        q.pop_avail().unwrap().unwrap();
+        q.push_used(UsedElem { id: head2, len: 0 }, PUSH, &mut tl);
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        assert!(q.used_pending());
+    }
+
+    #[test]
+    fn kick_suppression() {
+        let q = VirtQueue::new(4);
+        q.set_suppress_kick(true);
+        let mut tl = Timeline::new();
+        assert!(!q.kick(KICK, &mut tl));
+        assert_eq!(tl.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn multiple_chains_fifo_order() {
+        let q = VirtQueue::new(8);
+        let mut tl = Timeline::new();
+        let h1 = q.add_chain(&[Descriptor::readable(0x1, 1)], PUSH, &mut tl).unwrap();
+        let h2 = q.add_chain(&[Descriptor::readable(0x2, 1)], PUSH, &mut tl).unwrap();
+        assert_eq!(q.pop_avail().unwrap().unwrap().head, h1);
+        assert_eq!(q.pop_avail().unwrap().unwrap().head, h2);
+    }
+
+    #[test]
+    fn descriptors_recycle_across_many_rounds() {
+        let q = VirtQueue::new(4);
+        let mut tl = Timeline::new();
+        for round in 0..100 {
+            let head = q
+                .add_chain(
+                    &[Descriptor::readable(round, 8), Descriptor::writable(round, 8)],
+                    PUSH,
+                    &mut tl,
+                )
+                .unwrap();
+            let chain = q.pop_avail().unwrap().unwrap();
+            assert_eq!(chain.head, head);
+            q.push_used(UsedElem { id: head, len: 8 }, PUSH, &mut tl);
+            assert_eq!(q.take_used().len(), 1);
+            assert_eq!(q.free_descriptors(), 4);
+        }
+    }
+
+    #[test]
+    fn caller_supplied_flags_do_not_break_chaining() {
+        // Even if the caller pre-sets NEXT on the last descriptor,
+        // add_chain normalizes linkage.
+        let q = VirtQueue::new(8);
+        let mut tl = Timeline::new();
+        let mut d = Descriptor::readable(0x9, 9);
+        d.flags = DescFlags::NEXT;
+        d.next = 77; // garbage
+        q.add_chain(&[d], PUSH, &mut tl).unwrap();
+        let chain = q.pop_avail().unwrap().unwrap();
+        assert_eq!(chain.descriptors.len(), 1);
+        assert!(!chain.descriptors[0].flags.next);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_size_rejected() {
+        VirtQueue::new(3);
+    }
+}

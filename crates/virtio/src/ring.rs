@@ -1,0 +1,102 @@
+//! Descriptor-table entries and chains.
+
+/// Descriptor flags (`VRING_DESC_F_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DescFlags {
+    /// This descriptor continues into `next`.
+    pub next: bool,
+    /// Device-writable (a response buffer); otherwise device-readable.
+    pub write: bool,
+}
+
+impl DescFlags {
+    pub const NONE: DescFlags = DescFlags { next: false, write: false };
+    pub const NEXT: DescFlags = DescFlags { next: true, write: false };
+    pub const WRITE: DescFlags = DescFlags { next: false, write: true };
+    pub const NEXT_WRITE: DescFlags = DescFlags { next: true, write: true };
+}
+
+/// One descriptor-table entry: a guest-physical buffer reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Descriptor {
+    /// Guest-physical address of the buffer.
+    pub addr: u64,
+    /// Buffer length in bytes.
+    pub len: u32,
+    pub flags: DescFlags,
+    /// Next descriptor index when `flags.next`.
+    pub next: u16,
+}
+
+impl Descriptor {
+    pub fn readable(addr: u64, len: u32) -> Self {
+        Descriptor { addr, len, flags: DescFlags::NONE, next: 0 }
+    }
+
+    pub fn writable(addr: u64, len: u32) -> Self {
+        Descriptor { addr, len, flags: DescFlags::WRITE, next: 0 }
+    }
+}
+
+/// A popped chain, resolved into its ordered descriptors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DescChain {
+    /// Head descriptor index — the id pushed back on the used ring.
+    pub head: u16,
+    pub descriptors: Vec<Descriptor>,
+}
+
+impl DescChain {
+    /// Device-readable descriptors (the request).
+    pub fn readable(&self) -> impl Iterator<Item = &Descriptor> {
+        self.descriptors.iter().filter(|d| !d.flags.write)
+    }
+
+    /// Device-writable descriptors (the response area).
+    pub fn writable(&self) -> impl Iterator<Item = &Descriptor> {
+        self.descriptors.iter().filter(|d| d.flags.write)
+    }
+
+    pub fn total_len(&self) -> u64 {
+        self.descriptors.iter().map(|d| d.len as u64).sum()
+    }
+}
+
+/// A used-ring element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsedElem {
+    /// Head index of the completed chain.
+    pub id: u16,
+    /// Bytes the device wrote into the chain's writable descriptors.
+    pub len: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn flag_presets() {
+        assert!(DescFlags::NEXT.next && !DescFlags::NEXT.write);
+        assert!(DescFlags::WRITE.write && !DescFlags::WRITE.next);
+        assert!(DescFlags::NEXT_WRITE.next && DescFlags::NEXT_WRITE.write);
+        assert_eq!(DescFlags::default(), DescFlags::NONE);
+    }
+
+    #[test]
+    fn chain_partitions_by_direction() {
+        let chain = DescChain {
+            head: 3,
+            descriptors: vec![
+                Descriptor::readable(0x1000, 64),
+                Descriptor::readable(0x2000, 128),
+                Descriptor::writable(0x3000, 256),
+            ],
+        };
+        assert_eq!(chain.readable().count(), 2);
+        assert_eq!(chain.writable().count(), 1);
+        assert_eq!(chain.total_len(), 64 + 128 + 256);
+        assert_eq!(chain.writable().next().unwrap().addr, 0x3000);
+    }
+}

@@ -1,0 +1,195 @@
+//! QEMU's event-driven execution model.
+//!
+//! "QEMU handles events as they are produced and during that time the
+//! whole VM is in blocking mode … In a few cases … it spawns a worker
+//! thread that executes the long-running handling of the event, and falls
+//! back to the event-driven mode unfreezing the VM." (paper §III)
+//!
+//! vPHI picks blocking dispatch for most SCIF ops and worker dispatch for
+//! indefinite waits (`scif_accept`).  We track both modes' virtual costs:
+//! blocking handlers accumulate **VM pause time** (the guest can't run),
+//! workers charge a spawn/retire overhead instead — the exact trade-off
+//! the paper discusses and the ABL-BLOCK ablation sweeps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use vphi_sim_core::{CostModel, SimDuration, SpanLabel, Timeline};
+
+/// Dispatch policy for one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Run in the event loop; the whole VM pauses for the handler's
+    /// duration.
+    Blocking,
+    /// Run on a worker thread; the VM keeps running, at a thread
+    /// spawn/retire cost.
+    Worker,
+}
+
+/// The per-VM (per-QEMU-process) event loop.
+pub struct QemuEventLoop {
+    cost: Arc<CostModel>,
+    vm_paused_ns: AtomicU64,
+    blocking_events: AtomicU64,
+    worker_events: AtomicU64,
+    live_workers: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for QemuEventLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QemuEventLoop")
+            .field("blocking_events", &self.blocking_events.load(Ordering::Relaxed))
+            .field("worker_events", &self.worker_events.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl QemuEventLoop {
+    pub fn new(cost: Arc<CostModel>) -> Self {
+        QemuEventLoop {
+            cost,
+            vm_paused_ns: AtomicU64::new(0),
+            blocking_events: AtomicU64::new(0),
+            worker_events: AtomicU64::new(0),
+            live_workers: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Run `handler` with the chosen dispatch.  The handler receives the
+    /// timeline and returns its result; its charged spans between entry
+    /// and exit are attributed as pause time when blocking.
+    pub fn run<R>(
+        &self,
+        dispatch: Dispatch,
+        tl: &mut Timeline,
+        handler: impl FnOnce(&mut Timeline) -> R,
+    ) -> R {
+        match dispatch {
+            Dispatch::Blocking => {
+                self.blocking_events.fetch_add(1, Ordering::Relaxed);
+                let before = tl.total();
+                let r = handler(tl);
+                let handler_time = tl.total().saturating_sub(before);
+                self.vm_paused_ns.fetch_add(handler_time.as_nanos(), Ordering::Relaxed);
+                r
+            }
+            Dispatch::Worker => {
+                self.worker_events.fetch_add(1, Ordering::Relaxed);
+                self.live_workers.fetch_add(1, Ordering::Relaxed);
+                tl.charge(SpanLabel::WorkerSpawn, self.cost.worker_spawn);
+                let r = handler(tl);
+                self.live_workers.fetch_sub(1, Ordering::Relaxed);
+                r
+            }
+        }
+    }
+
+    /// Run a long-lived detached worker on a real thread (used for the
+    /// backend's `scif_accept` service loop).  The VM is not paused.
+    pub fn spawn_worker<F>(&self, name: &str, f: F) -> std::thread::JoinHandle<()>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.worker_events.fetch_add(1, Ordering::Relaxed);
+        self.live_workers.fetch_add(1, Ordering::Relaxed);
+        let guard = WorkerGuard { live: Arc::clone(&self.live_workers) };
+        std::thread::Builder::new()
+            .name(format!("qemu-worker-{name}"))
+            .spawn(move || {
+                let _guard = guard;
+                f();
+            })
+            .expect("spawn qemu worker")
+    }
+
+    /// Total virtual time the VM has been frozen by blocking handlers.
+    pub fn vm_paused_total(&self) -> SimDuration {
+        SimDuration::from_nanos(self.vm_paused_ns.load(Ordering::Relaxed))
+    }
+
+    pub fn blocking_event_count(&self) -> u64 {
+        self.blocking_events.load(Ordering::Relaxed)
+    }
+
+    pub fn worker_event_count(&self) -> u64 {
+        self.worker_events.load(Ordering::Relaxed)
+    }
+
+    pub fn live_worker_count(&self) -> u64 {
+        self.live_workers.load(Ordering::Relaxed)
+    }
+}
+
+struct WorkerGuard {
+    live: Arc<AtomicU64>,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn el() -> QemuEventLoop {
+        QemuEventLoop::new(Arc::new(CostModel::paper_calibrated()))
+    }
+
+    #[test]
+    fn blocking_handler_accumulates_pause_time() {
+        let e = el();
+        let mut tl = Timeline::new();
+        let r = e.run(Dispatch::Blocking, &mut tl, |tl| {
+            tl.charge(SpanLabel::HostSyscall, SimDuration::from_micros(100));
+            7
+        });
+        assert_eq!(r, 7);
+        assert_eq!(e.vm_paused_total(), SimDuration::from_micros(100));
+        assert_eq!(e.blocking_event_count(), 1);
+        assert_eq!(e.worker_event_count(), 0);
+    }
+
+    #[test]
+    fn worker_dispatch_charges_spawn_not_pause() {
+        let e = el();
+        let mut tl = Timeline::new();
+        e.run(Dispatch::Worker, &mut tl, |tl| {
+            tl.charge(SpanLabel::HostSyscall, SimDuration::from_micros(100));
+        });
+        assert_eq!(e.vm_paused_total(), SimDuration::ZERO);
+        assert_eq!(
+            tl.total_for(SpanLabel::WorkerSpawn),
+            CostModel::paper_calibrated().worker_spawn
+        );
+        assert_eq!(e.worker_event_count(), 1);
+    }
+
+    #[test]
+    fn pause_time_accumulates_across_events() {
+        let e = el();
+        let mut tl = Timeline::new();
+        for _ in 0..3 {
+            e.run(Dispatch::Blocking, &mut tl, |tl| {
+                tl.charge(SpanLabel::LinkTransfer, SimDuration::from_micros(10));
+            });
+        }
+        assert_eq!(e.vm_paused_total(), SimDuration::from_micros(30));
+        assert_eq!(e.blocking_event_count(), 3);
+    }
+
+    #[test]
+    fn detached_worker_runs_and_retires() {
+        let e = el();
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let d2 = Arc::clone(&done);
+        let h = e.spawn_worker("test", move || {
+            d2.store(true, Ordering::Release);
+        });
+        h.join().unwrap();
+        assert!(done.load(Ordering::Acquire));
+    }
+}

@@ -1,0 +1,255 @@
+//! Guest physical memory.
+//!
+//! One contiguous arena per VM with a page-granular first-fit allocator.
+//! The host (QEMU backend) gets zero-copy views — closures over slices of
+//! the arena — which is exactly the mapping trick the paper uses to avoid
+//! copies between the guest and QEMU.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use vphi_sim_core::cost::PAGE_SIZE;
+
+/// A guest-physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gpa(pub u64);
+
+impl Gpa {
+    pub fn page(self) -> u64 {
+        self.0 / PAGE_SIZE
+    }
+
+    pub fn offset(self, delta: u64) -> Gpa {
+        Gpa(self.0 + delta)
+    }
+}
+
+impl std::fmt::Display for Gpa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gpa:{:#x}", self.0)
+    }
+}
+
+/// Guest memory errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuestMemError {
+    OutOfMemory,
+    OutOfBounds,
+    BadFree,
+    EmptyRequest,
+}
+
+impl std::fmt::Display for GuestMemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuestMemError::OutOfMemory => write!(f, "guest out of physical memory"),
+            GuestMemError::OutOfBounds => write!(f, "guest-physical access out of bounds"),
+            GuestMemError::BadFree => write!(f, "free of an unallocated guest region"),
+            GuestMemError::EmptyRequest => write!(f, "zero-length guest allocation"),
+        }
+    }
+}
+
+impl std::error::Error for GuestMemError {}
+
+#[derive(Debug)]
+struct MemState {
+    arena: Vec<u8>,
+    /// start → len of free spans.
+    free: BTreeMap<u64, u64>,
+    /// start → len of live allocations.
+    live: BTreeMap<u64, u64>,
+}
+
+/// The VM's physical memory.
+#[derive(Debug)]
+pub struct GuestMemory {
+    size: u64,
+    state: Mutex<MemState>,
+}
+
+impl GuestMemory {
+    pub fn new(size: u64) -> Self {
+        assert!(size > 0 && size.is_multiple_of(PAGE_SIZE), "guest memory must be whole pages");
+        let mut free = BTreeMap::new();
+        free.insert(0, size);
+        GuestMemory {
+            size,
+            state: Mutex::new(MemState {
+                arena: vec![0u8; size as usize],
+                free,
+                live: BTreeMap::new(),
+            }),
+        }
+    }
+
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    pub fn allocated(&self) -> u64 {
+        self.state.lock().live.values().sum()
+    }
+
+    /// Allocate `len` bytes of guest-physically-contiguous memory
+    /// (page-rounded).  This is what backs both guest kmalloc and the
+    /// virtio rings.
+    pub fn alloc(&self, len: u64) -> Result<Gpa, GuestMemError> {
+        if len == 0 {
+            return Err(GuestMemError::EmptyRequest);
+        }
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let mut st = self.state.lock();
+        let slot = st
+            .free
+            .iter()
+            .find(|(_, &flen)| flen >= len)
+            .map(|(&off, &flen)| (off, flen))
+            .ok_or(GuestMemError::OutOfMemory)?;
+        let (off, flen) = slot;
+        st.free.remove(&off);
+        if flen > len {
+            st.free.insert(off + len, flen - len);
+        }
+        st.live.insert(off, len);
+        Ok(Gpa(off))
+    }
+
+    /// Free a previous allocation (by its exact base).
+    pub fn free(&self, gpa: Gpa) -> Result<(), GuestMemError> {
+        let mut st = self.state.lock();
+        let len = st.live.remove(&gpa.0).ok_or(GuestMemError::BadFree)?;
+        let mut start = gpa.0;
+        let mut flen = len;
+        if let Some(&next_len) = st.free.get(&(start + flen)) {
+            st.free.remove(&(start + flen));
+            flen += next_len;
+        }
+        if let Some((&prev_off, &prev_len)) = st.free.range(..start).next_back() {
+            if prev_off + prev_len == start {
+                st.free.remove(&prev_off);
+                start = prev_off;
+                flen += prev_len;
+            }
+        }
+        st.free.insert(start, flen);
+        Ok(())
+    }
+
+    fn check(&self, gpa: Gpa, len: usize) -> Result<(), GuestMemError> {
+        let end = gpa.0.checked_add(len as u64).ok_or(GuestMemError::OutOfBounds)?;
+        if end > self.size {
+            return Err(GuestMemError::OutOfBounds);
+        }
+        Ok(())
+    }
+
+    /// Guest/host read of physical memory.
+    pub fn read(&self, gpa: Gpa, out: &mut [u8]) -> Result<(), GuestMemError> {
+        self.check(gpa, out.len())?;
+        let st = self.state.lock();
+        out.copy_from_slice(&st.arena[gpa.0 as usize..gpa.0 as usize + out.len()]);
+        Ok(())
+    }
+
+    /// Guest/host write of physical memory.
+    pub fn write(&self, gpa: Gpa, data: &[u8]) -> Result<(), GuestMemError> {
+        self.check(gpa, data.len())?;
+        let mut st = self.state.lock();
+        st.arena[gpa.0 as usize..gpa.0 as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Zero-copy host view: run `f` over the guest bytes in place — the
+    /// backend's "maps the buffer to its address space avoiding again any
+    /// copies" (paper §III).
+    pub fn with_slice<R>(
+        &self,
+        gpa: Gpa,
+        len: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, GuestMemError> {
+        self.check(gpa, len as usize)?;
+        let st = self.state.lock();
+        Ok(f(&st.arena[gpa.0 as usize..(gpa.0 + len) as usize]))
+    }
+
+    /// Zero-copy mutable host view.
+    pub fn with_slice_mut<R>(
+        &self,
+        gpa: Gpa,
+        len: u64,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, GuestMemError> {
+        self.check(gpa, len as usize)?;
+        let mut st = self.state.lock();
+        Ok(f(&mut st.arena[gpa.0 as usize..(gpa.0 + len) as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vphi_sim_core::units::MIB;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let m = GuestMemory::new(MIB);
+        let a = m.alloc(PAGE_SIZE).unwrap();
+        let b = m.alloc(PAGE_SIZE).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(m.allocated(), 2 * PAGE_SIZE);
+        m.free(a).unwrap();
+        m.free(b).unwrap();
+        assert_eq!(m.allocated(), 0);
+        // Full arena reusable after coalescing.
+        assert!(m.alloc(MIB).is_ok());
+    }
+
+    #[test]
+    fn rw_round_trip_and_bounds() {
+        let m = GuestMemory::new(MIB);
+        let gpa = m.alloc(PAGE_SIZE).unwrap();
+        m.write(gpa.offset(10), b"guest").unwrap();
+        let mut out = [0u8; 5];
+        m.read(gpa.offset(10), &mut out).unwrap();
+        assert_eq!(&out, b"guest");
+        assert_eq!(m.read(Gpa(MIB), &mut out), Err(GuestMemError::OutOfBounds));
+        assert_eq!(m.write(Gpa(u64::MAX), &[1]), Err(GuestMemError::OutOfBounds));
+    }
+
+    #[test]
+    fn zero_copy_views_alias_the_arena() {
+        let m = GuestMemory::new(MIB);
+        let gpa = m.alloc(PAGE_SIZE).unwrap();
+        m.with_slice_mut(gpa, 4, |s| s.copy_from_slice(b"abcd")).unwrap();
+        let v = m.with_slice(gpa, 4, |s| s.to_vec()).unwrap();
+        assert_eq!(v, b"abcd");
+    }
+
+    #[test]
+    fn oom_and_bad_free() {
+        let m = GuestMemory::new(4 * PAGE_SIZE);
+        assert_eq!(m.alloc(0), Err(GuestMemError::EmptyRequest));
+        let _a = m.alloc(4 * PAGE_SIZE).unwrap();
+        assert_eq!(m.alloc(PAGE_SIZE), Err(GuestMemError::OutOfMemory));
+        assert_eq!(m.free(Gpa(PAGE_SIZE)), Err(GuestMemError::BadFree));
+    }
+
+    #[test]
+    fn allocations_are_page_rounded_and_contiguous() {
+        let m = GuestMemory::new(MIB);
+        let gpa = m.alloc(PAGE_SIZE + 1).unwrap();
+        // Next allocation must start 2 pages later (rounding).
+        let next = m.alloc(PAGE_SIZE).unwrap();
+        assert_eq!(next.0 - gpa.0, 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn gpa_helpers() {
+        let g = Gpa(2 * PAGE_SIZE + 5);
+        assert_eq!(g.page(), 2);
+        assert_eq!(g.offset(3).0, 2 * PAGE_SIZE + 8);
+        assert!(g.to_string().starts_with("gpa:0x"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Guest-kernel wait queues with wake-all semantics.
+//!
+//! The vPHI frontend places each requesting process on a wait queue; the
+//! interrupt handler "wakes up **all** sleeping processes, which check the
+//! shared ring to determine if the reply is for them" (paper §IV-B).  That
+//! wake-all-recheck scheme is the dominant latency cost the paper
+//! measures, so we model it explicitly: sleepers wait on a condvar and
+//! re-evaluate their predicate on every wake-all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Wall-clock bound so deadlocked tests fail loudly.
+const WALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A wake-all wait queue.
+#[derive(Debug, Default)]
+pub struct WaitQueue {
+    generation: Mutex<u64>,
+    cond: Condvar,
+    wakeups: AtomicU64,
+    sleeps: AtomicU64,
+}
+
+impl WaitQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sleep until `pred` returns `Some(T)`.  The predicate is evaluated
+    /// once immediately, then after every [`wake_all`](WaitQueue::wake_all).
+    /// Returns `None` only on wall-clock timeout (a bug guard, not a
+    /// semantic timeout).
+    pub fn wait_until<T>(&self, mut pred: impl FnMut() -> Option<T>) -> Option<T> {
+        let mut generation = self.generation.lock();
+        loop {
+            if let Some(v) = pred() {
+                return Some(v);
+            }
+            self.sleeps.fetch_add(1, Ordering::Relaxed);
+            let g = *generation;
+            while *generation == g {
+                if self.cond.wait_for(&mut generation, WALL_TIMEOUT).timed_out() {
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Wake every sleeper (they all re-check their predicates).
+    pub fn wake_all(&self) {
+        let mut generation = self.generation.lock();
+        *generation += 1;
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        self.cond.notify_all();
+    }
+
+    /// Total wake-all events (for the breakdown diagnostics).
+    pub fn wakeup_count(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Total times any sleeper actually went to sleep (i.e. its predicate
+    /// failed and it blocked) — measures spurious-wakeup pressure.
+    pub fn sleep_count(&self) -> u64 {
+        self.sleeps.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn immediate_predicate_never_sleeps() {
+        let wq = WaitQueue::new();
+        let v = wq.wait_until(|| Some(42));
+        assert_eq!(v, Some(42));
+        assert_eq!(wq.sleep_count(), 0);
+    }
+
+    #[test]
+    fn sleeper_wakes_when_condition_set() {
+        let wq = Arc::new(WaitQueue::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let (wq2, flag2) = (Arc::clone(&wq), Arc::clone(&flag));
+        let sleeper = std::thread::spawn(move || {
+            wq2.wait_until(|| flag2.load(Ordering::Acquire).then_some("done"))
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        flag.store(true, Ordering::Release);
+        wq.wake_all();
+        assert_eq!(sleeper.join().unwrap(), Some("done"));
+        assert!(wq.sleep_count() >= 1);
+        assert_eq!(wq.wakeup_count(), 1);
+    }
+
+    #[test]
+    fn wake_all_wakes_every_sleeper_and_they_recheck() {
+        // The paper's scheme: N sleepers, one reply — everyone wakes, one
+        // wins, the rest go back to sleep.
+        let wq = Arc::new(WaitQueue::new());
+        let ready: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for id in 0..4u32 {
+            let wq = Arc::clone(&wq);
+            let ready = Arc::clone(&ready);
+            handles.push(std::thread::spawn(move || {
+                wq.wait_until(|| {
+                    let mut r = ready.lock();
+                    r.iter().position(|&x| x == id).map(|i| {
+                        r.remove(i);
+                        id
+                    })
+                })
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        // Deliver replies one at a time, waking everyone each time.
+        for id in 0..4u32 {
+            ready.lock().push(id);
+            wq.wake_all();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut got: Vec<u32> =
+            handles.into_iter().map(|h| h.join().unwrap().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(wq.wakeup_count(), 4);
+        // Spurious wakeups happened: more sleeps than threads.
+        assert!(wq.sleep_count() >= 4);
+    }
+
+    #[test]
+    fn wake_before_wait_is_not_lost_if_condition_holds() {
+        let wq = WaitQueue::new();
+        wq.wake_all(); // nobody listening
+        // A waiter whose predicate is already true returns instantly.
+        assert_eq!(wq.wait_until(|| Some(1)), Some(1));
+    }
+}

@@ -1,0 +1,75 @@
+//! Shared helpers for the vPHI examples.
+//!
+//! Each example is a standalone binary; run them with
+//! `cargo run --release -p vphi-examples --bin <name>`.
+
+use vphi::builder::VphiHost;
+use vphi_scif::{Port, Prot, ScifEndpoint};
+use vphi_scif::window::WindowBacking;
+use vphi_sim_core::Timeline;
+
+/// Start a device-side echo server: accepts one connection, then echoes
+/// every length-prefixed message back.  Returns once the peer closes.
+pub fn spawn_echo_server(host: &VphiHost, port: Port) -> std::thread::JoinHandle<u64> {
+    let server = host.device_endpoint(0).expect("device endpoint");
+    let (tx, rx) = std::sync::mpsc::channel();
+    let h = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(port, &mut tl).expect("bind");
+        server.listen(4, &mut tl).expect("listen");
+        tx.send(()).expect("ready");
+        let conn = server.accept(&mut tl).expect("accept");
+        let mut echoed = 0u64;
+        loop {
+            let mut len = [0u8; 4];
+            match conn.core().recv(&mut len, &mut tl) {
+                Ok(4) => {}
+                _ => break,
+            }
+            let n = u32::from_le_bytes(len) as usize;
+            let mut payload = vec![0u8; n];
+            if conn.core().recv(&mut payload, &mut tl) != Ok(n) {
+                break;
+            }
+            if conn.core().send(&len, &mut tl).is_err()
+                || conn.core().send(&payload, &mut tl).is_err()
+            {
+                break;
+            }
+            echoed += n as u64;
+        }
+        echoed
+    });
+    rx.recv().expect("echo server ready");
+    h
+}
+
+/// Start a device-side server exposing a GDDR window of `len` bytes at
+/// registered offset 0, pre-filled via the closure.
+pub fn spawn_window_server(
+    host: &VphiHost,
+    port: Port,
+    len: u64,
+    fill: impl FnOnce(&vphi_phi::DeviceRegion) + Send + 'static,
+) -> std::thread::JoinHandle<()> {
+    let board = std::sync::Arc::clone(host.board(0));
+    let server = host.device_endpoint(0).expect("device endpoint");
+    let (tx, rx) = std::sync::mpsc::channel();
+    let h = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(port, &mut tl).expect("bind");
+        server.listen(4, &mut tl).expect("listen");
+        tx.send(()).expect("ready");
+        let conn: ScifEndpoint = server.accept(&mut tl).expect("accept");
+        let region = board.memory().alloc(len).expect("gddr");
+        fill(&region);
+        let offset = region.offset();
+        conn.register(Some(0), len, Prot::READ_WRITE, WindowBacking::Device(region), &mut tl)
+            .expect("register");
+        let mut b = [0u8; 1];
+        let _ = conn.core().recv(&mut b, &mut tl);
+        let _ = board.memory().free(offset);
+    });
+    rx.recv().expect("window server ready");
+    h
+}

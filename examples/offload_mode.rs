@@ -1,0 +1,79 @@
+//! **Offload mode** — the COI pipeline flow an OpenMP `target` runtime
+//! performs: create a sink process on the card, allocate device buffers,
+//! ship inputs, run kernels, read results back.  vPHI supports it
+//! unmodified because COI is layered on SCIF (paper §II-B, §VI).
+//!
+//! ```text
+//! cargo run --release -p vphi-examples --bin offload_mode
+//! ```
+
+use std::sync::Arc;
+
+use vphi::builder::{VmConfig, VphiHost};
+use vphi_coi::pipeline::CoiPipeline;
+use vphi_coi::process::LaunchSpec;
+use vphi_coi::transport::CoiEnv;
+use vphi_coi::{CoiDaemon, CoiEngine, CoiProcess, ComputeManifest, GuestEnv};
+use vphi_sim_core::units::MIB;
+use vphi_sim_core::Timeline;
+
+fn main() {
+    let host = VphiHost::new(1);
+    let daemon = CoiDaemon::spawn(&host, 0).expect("coi_daemon");
+
+    // The offloading application runs inside a VM.
+    let vm = host.spawn_vm(VmConfig::default());
+    let env: Arc<dyn CoiEnv> = Arc::new(GuestEnv::new(&vm));
+    let engine = CoiEngine::get(Arc::clone(&env), 0).expect("engine");
+
+    let mut tl = Timeline::new();
+    // 1. The sink process hosting the offloaded functions.
+    let sink = LaunchSpec {
+        name: "offload_main_mic".into(),
+        binary_bytes: 512 << 10,
+        lib_bytes: 20 * MIB,
+        env_count: 1,
+        manifest: ComputeManifest::new(0.0, 0, 1),
+    };
+    let process = CoiProcess::launch(&engine, &sink, &mut tl).expect("sink process");
+    println!("sink process pid {} running on the card", process.pid());
+
+    // 2. Device buffers for A, B, C.
+    let n: u64 = 2048;
+    let bytes = n * n * 8;
+    let a = process.create_buffer(bytes, &mut tl).expect("A");
+    let b = process.create_buffer(bytes, &mut tl).expect("B");
+    let c = process.create_buffer(bytes, &mut tl).expect("C");
+    process.write_buffer(&a, bytes, &mut tl).expect("ship A");
+    process.write_buffer(&b, bytes, &mut tl).expect("ship B");
+    println!("shipped 2 × {} of inputs", vphi_sim_core::units::format_bytes(bytes));
+
+    // 3. Offload three dependent kernels through a pipeline.
+    let mut pipeline = CoiPipeline::create(&process);
+    for pass in 0..3 {
+        let ret = pipeline
+            .run_function(
+                &format!("dgemm_pass{pass}"),
+                &[&a, &b, &c],
+                ComputeManifest::new(2.0 * (n as f64).powi(3), 3 * bytes, 224),
+                &mut tl,
+            )
+            .expect("run_function");
+        assert_eq!(ret, 0);
+    }
+    println!(
+        "3 kernels done; device time total {}",
+        pipeline.device_time_total()
+    );
+
+    // 4. Results back, teardown.
+    process.read_buffer(&c, bytes, &mut tl).expect("read C");
+    process.destroy_buffer(a, &mut tl).expect("free A");
+    process.destroy_buffer(b, &mut tl).expect("free B");
+    process.destroy_buffer(c, &mut tl).expect("free C");
+    process.destroy();
+
+    println!("\nwhole offload session cost {} of virtual time from the VM", tl.total());
+    vm.shutdown();
+    daemon.shutdown();
+}

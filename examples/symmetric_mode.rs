@@ -1,0 +1,108 @@
+//! **Symmetric mode** — ranks of one parallel application on the VM *and*
+//! on the card, communicating MPI-style over SCIF (paper §II-A).
+//!
+//! Rank 0 runs in a VM (through vPHI); ranks 1..3 run on the coprocessor.
+//! They distribute a dot-product, allreduce the partials, and verify.
+//!
+//! ```text
+//! cargo run --release -p vphi-examples --bin symmetric_mode
+//! ```
+
+use std::sync::Arc;
+
+use vphi::builder::{VmConfig, VphiHost};
+use vphi_coi::transport::{CoiEnv, CoiListener, CoiTransport};
+use vphi_coi::GuestEnv;
+use vphi_mic_tools::mpilite::{establish_leaf, establish_root};
+use vphi_scif::{NodeId, Port, ScifAddr, ScifResult, HOST_NODE};
+use vphi_sim_core::Timeline;
+
+/// Card-side environment (processes running on the coprocessor).
+struct DeviceSideEnv {
+    fabric: Arc<vphi_scif::ScifFabric>,
+    node: NodeId,
+}
+
+impl CoiEnv for DeviceSideEnv {
+    fn connect(
+        &self,
+        node: NodeId,
+        port: Port,
+        tl: &mut Timeline,
+    ) -> ScifResult<Box<dyn CoiTransport>> {
+        let ep = vphi_scif::ScifEndpoint::open(&self.fabric, self.node)?;
+        ep.connect(ScifAddr::new(node, port), tl)?;
+        Ok(Box::new(ep))
+    }
+
+    fn listen(&self, port: Port, tl: &mut Timeline) -> ScifResult<Box<dyn CoiListener>> {
+        let ep = vphi_scif::ScifEndpoint::open(&self.fabric, self.node)?;
+        ep.bind(port, tl)?;
+        ep.listen(16, tl)?;
+        Ok(Box::new(ep))
+    }
+
+    fn device_count(&self) -> usize {
+        1
+    }
+
+    fn card_usable(&self, _mic: u32, _tl: &mut Timeline) -> bool {
+        true
+    }
+
+    fn label(&self) -> String {
+        format!("{}", self.node)
+    }
+}
+
+fn main() {
+    const SIZE: usize = 4;
+    const PORT: Port = Port(600);
+    const ELEMS: usize = 1 << 16;
+
+    let host = VphiHost::new(1);
+    let vm = host.spawn_vm(VmConfig::default());
+    println!("symmetric world: rank 0 in VM {}, ranks 1..{SIZE} on the card\n", vm.vm().id());
+
+    let x: Vec<f64> = (0..ELEMS).map(|i| (i % 7) as f64).collect();
+    let y: Vec<f64> = (0..ELEMS).map(|i| (i % 5) as f64).collect();
+    let expected: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+
+    let mut handles = Vec::new();
+    for rank in 0..SIZE {
+        let env: Arc<dyn CoiEnv> = if rank == 0 {
+            Arc::new(GuestEnv::new(&vm))
+        } else {
+            Arc::new(DeviceSideEnv {
+                fabric: Arc::clone(host.fabric()),
+                node: host.device_node(0),
+            })
+        };
+        let (x, y) = (x.clone(), y.clone());
+        handles.push(std::thread::spawn(move || {
+            let mut tl = Timeline::new();
+            let comm = if rank == 0 {
+                establish_root(env.as_ref(), PORT, SIZE, &mut tl).expect("root")
+            } else {
+                establish_leaf(env.as_ref(), HOST_NODE, PORT, rank, SIZE, &mut tl).expect("leaf")
+            };
+            // Each rank owns a contiguous slice of the vectors.
+            let chunk = ELEMS / SIZE;
+            let lo = rank * chunk;
+            let hi = if rank == SIZE - 1 { ELEMS } else { lo + chunk };
+            let partial: f64 = x[lo..hi].iter().zip(&y[lo..hi]).map(|(a, b)| a * b).sum();
+            comm.barrier(&mut tl).expect("barrier");
+            let total = comm.allreduce_sum(partial, &mut tl).expect("allreduce");
+            (rank, env.label(), partial, total, tl.total())
+        }));
+    }
+
+    for h in handles {
+        let (rank, where_, partial, total, cost) = h.join().expect("rank");
+        println!("rank {rank} on {where_:7}: partial {partial:12.1}, allreduce {total:12.1}, comm cost {cost}");
+        assert!((total - expected).abs() < 1e-6, "allreduce mismatch");
+    }
+    println!("\nall ranks agree: dot(x,y) = {expected}");
+
+    vm.shutdown();
+}

@@ -1,0 +1,160 @@
+//! Concurrency: multiple guest threads per VM, multiple VMs per card,
+//! and the paper's claim that "simultaneous multi-threaded execution
+//! requests from different VMs can end up running in parallel".
+
+use std::sync::Arc;
+
+use vphi::builder::{VmConfig, VphiHost};
+use vphi_scif::{Port, ScifAddr};
+use vphi_sim_core::Timeline;
+
+/// An echo server that serves *multiple* connections concurrently.
+fn multi_echo(host: &VphiHost, port: Port, conns: usize) -> std::thread::JoinHandle<()> {
+    let server = host.device_endpoint(0).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let h = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(port, &mut tl).unwrap();
+        server.listen(16, &mut tl).unwrap();
+        tx.send(()).unwrap();
+        let mut workers = Vec::new();
+        for _ in 0..conns {
+            let conn = server.accept(&mut tl).unwrap();
+            workers.push(std::thread::spawn(move || {
+                let mut tl = Timeline::new();
+                loop {
+                    let mut len = [0u8; 4];
+                    if conn.core().recv(&mut len, &mut tl) != Ok(4) {
+                        break;
+                    }
+                    let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+                    if conn.core().recv(&mut payload, &mut tl) != Ok(payload.len()) {
+                        break;
+                    }
+                    if conn.core().send(&len, &mut tl).is_err()
+                        || conn.core().send(&payload, &mut tl).is_err()
+                    {
+                        break;
+                    }
+                }
+            }));
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+    });
+    rx.recv().unwrap();
+    h
+}
+
+#[test]
+fn many_guest_threads_share_one_frontend() {
+    let host = VphiHost::new(1);
+    let threads = 6;
+    let echo = multi_echo(&host, Port(980), threads);
+    let vm = Arc::new(host.spawn_vm(VmConfig::default()));
+
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let vm = Arc::clone(&vm);
+        let node = host.device_node(0);
+        handles.push(std::thread::spawn(move || {
+            let mut tl = Timeline::new();
+            let ep = vm.open_scif(&mut tl).unwrap();
+            ep.connect(ScifAddr::new(node, Port(980)), &mut tl).unwrap();
+            for round in 0..10u32 {
+                let msg = format!("thread {t} round {round}");
+                ep.send(&(msg.len() as u32).to_le_bytes(), &mut tl).unwrap();
+                ep.send(msg.as_bytes(), &mut tl).unwrap();
+                let mut len = [0u8; 4];
+                ep.recv(&mut len, &mut tl).unwrap();
+                let mut back = vec![0u8; msg.len()];
+                ep.recv(&mut back, &mut tl).unwrap();
+                assert_eq!(back, msg.as_bytes(), "cross-talk between guest threads");
+            }
+            ep.close(&mut tl).unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // All requests flowed through one ring.
+    assert!(vm.frontend().stats().requests >= (threads as u64) * 10);
+    vm.shutdown();
+    echo.join().unwrap();
+}
+
+#[test]
+fn several_vms_issue_in_parallel() {
+    let host = VphiHost::new(1);
+    let n_vms = 4;
+    let echo = multi_echo(&host, Port(981), n_vms);
+    let vms: Vec<Arc<_>> =
+        (0..n_vms).map(|_| Arc::new(host.spawn_vm(VmConfig::default()))).collect();
+
+    let mut handles = Vec::new();
+    for (i, vm) in vms.iter().enumerate() {
+        let vm = Arc::clone(vm);
+        let node = host.device_node(0);
+        handles.push(std::thread::spawn(move || {
+            let mut tl = Timeline::new();
+            let ep = vm.open_scif(&mut tl).unwrap();
+            ep.connect(ScifAddr::new(node, Port(981)), &mut tl).unwrap();
+            let msg = format!("vm {i}");
+            ep.send(&(msg.len() as u32).to_le_bytes(), &mut tl).unwrap();
+            ep.send(msg.as_bytes(), &mut tl).unwrap();
+            let mut len = [0u8; 4];
+            ep.recv(&mut len, &mut tl).unwrap();
+            let mut back = vec![0u8; msg.len()];
+            ep.recv(&mut back, &mut tl).unwrap();
+            assert_eq!(back, msg.as_bytes());
+            ep.close(&mut tl).unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for vm in &vms {
+        vm.shutdown();
+    }
+    echo.join().unwrap();
+}
+
+#[test]
+fn accept_on_a_worker_does_not_block_other_requests() {
+    // A guest thread parks in scif_accept (served by a QEMU worker);
+    // meanwhile another guest thread keeps making calls.  With blocking
+    // dispatch this would deadlock the VM — the paper's §III argument.
+    let host = VphiHost::new(1);
+    let vm = Arc::new(host.spawn_vm(VmConfig::default()));
+
+    let mut tl = Timeline::new();
+    let listener = vm.open_scif(&mut tl).unwrap();
+    let lport = listener.bind(Port::ANY, &mut tl).unwrap();
+    listener.listen(2, &mut tl).unwrap();
+
+    let vm2 = Arc::clone(&vm);
+    let accepter = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        listener.accept(&mut tl).map(|(conn, peer)| {
+            drop(conn);
+            peer
+        })
+    });
+
+    // While the accept is parked, the VM keeps working.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let sysfs = vm2.sysfs(0, &mut tl).unwrap();
+    assert!(sysfs.card_is_usable(), "VM frozen while accept waits");
+
+    // Now satisfy the accept from a *native* client (host process
+    // connecting into the guest's listener through the backend).
+    let native = host.native_endpoint().unwrap();
+    native.connect(ScifAddr::new(vphi_scif::HOST_NODE, lport), &mut tl).unwrap();
+    let peer = accepter.join().unwrap().unwrap();
+    assert_eq!(peer.node, vphi_scif::HOST_NODE);
+    assert!(vm.backend().inner().stats.worker_dispatches.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+
+    native.close();
+    vm.shutdown();
+}

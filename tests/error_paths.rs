@@ -1,0 +1,174 @@
+//! Error propagation across the whole stack: SCIF errno values must
+//! survive the trip device → host driver → backend → wire → frontend →
+//! guest user space unchanged.
+
+use vphi::builder::{VmConfig, VphiHost};
+use vphi_scif::{Port, Prot, RmaFlags, ScifAddr, ScifError};
+use vphi_sim_core::Timeline;
+
+#[test]
+fn connect_refused_reaches_the_guest() {
+    let host = VphiHost::new(1);
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    assert_eq!(
+        ep.connect(ScifAddr::new(host.device_node(0), Port(9999)), &mut tl),
+        Err(ScifError::ConnRefused)
+    );
+    vm.shutdown();
+}
+
+#[test]
+fn no_such_node_reaches_the_guest() {
+    let host = VphiHost::new(1);
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    assert_eq!(
+        ep.connect(ScifAddr::new(vphi_scif::NodeId(9), Port(1)), &mut tl),
+        Err(ScifError::NoDev)
+    );
+    vm.shutdown();
+}
+
+#[test]
+fn rma_on_unregistered_offset_reaches_the_guest() {
+    let host = VphiHost::new(1);
+    // A device server that accepts but registers nothing.
+    let server = host.device_endpoint(0).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let dev = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(Port(975), &mut tl).unwrap();
+        server.listen(2, &mut tl).unwrap();
+        tx.send(()).unwrap();
+        let conn = server.accept(&mut tl).unwrap();
+        let mut b = [0u8; 1];
+        let _ = conn.core().recv(&mut b, &mut tl);
+    });
+    rx.recv().unwrap();
+
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    ep.connect(ScifAddr::new(host.device_node(0), Port(975)), &mut tl).unwrap();
+    let buf = vm.alloc_buf(4096).unwrap();
+    assert_eq!(
+        ep.vreadfrom(&buf, 0xdead_0000, RmaFlags::SYNC, &mut tl),
+        Err(ScifError::OutOfRange)
+    );
+    ep.close(&mut tl).unwrap();
+    vm.shutdown();
+    dev.join().unwrap();
+}
+
+#[test]
+fn double_bind_and_bad_listen_reach_the_guest() {
+    let host = VphiHost::new(1);
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let a = vm.open_scif(&mut tl).unwrap();
+    let b = vm.open_scif(&mut tl).unwrap();
+    a.bind(Port(976), &mut tl).unwrap();
+    // Port already taken — EADDRINUSE crosses the ring.  The backend's
+    // host endpoints share the host port space, so guest B colliding with
+    // guest A's port is exactly the host-process semantics.
+    assert_eq!(b.bind(Port(976), &mut tl), Err(ScifError::AddrInUse));
+    // Listen before bind — ENOTCONN.
+    let c = vm.open_scif(&mut tl).unwrap();
+    assert_eq!(c.listen(4, &mut tl), Err(ScifError::NotConn));
+    // Send before connect — ENOTCONN.
+    assert_eq!(c.send(b"x", &mut tl), Err(ScifError::NotConn));
+    vm.shutdown();
+}
+
+#[test]
+fn operations_on_closed_endpoints_fail_cleanly() {
+    let host = VphiHost::new(1);
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    ep.close(&mut tl).unwrap();
+    // Closing twice is idempotent.
+    assert!(ep.close(&mut tl).is_ok());
+    // Further calls on the stale epd are EINVAL from the backend table.
+    assert!(ep.bind(Port(977), &mut tl).is_err());
+    vm.shutdown();
+}
+
+#[test]
+fn register_with_bad_protection_combination() {
+    let host = VphiHost::new(1);
+    // Device window registered read-only; guest writes must be EACCES.
+    let board = std::sync::Arc::clone(host.board(0));
+    let server = host.device_endpoint(0).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let dev = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(Port(978), &mut tl).unwrap();
+        server.listen(2, &mut tl).unwrap();
+        tx.send(()).unwrap();
+        let conn = server.accept(&mut tl).unwrap();
+        let region = board.memory().alloc(4096).unwrap();
+        conn.register(
+            Some(0),
+            4096,
+            Prot::READ,
+            vphi_scif::window::WindowBacking::Device(region),
+            &mut tl,
+        )
+        .unwrap();
+        conn.core().send(&[1], &mut tl).unwrap();
+        let mut b = [0u8; 1];
+        let _ = conn.core().recv(&mut b, &mut tl);
+    });
+    rx.recv().unwrap();
+
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    ep.connect(ScifAddr::new(host.device_node(0), Port(978)), &mut tl).unwrap();
+    let mut ready = [0u8; 1];
+    ep.recv(&mut ready, &mut tl).unwrap();
+    let buf = vm.alloc_buf(4096).unwrap();
+    // Read is fine…
+    ep.vreadfrom(&buf, 0, RmaFlags::SYNC, &mut tl).unwrap();
+    // …write violates the window protection.
+    assert_eq!(ep.vwriteto(&buf, 0, RmaFlags::SYNC, &mut tl), Err(ScifError::Access));
+    // mmap asking for more than the window grants also fails.
+    assert_eq!(
+        ep.mmap(vm.vm().kvm(), 0, 4096, Prot::READ_WRITE, &mut tl).err(),
+        Some(ScifError::Access)
+    );
+    ep.send(&[0], &mut tl).unwrap();
+    ep.close(&mut tl).unwrap();
+    vm.shutdown();
+    dev.join().unwrap();
+}
+
+#[test]
+fn guest_unregister_of_unknown_window_fails() {
+    let host = VphiHost::new(1);
+    let server = host.device_endpoint(0).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let dev = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(Port(979), &mut tl).unwrap();
+        server.listen(2, &mut tl).unwrap();
+        tx.send(()).unwrap();
+        let conn = server.accept(&mut tl).unwrap();
+        let mut b = [0u8; 1];
+        let _ = conn.core().recv(&mut b, &mut tl);
+    });
+    rx.recv().unwrap();
+
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    ep.connect(ScifAddr::new(host.device_node(0), Port(979)), &mut tl).unwrap();
+    assert_eq!(ep.unregister(0x5000, 4096, &mut tl), Err(ScifError::OutOfRange));
+    ep.close(&mut tl).unwrap();
+    vm.shutdown();
+    dev.join().unwrap();
+}

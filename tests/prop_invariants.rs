@@ -1,0 +1,267 @@
+//! Property-based tests over the core data structures and invariants
+//! (proptest): allocators never overlap, queues preserve byte streams,
+//! codecs round-trip, the busy-resource never double-books, and the
+//! paravirtual overhead identity holds for arbitrary message sizes.
+
+use proptest::prelude::*;
+
+use vphi::protocol::{VphiRequest, VphiResponse};
+use vphi_phi::DeviceMemory;
+use vphi_scif::queue::MsgQueue;
+use vphi_sim_core::clock::BusyResource;
+use vphi_sim_core::cost::{CostModel, PAGE_SIZE};
+use vphi_sim_core::{SimDuration, SimTime};
+use vphi_vmm::GuestMemory;
+
+// ---------------------------------------------------------------- codecs
+
+fn arb_request() -> impl Strategy<Value = VphiRequest> {
+    prop_oneof![
+        Just(VphiRequest::Open),
+        Just(VphiRequest::GetNodeIds),
+        (any::<u64>(), any::<u16>()).prop_map(|(epd, port)| VphiRequest::Bind { epd, port }),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(epd, backlog)| VphiRequest::Listen { epd, backlog }),
+        (any::<u64>(), any::<u16>(), any::<u16>())
+            .prop_map(|(epd, node, port)| VphiRequest::Connect { epd, node, port }),
+        (any::<u64>(), any::<u32>()).prop_map(|(epd, len)| VphiRequest::Send { epd, len }),
+        (any::<u64>(), any::<u32>()).prop_map(|(epd, len)| VphiRequest::Recv { epd, len }),
+        (any::<u64>(), any::<u64>(), any::<u8>(), any::<u64>(), any::<bool>()).prop_map(
+            |(epd, len, prot, fixed_offset, has_fixed)| VphiRequest::Register {
+                epd,
+                len,
+                prot,
+                fixed_offset,
+                has_fixed
+            }
+        ),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u8>()).prop_map(
+            |(epd, roffset, len, flags)| VphiRequest::VreadFrom { epd, roffset, len, flags }
+        ),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u8>()).prop_map(
+            |(epd, loffset, len, roffset, flags)| VphiRequest::ReadFrom {
+                epd,
+                loffset,
+                len,
+                roffset,
+                flags
+            }
+        ),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u8>())
+            .prop_map(|(epd, offset, len, prot)| VphiRequest::Mmap { epd, offset, len, prot }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(epd, loff, lval, roff, rval)| VphiRequest::FenceSignal {
+                epd,
+                loff,
+                lval,
+                roff,
+                rval
+            }
+        ),
+        (any::<u64>(), any::<u64>()).prop_map(|(epd, len)| VphiRequest::SendTimed { epd, len }),
+        any::<u64>().prop_map(|epd| VphiRequest::Close { epd }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn vphi_request_codec_round_trips(req in arb_request()) {
+        let encoded = req.encode();
+        let decoded = VphiRequest::decode(&encoded).expect("decodes");
+        prop_assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn vphi_response_codec_round_trips(status in -200000i64..0, v0: u64, v1: u64) {
+        let resp = VphiResponse { status, val0: v0, val1: v1 };
+        prop_assert_eq!(VphiResponse::decode(&resp.encode()), Some(resp));
+    }
+}
+
+// ----------------------------------------------------------- allocators
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(u64),
+    FreeNth(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..128 * 1024).prop_map(AllocOp::Alloc),
+            (0usize..64).prop_map(AllocOp::FreeNth),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn device_memory_allocations_never_overlap(ops in arb_ops()) {
+        let mem = DeviceMemory::new(16 * 1024 * 1024);
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (offset, len)
+        for op in ops {
+            match op {
+                AllocOp::Alloc(len) => {
+                    if let Ok(region) = mem.alloc_timed(len) {
+                        let (off, rlen) = (region.offset(), region.len());
+                        // Page-rounded, in-bounds, disjoint from all live.
+                        prop_assert_eq!(off % PAGE_SIZE, 0);
+                        prop_assert!(rlen >= len);
+                        prop_assert!(off + rlen <= mem.capacity());
+                        for &(o, l) in &live {
+                            prop_assert!(off + rlen <= o || o + l <= off,
+                                "overlap: [{off},{rlen}) vs [{o},{l})");
+                        }
+                        live.push((off, rlen));
+                    }
+                }
+                AllocOp::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let (off, _) = live.remove(i % live.len());
+                        prop_assert!(mem.free(off).is_ok());
+                    }
+                }
+            }
+            // Accounting matches the live set exactly.
+            prop_assert_eq!(mem.allocated(), live.iter().map(|&(_, l)| l).sum::<u64>());
+        }
+        // Freeing everything restores a fully usable arena.
+        for (off, _) in live {
+            prop_assert!(mem.free(off).is_ok());
+        }
+        prop_assert!(mem.alloc_timed(mem.capacity()).is_ok());
+    }
+
+    #[test]
+    fn guest_memory_allocations_never_overlap(ops in arb_ops()) {
+        let mem = GuestMemory::new(8 * 1024 * 1024);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                AllocOp::Alloc(len) => {
+                    if let Ok(gpa) = mem.alloc(len) {
+                        let rlen = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+                        for &(o, l) in &live {
+                            prop_assert!(gpa.0 + rlen <= o || o + l <= gpa.0);
+                        }
+                        live.push((gpa.0, rlen));
+                    }
+                }
+                AllocOp::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let (off, _) = live.remove(i % live.len());
+                        prop_assert!(mem.free(vphi_vmm::Gpa(off)).is_ok());
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ msg queue
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SCIF byte stream delivers exactly the concatenation of the
+    /// writes, regardless of how reads and writes are sliced.
+    #[test]
+    fn msg_queue_preserves_the_byte_stream(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..20),
+        read_sizes in prop::collection::vec(1usize..128, 1..40),
+    ) {
+        let q = MsgQueue::new(1 << 16);
+        let expected: Vec<u8> = chunks.concat();
+        for c in &chunks {
+            prop_assert!(q.write_all(c));
+        }
+        q.close();
+        let mut got = Vec::new();
+        let mut i = 0;
+        loop {
+            let want = read_sizes[i % read_sizes.len()];
+            i += 1;
+            let mut buf = vec![0u8; want];
+            let n = q.read_some(&mut buf);
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        prop_assert_eq!(got, expected);
+    }
+}
+
+// -------------------------------------------------------- busy resource
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Grants on a serial resource never overlap and preserve total hold
+    /// time, for arbitrary arrival patterns.
+    #[test]
+    fn busy_resource_grants_are_disjoint(
+        requests in prop::collection::vec((0u64..10_000, 1u64..5_000), 1..50)
+    ) {
+        let r = BusyResource::new();
+        let mut grants = Vec::new();
+        let mut total_hold = 0u64;
+        for (at, hold) in requests {
+            let g = r.acquire(SimTime(at), SimDuration(hold));
+            prop_assert!(g.start.0 >= at);
+            prop_assert_eq!(g.end.0 - g.start.0, hold);
+            total_hold += hold;
+            grants.push(g);
+        }
+        grants.sort_by_key(|g| g.start);
+        for pair in grants.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start);
+        }
+        prop_assert_eq!(r.busy_total(), SimDuration(total_hold));
+    }
+}
+
+// ------------------------------------------------- cost-model identities
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any size under one staging chunk, the vPHI−native latency gap
+    /// stays within the constant overhead plus the staging copy — the
+    /// Fig. 4 "constant offset" claim as an algebraic property of the
+    /// cost model.
+    #[test]
+    fn overhead_is_constant_modulo_staging_copies(bytes in 1u64..4 * 1024 * 1024) {
+        let m = CostModel::paper_calibrated();
+        let constant = m.paravirtual_floor_no_wait() + m.guest_wakeup;
+        // vPHI adds: the constant + one staging copy each way of the chunk.
+        let staging = m.cpu_copy(bytes);
+        let predicted_gap = constant + staging;
+        prop_assert!(predicted_gap >= constant);
+        prop_assert!(
+            predicted_gap.saturating_sub(constant) <= m.cpu_copy(4 * 1024 * 1024),
+            "staging term exceeded one full chunk copy"
+        );
+    }
+
+    /// Throughput ratio (vPHI/native) for an N-byte remote read is
+    /// monotonically increasing in N and bounded by the 72% asymptote.
+    #[test]
+    fn rma_ratio_is_monotone_and_bounded(kib in 1u64..1_000_000) {
+        let m = CostModel::paper_calibrated();
+        let bytes = kib * 1024;
+        let native = m.native_floor() + m.rma_setup + m.link_transfer(bytes);
+        let vphi = native + m.paravirtual_floor_no_wait() + m.guest_wakeup
+            + m.translate_pages(bytes);
+        let ratio = native.as_nanos() as f64 / vphi.as_nanos() as f64;
+        let asymptote = {
+            let link = m.link_transfer(PAGE_SIZE).as_nanos() as f64;
+            link / (link + m.page_translate.as_nanos() as f64)
+        };
+        prop_assert!(ratio <= asymptote + 1e-9, "ratio {ratio} above asymptote {asymptote}");
+    }
+}
