@@ -13,11 +13,7 @@ fn print_figure() {
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            vec![
-                format_bytes(r.chunk),
-                format_bytes(r.transfer),
-                format_throughput(r.bandwidth),
-            ]
+            vec![format_bytes(r.chunk), format_bytes(r.transfer), format_throughput(r.bandwidth)]
         })
         .collect();
     println!(

@@ -40,10 +40,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
-    for (i, scheme) in
-        [WaitScheme::Interrupt, WaitScheme::Polling, WaitScheme::DEFAULT_HYBRID]
-            .into_iter()
-            .enumerate()
+    for (i, scheme) in [WaitScheme::Interrupt, WaitScheme::Polling, WaitScheme::DEFAULT_HYBRID]
+        .into_iter()
+        .enumerate()
     {
         let sink = spawn_device_sink(&host, Port(910 + i as u16));
         let vm = host.spawn_vm(VmConfig { scheme, ..VmConfig::default() });

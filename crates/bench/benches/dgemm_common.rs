@@ -29,7 +29,9 @@ pub fn run_figure(c: &mut Criterion, name: &str, threads: u32) {
     println!(
         "{}",
         render_table(
-            &format!("Figs. 6-8 — dgemm via micnativeloadex, {threads} threads (host normalized to 1.0)"),
+            &format!(
+                "Figs. 6-8 — dgemm via micnativeloadex, {threads} threads (host normalized to 1.0)"
+            ),
             &["N", "inputs", "host total", "vPHI total", "vPHI/host"],
             &table,
         )

@@ -31,9 +31,7 @@ fn bench_virtqueue(c: &mut Criterion) {
 
 fn bench_waitqueue(c: &mut Criterion) {
     let wq = WaitQueue::new();
-    c.bench_function("waitqueue_satisfied_predicate", |b| {
-        b.iter(|| wq.wait_until(|| Some(1u32)))
-    });
+    c.bench_function("waitqueue_satisfied_predicate", |b| b.iter(|| wq.wait_until(|| Some(1u32))));
 }
 
 fn bench_scif_loopback(c: &mut Criterion) {

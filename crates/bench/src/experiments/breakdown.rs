@@ -63,10 +63,8 @@ mod tests {
         let (total, overhead, rows) = breakdown_one_byte();
         assert_eq!(total, SimDuration::from_micros(382));
         assert_eq!(overhead, SimDuration::from_micros(375));
-        let wakeup = rows
-            .iter()
-            .find(|r| r.label == SpanLabel::GuestWakeup)
-            .expect("wakeup span present");
+        let wakeup =
+            rows.iter().find(|r| r.label == SpanLabel::GuestWakeup).expect("wakeup span present");
         assert!((wakeup.overhead_share - 0.93).abs() < 0.001, "share = {}", wakeup.overhead_share);
         // Shares of overhead spans sum to 1.
         let sum: f64 = rows.iter().map(|r| r.overhead_share).sum();

@@ -28,16 +28,7 @@ impl Fig5Row {
 
 /// The transfer sizes the figure sweeps.
 pub fn fig5_sizes() -> Vec<u64> {
-    vec![
-        64 * KIB,
-        256 * KIB,
-        MIB,
-        4 * MIB,
-        16 * MIB,
-        64 * MIB,
-        128 * MIB,
-        256 * MIB,
-    ]
+    vec![64 * KIB, 256 * KIB, MIB, 4 * MIB, 16 * MIB, 64 * MIB, 128 * MIB, 256 * MIB]
 }
 
 /// Regenerate Figure 5.

@@ -1,5 +1,6 @@
 //! The per-figure experiment modules.
 
+pub mod abl_cache;
 pub mod ablations;
 pub mod breakdown;
 pub mod dgemm;
@@ -7,6 +8,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod sharing;
 
+pub use abl_cache::{abl_cache, abl_cache_sizes, AblCacheReport, AblCacheRow};
 pub use ablations::{abl_block, abl_chunk, abl_wait, BlockRow, ChunkRow, WaitRow};
 pub use breakdown::{breakdown_one_byte, BreakdownRow};
 pub use dgemm::{dgemm_figure, DgemmRow, PAPER_THREAD_COUNTS};

@@ -81,8 +81,7 @@ fn share_point(n: usize, bytes_each: u64) -> ShareRow {
         makespan = makespan.max(end.elapsed_since(t0) + overhead);
         latencies.push(latency);
     }
-    let per_vm_bw: Vec<f64> =
-        latencies.iter().map(|l| l.throughput(bytes_each)).collect();
+    let per_vm_bw: Vec<f64> = latencies.iter().map(|l| l.throughput(bytes_each)).collect();
     let mean_ns = latencies.iter().map(|l| l.as_nanos()).sum::<u64>() / n as u64;
 
     // --- compute-side sharing: co-scheduled 224-thread dgemm jobs ---

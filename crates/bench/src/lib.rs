@@ -12,6 +12,7 @@
 //! | Fig. 5 (remote-read throughput)     | [`experiments::fig5`] |
 //! | Figs. 6–8 (dgemm launch+execute)    | [`experiments::dgemm`] |
 //! | ABL-WAIT / ABL-CHUNK / ABL-BLOCK    | [`experiments::ablations`] |
+//! | ABL-CACHE (registration cache)      | [`experiments::abl_cache`] |
 //! | SHARE (multi-VM sharing)            | [`experiments::sharing`] |
 
 pub mod experiments;

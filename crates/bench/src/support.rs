@@ -42,7 +42,11 @@ pub fn spawn_device_sink(host: &VphiHost, port: Port) -> std::thread::JoinHandle
 /// A device-side server that registers a `window_len` GDDR window at
 /// offset 0 (the paper's remote-memory benchmark server) and parks until
 /// the peer closes.
-pub fn spawn_device_window(host: &VphiHost, port: Port, window_len: u64) -> std::thread::JoinHandle<()> {
+pub fn spawn_device_window(
+    host: &VphiHost,
+    port: Port,
+    window_len: u64,
+) -> std::thread::JoinHandle<()> {
     let board = Arc::clone(host.board(0));
     let server = host.device_endpoint(0).expect("device endpoint");
     let (ready_tx, ready_rx) = std::sync::mpsc::channel();
@@ -54,8 +58,14 @@ pub fn spawn_device_window(host: &VphiHost, port: Port, window_len: u64) -> std:
         let conn = server.accept(&mut tl).expect("accept");
         let region = board.memory().alloc_timed(window_len).expect("gddr alloc");
         let offset = region.offset();
-        conn.register(Some(0), window_len, Prot::READ_WRITE, WindowBacking::Device(region), &mut tl)
-            .expect("register");
+        conn.register(
+            Some(0),
+            window_len,
+            Prot::READ_WRITE,
+            WindowBacking::Device(region),
+            &mut tl,
+        )
+        .expect("register");
         // Park until the peer hangs up.
         let mut b = [0u8; 1];
         let _ = conn.core().recv(&mut b, &mut tl);

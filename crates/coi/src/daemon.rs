@@ -195,57 +195,44 @@ fn session(
                     // parks and serves buffer / run-function requests until
                     // the session closes.
                 }
-                CoiMsg::CreateBuffer { size } => {
-                    match board.memory().alloc_timed(size) {
-                        Ok(region) => {
-                            let id = next_buffer;
-                            next_buffer += 1;
-                            buffers.insert(id, region.offset());
-                            reply(&conn, &CoiMsg::BufferCreated { id }, &mut tl)?;
-                        }
-                        Err(_) => {
-                            reply(
-                                &conn,
-                                &CoiMsg::Error { errno: ScifError::NoMem.errno() },
-                                &mut tl,
-                            )?;
-                        }
+                CoiMsg::CreateBuffer { size } => match board.memory().alloc_timed(size) {
+                    Ok(region) => {
+                        let id = next_buffer;
+                        next_buffer += 1;
+                        buffers.insert(id, region.offset());
+                        reply(&conn, &CoiMsg::BufferCreated { id }, &mut tl)?;
                     }
+                    Err(_) => {
+                        reply(&conn, &CoiMsg::Error { errno: ScifError::NoMem.errno() }, &mut tl)?;
+                    }
+                },
+                CoiMsg::WriteBuffer { id, size } if buffers.contains_key(&id) => {
+                    conn.recv_timed(size, &mut tl)?;
+                    reply(&conn, &CoiMsg::WriteAck, &mut tl)?;
                 }
-                CoiMsg::WriteBuffer { id, size }
-                    if buffers.contains_key(&id) => {
-                        conn.recv_timed(size, &mut tl)?;
+                CoiMsg::ReadBuffer { id, size } if buffers.contains_key(&id) => {
+                    reply(&conn, &CoiMsg::ReadReady { size }, &mut tl)?;
+                    conn.send_timed(size, &mut tl)?;
+                }
+                CoiMsg::RunFunction { name, buffer_ids, manifest }
+                    if buffer_ids.iter().all(|id| buffers.contains_key(id)) =>
+                {
+                    let dur = run_manifest(&board, &name, &manifest, &mut tl);
+                    reply(
+                        &conn,
+                        &CoiMsg::FunctionDone { ret: 0, device_time_ns: dur.as_nanos() },
+                        &mut tl,
+                    )?;
+                }
+                CoiMsg::DestroyBuffer { id } => match buffers.remove(&id) {
+                    Some(offset) => {
+                        let _ = board.memory().free(offset);
                         reply(&conn, &CoiMsg::WriteAck, &mut tl)?;
                     }
-                CoiMsg::ReadBuffer { id, size }
-                    if buffers.contains_key(&id) => {
-                        reply(&conn, &CoiMsg::ReadReady { size }, &mut tl)?;
-                        conn.send_timed(size, &mut tl)?;
+                    None => {
+                        reply(&conn, &CoiMsg::Error { errno: ScifError::Inval.errno() }, &mut tl)?;
                     }
-                CoiMsg::RunFunction { name, buffer_ids, manifest }
-                    if buffer_ids.iter().all(|id| buffers.contains_key(id)) => {
-                        let dur = run_manifest(&board, &name, &manifest, &mut tl);
-                        reply(
-                            &conn,
-                            &CoiMsg::FunctionDone { ret: 0, device_time_ns: dur.as_nanos() },
-                            &mut tl,
-                        )?;
-                    }
-                CoiMsg::DestroyBuffer { id } => {
-                    match buffers.remove(&id) {
-                        Some(offset) => {
-                            let _ = board.memory().free(offset);
-                            reply(&conn, &CoiMsg::WriteAck, &mut tl)?;
-                        }
-                        None => {
-                            reply(
-                                &conn,
-                                &CoiMsg::Error { errno: ScifError::Inval.errno() },
-                                &mut tl,
-                            )?;
-                        }
-                    }
-                }
+                },
                 // Client-bound messages arriving at the daemon are a
                 // protocol violation.
                 _ => {

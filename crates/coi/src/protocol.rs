@@ -26,7 +26,9 @@ impl ComputeManifest {
 pub enum CoiMsg {
     // client → daemon
     /// Version handshake (COI checks host/card stack compatibility).
-    Handshake { version: u32 },
+    Handshake {
+        version: u32,
+    },
     /// Launch a shipped binary; `binary_bytes + lib_bytes` follow on the
     /// timed bulk lane.
     LaunchProcess {
@@ -37,27 +39,59 @@ pub enum CoiMsg {
         manifest: ComputeManifest,
     },
     /// Create a device buffer of `size` bytes (offload mode).
-    CreateBuffer { size: u64 },
+    CreateBuffer {
+        size: u64,
+    },
     /// Write `size` bytes into buffer `id` (bulk follows on timed lane).
-    WriteBuffer { id: u64, size: u64 },
+    WriteBuffer {
+        id: u64,
+        size: u64,
+    },
     /// Read `size` bytes back from buffer `id` (bulk returns on timed lane).
-    ReadBuffer { id: u64, size: u64 },
+    ReadBuffer {
+        id: u64,
+        size: u64,
+    },
     /// Run an offloaded function against the given buffers.
-    RunFunction { name: String, buffer_ids: Vec<u64>, manifest: ComputeManifest },
+    RunFunction {
+        name: String,
+        buffer_ids: Vec<u64>,
+        manifest: ComputeManifest,
+    },
     /// Destroy a device buffer.
-    DestroyBuffer { id: u64 },
+    DestroyBuffer {
+        id: u64,
+    },
 
     // daemon → client
-    HandshakeAck { version: u32 },
-    ProcessStarted { pid: u64 },
+    HandshakeAck {
+        version: u32,
+    },
+    ProcessStarted {
+        pid: u64,
+    },
     /// Proxied stdout text (micnativeloadex relays it to the caller).
-    Stdout { text: String },
-    ProcessExited { code: i32, device_time_ns: u64 },
-    BufferCreated { id: u64 },
+    Stdout {
+        text: String,
+    },
+    ProcessExited {
+        code: i32,
+        device_time_ns: u64,
+    },
+    BufferCreated {
+        id: u64,
+    },
     WriteAck,
-    ReadReady { size: u64 },
-    FunctionDone { ret: u64, device_time_ns: u64 },
-    Error { errno: i32 },
+    ReadReady {
+        size: u64,
+    },
+    FunctionDone {
+        ret: u64,
+        device_time_ns: u64,
+    },
+    Error {
+        errno: i32,
+    },
 }
 
 /// The daemon protocol version (mirrors an MPSS release).

@@ -5,10 +5,10 @@
 use std::sync::Arc;
 
 use vphi::builder::{VmConfig, VphiHost};
-use vphi_coi::process::LaunchSpec;
-use vphi_coi::{CoiDaemon, CoiEngine, CoiProcess, ComputeManifest, GuestEnv, NativeEnv};
 use vphi_coi::pipeline::CoiPipeline;
+use vphi_coi::process::LaunchSpec;
 use vphi_coi::transport::CoiEnv;
+use vphi_coi::{CoiDaemon, CoiEngine, CoiProcess, ComputeManifest, GuestEnv, NativeEnv};
 use vphi_sim_core::{SimDuration, Timeline};
 
 fn dgemm_spec(n: u64, threads: u32) -> LaunchSpec {

@@ -11,8 +11,10 @@
 //! on `/dev/mic/scif` in parallel — nothing in the host driver changes.
 
 mod dispatch;
+mod reg_cache;
 
 pub use dispatch::{dispatch_policy, request_payload_len, Dispatch, DispatchPolicy};
+pub use reg_cache::{RegCacheConfig, RegCacheSnapshot, RegCacheStats, RegistrationCache};
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -74,6 +76,26 @@ pub struct BackendStats {
     pub requests: AtomicU64,
     pub worker_dispatches: AtomicU64,
     pub pages_translated: AtomicU64,
+    /// Intermediate interrupt injections elided because more completions
+    /// from the same burst were about to land on the used ring.
+    pub irqs_coalesced: AtomicU64,
+}
+
+/// Knobs the builder exposes beyond the dispatch policy.
+#[derive(Debug, Clone, Copy)]
+pub struct BackendOptions {
+    /// RMA registration-cache tuning (enabled by default).
+    pub reg_cache: RegCacheConfig,
+    /// Coalesce used-ring notifications: suppress guest kicks while the
+    /// service loop is draining and elide all but the last interrupt of
+    /// a burst.  A burst of one behaves exactly like the seed.
+    pub coalesce_notifications: bool,
+}
+
+impl Default for BackendOptions {
+    fn default() -> Self {
+        BackendOptions { reg_cache: RegCacheConfig::default(), coalesce_notifications: true }
+    }
 }
 
 struct EndpointTable {
@@ -82,7 +104,8 @@ struct EndpointTable {
 }
 
 struct MmapTable {
-    maps: HashMap<u64, MappedRegion>,
+    /// vaddr → (owning endpoint, the device mapping itself).
+    maps: HashMap<u64, (u64, MappedRegion)>,
 }
 
 /// Everything the service loop and worker threads share.
@@ -99,6 +122,11 @@ pub struct BackendInner {
     mmaps: Mutex<MmapTable>,
     policy: DispatchPolicy,
     running: AtomicBool,
+    coalesce: bool,
+    /// Registered windows, (epd, window offset) → (backing gpa, len).
+    /// Only consulted to invalidate the cache on `scif_unregister`.
+    windows: Mutex<HashMap<(u64, u64), (u64, u64)>>,
+    pub reg_cache: RegistrationCache,
     pub stats: BackendStats,
 }
 
@@ -119,8 +147,12 @@ impl BackendInner {
         epd
     }
 
-    /// Service one popped chain end-to-end.
-    fn process(self: &Arc<Self>, chain: DescChain) {
+    /// Service one popped chain end-to-end.  `more_pending` is true when
+    /// the service loop already holds further chains of the same burst:
+    /// the completion then skips its interrupt injection, because the
+    /// burst's last completion will interrupt the guest once for all of
+    /// them (notification coalescing).
+    fn process(self: &Arc<Self>, chain: DescChain, more_pending: bool) {
         let (token, mut tl) = self.channel.claim(chain.head);
         let cost = self.cost();
         tl.charge(SpanLabel::BackendDecode, cost.backend_decode);
@@ -136,8 +168,10 @@ impl BackendInner {
             .ok()
             .flatten();
 
+        let coalesce_irq = more_pending && self.coalesce;
+
         let Some(req) = req else {
-            self.finish(token, &chain, VphiResponse::err(ScifError::Inval), tl);
+            self.finish(token, &chain, VphiResponse::err(ScifError::Inval), tl, coalesce_irq);
             return;
         };
 
@@ -147,12 +181,13 @@ impl BackendInner {
                 let resp = el.run(vphi_vmm::event_loop::Dispatch::Blocking, &mut tl, |tl| {
                     self.execute(&req, &chain, tl)
                 });
-                self.finish(token, &chain, resp, tl);
+                self.finish(token, &chain, resp, tl, coalesce_irq);
             }
             Dispatch::Worker => {
                 // `scif_accept` may wait forever for a connect; freezing
                 // the VM for it is unacceptable (paper §III), so it runs
-                // on a QEMU worker thread.
+                // on a QEMU worker thread.  A worker completes at its own
+                // pace, so its interrupt is never coalesced.
                 self.stats.worker_dispatches.fetch_add(1, Ordering::Relaxed);
                 let inner = Arc::clone(self);
                 self.event_loop.spawn_worker(req.name(), move || {
@@ -161,20 +196,22 @@ impl BackendInner {
                     let resp = el.run(vphi_vmm::event_loop::Dispatch::Worker, &mut tl, |tl| {
                         inner.execute(&req, &chain, tl)
                     });
-                    inner.finish(token, &chain, resp, tl);
+                    inner.finish(token, &chain, resp, tl, false);
                 });
             }
         }
     }
 
     /// Write the response header, push used, inject the virtual interrupt
-    /// and hand the timeline back to the frontend.
+    /// (unless this completion rides an imminent later one) and hand the
+    /// timeline back to the frontend.
     fn finish(
         &self,
         token: crate::frontend::ReqToken,
         chain: &DescChain,
         resp: VphiResponse,
         mut tl: Timeline,
+        coalesce_irq: bool,
     ) {
         let resp_desc = chain.descriptors.last().expect("chain has a response descriptor");
         let _ = self.guest_mem.write(Gpa(resp_desc.addr), &resp.encode());
@@ -183,7 +220,11 @@ impl BackendInner {
             self.cost().used_push,
             &mut tl,
         );
-        self.guest_irq.inject(VPHI_IRQ_VECTOR, &mut tl);
+        if coalesce_irq {
+            self.stats.irqs_coalesced.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.guest_irq.inject(VPHI_IRQ_VECTOR, &mut tl);
+        }
         self.channel.complete(token, tl);
     }
 
@@ -195,7 +236,17 @@ impl BackendInner {
 
     /// Per-page pin + GPA→HVA translation charge for an RMA buffer — the
     /// term that caps vPHI remote-read throughput at 72% of native.
-    fn charge_translate(&self, bytes: u64, tl: &mut Timeline) {
+    ///
+    /// With the registration cache enabled the charge is paid once per
+    /// `(endpoint, range)`: a hit pays only the constant probe, the way
+    /// native SCIF amortizes registration across transfers.
+    fn charge_translate(&self, epd: u64, gpa: u64, bytes: u64, tl: &mut Timeline) {
+        if self.reg_cache.enabled() {
+            tl.charge(SpanLabel::RegCacheLookup, self.cost().reg_cache_lookup);
+            if self.reg_cache.lookup_or_insert(epd, gpa, bytes) {
+                return;
+            }
+        }
         let pages = bytes.div_ceil(vphi_sim_core::cost::PAGE_SIZE).max(1);
         self.stats.pages_translated.fetch_add(pages, Ordering::Relaxed);
         tl.charge(SpanLabel::PageTranslate, self.cost().page_translate * pages);
@@ -218,8 +269,7 @@ impl BackendInner {
                 Ok((0, 0))
             }
             VphiRequest::Connect { epd, node, port } => {
-                let peer =
-                    self.ep(epd)?.connect(ScifAddr::new(NodeId(node), Port(port)), tl)?;
+                let peer = self.ep(epd)?.connect(ScifAddr::new(NodeId(node), Port(port)), tl)?;
                 Ok((peer.node.0 as u64, peer.port.0 as u64))
             }
             VphiRequest::Accept { epd } => {
@@ -254,9 +304,7 @@ impl BackendInner {
                     }
                     let mut buf = vec![0u8; want];
                     let n = ep.recv(&mut buf, tl)?;
-                    self.guest_mem
-                        .write(Gpa(d.addr), &buf[..n])
-                        .map_err(|_| ScifError::Inval)?;
+                    self.guest_mem.write(Gpa(d.addr), &buf[..n]).map_err(|_| ScifError::Inval)?;
                     got += n as u64;
                     if n < want {
                         break; // peer closed
@@ -276,16 +324,33 @@ impl BackendInner {
                     WindowBacking::External(Arc::new(backing)),
                     tl,
                 )?;
+                // Remember which guest range backs the window so that
+                // unregistering it can drop stale cached translations.
+                self.windows.lock().insert((epd, off), (d.addr, len));
                 Ok((off, 0))
             }
             VphiRequest::Unregister { epd, offset, len } => {
                 self.ep(epd)?.unregister(offset, len, tl)?;
+                // The window's pages are no longer pinned: drop every
+                // cached translation backed by an overlapping window.
+                let mut windows = self.windows.lock();
+                let gone: Vec<((u64, u64), (u64, u64))> = windows
+                    .iter()
+                    .filter(|(&(wepd, woff), &(_, wlen))| {
+                        wepd == epd && woff < offset + len && offset < woff + wlen
+                    })
+                    .map(|(&k, &v)| (k, v))
+                    .collect();
+                for (key, (gpa, wlen)) in gone {
+                    windows.remove(&key);
+                    self.reg_cache.invalidate_range(epd, gpa, wlen);
+                }
                 Ok((0, 0))
             }
             VphiRequest::VreadFrom { epd, roffset, len, flags } => {
                 let ep = self.ep(epd)?;
                 let d = self.payload(chain).first().copied().ok_or(ScifError::Inval)?;
-                self.charge_translate(len, tl);
+                self.charge_translate(epd, d.addr, len, tl);
                 let mut buf = vec![0u8; len as usize];
                 ep.vreadfrom(&mut buf, roffset, rma_flags_from_wire(flags), tl)?;
                 self.guest_mem.write(Gpa(d.addr), &buf).map_err(|_| ScifError::Inval)?;
@@ -294,7 +359,7 @@ impl BackendInner {
             VphiRequest::VwriteTo { epd, roffset, len, flags } => {
                 let ep = self.ep(epd)?;
                 let d = self.payload(chain).first().copied().ok_or(ScifError::Inval)?;
-                self.charge_translate(len, tl);
+                self.charge_translate(epd, d.addr, len, tl);
                 let buf = self
                     .guest_mem
                     .with_slice(Gpa(d.addr), len, |s| s.to_vec())
@@ -332,13 +397,17 @@ impl BackendInner {
                         backing,
                     )
                     .map_err(|_| ScifError::Inval)?;
-                self.mmaps.lock().maps.insert(vaddr, region);
+                self.mmaps.lock().maps.insert(vaddr, (epd, region));
                 Ok((vaddr, 0))
             }
             VphiRequest::Munmap { vaddr } => {
-                self.mmaps.lock().maps.remove(&vaddr).ok_or(ScifError::Inval)?;
+                let (epd, _region) =
+                    self.mmaps.lock().maps.remove(&vaddr).ok_or(ScifError::Inval)?;
                 self.kvm.vmas.lock().unmap(vaddr).map_err(|_| ScifError::Inval)?;
                 self.kvm.forget_vma(vaddr);
+                // Mapping teardown can release device pages the cache
+                // assumed pinned for this endpoint.
+                self.reg_cache.invalidate_endpoint(epd);
                 Ok((0, 0))
             }
             VphiRequest::FenceMark { epd } => {
@@ -358,14 +427,16 @@ impl BackendInner {
                 match removed {
                     Some(ep) => {
                         ep.close();
+                        // Everything pinned for this endpoint is released.
+                        self.reg_cache.invalidate_endpoint(epd);
+                        self.windows.lock().retain(|&(wepd, _), _| wepd != epd);
                         Ok((0, 0))
                     }
                     None => Err(ScifError::Inval),
                 }
             }
             VphiRequest::SysfsRead { mic_index } => {
-                let board =
-                    self.boards.get(mic_index as usize).ok_or(ScifError::NoDev)?;
+                let board = self.boards.get(mic_index as usize).ok_or(ScifError::NoDev)?;
                 let mut text = String::new();
                 for (k, v) in board.sysfs().iter() {
                     text.push_str(k);
@@ -396,11 +467,8 @@ impl BackendInner {
             VphiRequest::Poll { epd, events, timeout_ms } => {
                 let ep = self.ep(epd)?;
                 let interest = crate::protocol::poll_events_from_wire(events);
-                let revents = ep.poll(
-                    interest,
-                    std::time::Duration::from_millis(timeout_ms as u64),
-                    tl,
-                )?;
+                let revents =
+                    ep.poll(interest, std::time::Duration::from_millis(timeout_ms as u64), tl)?;
                 Ok((crate::protocol::poll_events_to_wire(revents) as u64, 0))
             }
         })();
@@ -466,6 +534,33 @@ impl BackendDevice {
         boards: Vec<Arc<PhiBoard>>,
         policy: DispatchPolicy,
     ) -> Arc<Self> {
+        Self::with_options(
+            name,
+            channel,
+            guest_mem,
+            guest_irq,
+            kvm,
+            event_loop,
+            fabric,
+            boards,
+            policy,
+            BackendOptions::default(),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_options(
+        name: impl Into<String>,
+        channel: Arc<VphiChannel>,
+        guest_mem: Arc<GuestMemory>,
+        guest_irq: Arc<IrqChip>,
+        kvm: Arc<KvmModule>,
+        event_loop: Arc<QemuEventLoop>,
+        fabric: Arc<ScifFabric>,
+        boards: Vec<Arc<PhiBoard>>,
+        policy: DispatchPolicy,
+        options: BackendOptions,
+    ) -> Arc<Self> {
         Arc::new(BackendDevice {
             inner: Arc::new(BackendInner {
                 name: name.into(),
@@ -480,6 +575,9 @@ impl BackendDevice {
                 mmaps: Mutex::new(MmapTable { maps: HashMap::new() }),
                 policy,
                 running: AtomicBool::new(false),
+                coalesce: options.coalesce_notifications,
+                windows: Mutex::new(HashMap::new()),
+                reg_cache: RegistrationCache::new(options.reg_cache),
                 stats: BackendStats::default(),
             }),
             thread: Mutex::new(None),
@@ -514,10 +612,35 @@ impl VirtualPciDevice for BackendDevice {
             .spawn(move || {
                 while inner.running.load(Ordering::Acquire) && inner.channel.queue.wait_kick() {
                     loop {
-                        match inner.channel.queue.pop_avail() {
-                            Ok(Some(chain)) => inner.process(chain),
-                            Ok(None) => break,
-                            Err(_) => break,
+                        let queue = &inner.channel.queue;
+                        // While the loop is draining a burst, further guest
+                        // kicks are redundant — VRING_USED_F_NO_NOTIFY
+                        // spares the guest those vm-exits.  Suppression is
+                        // lifted *before* the burst's last completion is
+                        // delivered, so a synchronous requester's next kick
+                        // behaves exactly as without coalescing.
+                        if inner.coalesce {
+                            queue.set_suppress_kick(true);
+                        }
+                        let mut batch = Vec::new();
+                        while let Ok(Some(chain)) = queue.pop_avail() {
+                            batch.push(chain);
+                        }
+                        let burst = batch.len();
+                        if inner.coalesce && burst <= 1 {
+                            queue.set_suppress_kick(false);
+                        }
+                        for (i, chain) in batch.into_iter().enumerate() {
+                            let last = i + 1 == burst;
+                            if inner.coalesce && last && burst > 1 {
+                                queue.set_suppress_kick(false);
+                            }
+                            inner.process(chain, !last);
+                        }
+                        // A chain posted while kicks were suppressed never
+                        // delivered its kick; pick it up before blocking.
+                        if !queue.avail_pending() {
+                            break;
                         }
                     }
                 }

@@ -40,6 +40,12 @@ pub struct VmConfig {
     /// Backend dispatch policy (paper default: only `scif_accept` on a
     /// worker; ABL-BLOCK sweeps the size-hybrid).
     pub dispatch: crate::backend::DispatchPolicy,
+    /// Backend RMA registration cache (disable to reproduce the seed's
+    /// per-request translation charge — the Fig. 5 72% ceiling).
+    pub reg_cache: crate::backend::RegCacheConfig,
+    /// Coalesce used-ring notifications (kick suppression + burst-level
+    /// interrupt elision).  A burst of one behaves exactly like the seed.
+    pub coalesce_notifications: bool,
 }
 
 impl Default for VmConfig {
@@ -51,6 +57,8 @@ impl Default for VmConfig {
             patch: KvmPatch::PfnPhi,
             chunk_size: vphi_sim_core::cost::KMALLOC_MAX_SIZE,
             dispatch: crate::backend::DispatchPolicy::PAPER,
+            reg_cache: crate::backend::RegCacheConfig::default(),
+            coalesce_notifications: true,
         }
     }
 }
@@ -157,7 +165,7 @@ impl VphiHost {
             config.scheme,
             config.chunk_size,
         );
-        let backend = BackendDevice::with_policy(
+        let backend = BackendDevice::with_options(
             format!("vphi{}", vm.id()),
             channel,
             Arc::clone(vm.mem()),
@@ -167,6 +175,10 @@ impl VphiHost {
             Arc::clone(&self.fabric),
             self.boards.clone(),
             config.dispatch,
+            crate::backend::BackendOptions {
+                reg_cache: config.reg_cache,
+                coalesce_notifications: config.coalesce_notifications,
+            },
         );
         vm.attach(Arc::clone(&backend) as Arc<dyn vphi_vmm::vm::VirtualPciDevice>);
         VphiVm { vm, frontend, backend }

@@ -23,11 +23,20 @@ pub struct VphiDebugReport {
     pub chunks_staged: u64,
     pub wait_queue_wakeups: u64,
     pub wait_queue_sleeps: u64,
+    // notification coalescing
+    pub kicks_delivered: u64,
+    pub kicks_suppressed: u64,
+    pub irqs_coalesced: u64,
     // backend
     pub backend_requests: u64,
     pub worker_dispatches: u64,
     pub pages_translated: u64,
     pub open_endpoints: usize,
+    // registration cache
+    pub reg_cache_hits: u64,
+    pub reg_cache_misses: u64,
+    pub reg_cache_evictions: u64,
+    pub reg_cache_invalidations: u64,
     // vmm
     pub vm_paused: SimDuration,
     pub blocking_events: u64,
@@ -42,6 +51,7 @@ impl VphiDebugReport {
         let fe = vm.frontend().stats();
         let be = vm.backend().inner();
         let el = vm.vm().event_loop();
+        let cache = be.reg_cache.snapshot();
         VphiDebugReport {
             vm_id: vm.vm().id(),
             requests: fe.requests,
@@ -50,18 +60,21 @@ impl VphiDebugReport {
             chunks_staged: fe.chunks_sent,
             wait_queue_wakeups: vm.frontend().channel().waitq.wakeup_count(),
             wait_queue_sleeps: vm.frontend().channel().waitq.sleep_count(),
+            kicks_delivered: fe.kicks_delivered,
+            kicks_suppressed: fe.kicks_suppressed,
+            irqs_coalesced: be.stats.irqs_coalesced.load(Ordering::Relaxed),
             backend_requests: be.stats.requests.load(Ordering::Relaxed),
             worker_dispatches: be.stats.worker_dispatches.load(Ordering::Relaxed),
             pages_translated: be.stats.pages_translated.load(Ordering::Relaxed),
             open_endpoints: vm.backend().open_endpoints(),
+            reg_cache_hits: cache.hits,
+            reg_cache_misses: cache.misses,
+            reg_cache_evictions: cache.evictions,
+            reg_cache_invalidations: cache.invalidations,
             vm_paused: el.vm_paused_total(),
             blocking_events: el.blocking_event_count(),
             worker_events: el.worker_event_count(),
-            irq_injections: vm
-                .vm()
-                .kernel()
-                .irq()
-                .inject_count(crate::frontend::VPHI_IRQ_VECTOR),
+            irq_injections: vm.vm().kernel().irq().inject_count(crate::frontend::VPHI_IRQ_VECTOR),
             mmap_faults: vm.vm().kvm().fault_count(),
         }
     }
@@ -74,10 +87,14 @@ impl VphiDebugReport {
              \x20 waits (irq/poll)    {iw}/{pw}\n\
              \x20 staging chunks      {chunks}\n\
              \x20 waitq wake/sleep    {wk}/{sl}\n\
+             \x20 kicks (sent/nonotf) {kd}/{ks}\n\
+             \x20 irqs coalesced      {ic}\n\
              \x20 backend requests    {breq}\n\
              \x20 worker dispatches   {wd}\n\
              \x20 pages translated    {pt}\n\
              \x20 open endpoints      {oe}\n\
+             \x20 regcache hit/miss   {rch}/{rcm}\n\
+             \x20 regcache evict/inv  {rce}/{rci}\n\
              \x20 vm paused           {paused}\n\
              \x20 events (block/work) {bev}/{wev}\n\
              \x20 irq injections      {irq}\n\
@@ -89,10 +106,17 @@ impl VphiDebugReport {
             chunks = self.chunks_staged,
             wk = self.wait_queue_wakeups,
             sl = self.wait_queue_sleeps,
+            kd = self.kicks_delivered,
+            ks = self.kicks_suppressed,
+            ic = self.irqs_coalesced,
             breq = self.backend_requests,
             wd = self.worker_dispatches,
             pt = self.pages_translated,
             oe = self.open_endpoints,
+            rch = self.reg_cache_hits,
+            rcm = self.reg_cache_misses,
+            rce = self.reg_cache_evictions,
+            rci = self.reg_cache_invalidations,
             paused = self.vm_paused,
             bev = self.blocking_events,
             wev = self.worker_events,
@@ -124,6 +148,13 @@ mod tests {
         assert_eq!(after_open.open_endpoints, 1);
         assert_eq!(after_open.irq_injections, 1);
         assert_eq!(after_open.interrupt_waits, 1);
+        // A lone request coalesces nothing: its kick is delivered and its
+        // interrupt injected, exactly as without coalescing.
+        assert_eq!(after_open.kicks_delivered, 1);
+        assert_eq!(after_open.kicks_suppressed, 0);
+        assert_eq!(after_open.irqs_coalesced, 0);
+        // No RMA yet → the registration cache was never probed.
+        assert_eq!(after_open.reg_cache_hits + after_open.reg_cache_misses, 0);
 
         ep.close(&mut tl).unwrap();
         let after_close = VphiDebugReport::collect(&vm);

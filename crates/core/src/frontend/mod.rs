@@ -31,7 +31,7 @@ use vphi_virtio::{Descriptor, VirtQueue};
 use vphi_vmm::kernel::KmallocBuf;
 use vphi_vmm::{GuestKernel, WaitQueue};
 
-use crate::protocol::{VphiRequest, VphiResponse, GuestEpd, REQ_SIZE, RESP_SIZE};
+use crate::protocol::{GuestEpd, VphiRequest, VphiResponse, REQ_SIZE, RESP_SIZE};
 
 /// The vPHI interrupt vector on the guest's IRQ chip.
 pub const VPHI_IRQ_VECTOR: u32 = 11;
@@ -128,6 +128,11 @@ pub struct FrontendStats {
     pub interrupt_waits: u64,
     pub polling_waits: u64,
     pub chunks_sent: u64,
+    /// Kicks the device declined (`VRING_USED_F_NO_NOTIFY`): the backend
+    /// was already draining, so no vm-exit was charged.
+    pub kicks_suppressed: u64,
+    /// Kicks that actually caused a vm-exit.
+    pub kicks_delivered: u64,
 }
 
 /// The guest kernel module.
@@ -289,8 +294,16 @@ impl FrontendDriver {
             }
         };
         let token = self.channel.submit(head, Timeline::with_capacity(16));
-        self.channel.queue.kick(cost.vmexit_kick, tl);
-        self.stats.lock().requests += 1;
+        let delivered = self.channel.queue.kick(cost.vmexit_kick, tl);
+        {
+            let mut stats = self.stats.lock();
+            stats.requests += 1;
+            if delivered {
+                stats.kicks_delivered += 1;
+            } else {
+                stats.kicks_suppressed += 1;
+            }
+        }
 
         // Wait per scheme, then absorb the backend's charges.
         let backend_tl = match self.wait_for(token, payload_bytes, tl) {
@@ -443,14 +456,16 @@ mod tests {
 
     fn driver(scheme: WaitScheme) -> Arc<FrontendDriver> {
         let mem = Arc::new(GuestMemory::new(64 * MIB));
-        let kernel =
-            Arc::new(GuestKernel::new(mem, Arc::new(CostModel::paper_calibrated())));
+        let kernel = Arc::new(GuestKernel::new(mem, Arc::new(CostModel::paper_calibrated())));
         let channel = VphiChannel::new(64);
         FrontendDriver::insert(kernel, channel, scheme)
     }
 
     /// A minimal fake backend: answers every request with ok(7, 8).
-    fn fake_backend(channel: Arc<VphiChannel>, kernel: Arc<GuestKernel>) -> std::thread::JoinHandle<()> {
+    fn fake_backend(
+        channel: Arc<VphiChannel>,
+        kernel: Arc<GuestKernel>,
+    ) -> std::thread::JoinHandle<()> {
         std::thread::spawn(move || {
             while channel.queue.wait_kick() {
                 while let Ok(Some(chain)) = channel.queue.pop_avail() {
@@ -458,10 +473,7 @@ mod tests {
                     let resp_desc = *chain.descriptors.last().unwrap();
                     kernel
                         .mem()
-                        .write(
-                            vphi_vmm::Gpa(resp_desc.addr),
-                            &VphiResponse::ok(7, 8).encode(),
-                        )
+                        .write(vphi_vmm::Gpa(resp_desc.addr), &VphiResponse::ok(7, 8).encode())
                         .unwrap();
                     channel.queue.push_used(
                         vphi_virtio::UsedElem { id: chain.head, len: RESP_SIZE as u32 },
@@ -514,8 +526,7 @@ mod tests {
         let mut tl_small = Timeline::new();
         d.transact(&VphiRequest::Send { epd: 1, len: 8 }, &[], 8, &mut tl_small).unwrap();
         let mut tl_big = Timeline::new();
-        d.transact(&VphiRequest::Send { epd: 1, len: 1 << 20 }, &[], 1 << 20, &mut tl_big)
-            .unwrap();
+        d.transact(&VphiRequest::Send { epd: 1, len: 1 << 20 }, &[], 1 << 20, &mut tl_big).unwrap();
         d.channel().queue.shutdown();
         backend.join().unwrap();
         assert!(tl_small.total_for(SpanLabel::PollWait) > vphi_sim_core::SimDuration::ZERO);

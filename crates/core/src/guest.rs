@@ -243,8 +243,7 @@ impl GuestScif {
         while remaining > 0 {
             let chunk = remaining.min(self.driver.chunk_size());
             // Staging: one kmalloc'd chunk plus the user→kernel copy.
-            let buf =
-                self.driver.kernel().kmalloc(chunk, tl).map_err(|_| ScifError::NoMem)?;
+            let buf = self.driver.kernel().kmalloc(chunk, tl).map_err(|_| ScifError::NoMem)?;
             tl.charge(vphi_sim_core::SpanLabel::GuestCopy, cost.cpu_copy(chunk));
             let resp = self.driver.transact(
                 &VphiRequest::SendTimed { epd: self.epd, len: chunk },
@@ -267,8 +266,7 @@ impl GuestScif {
         let mut remaining = len;
         while remaining > 0 {
             let chunk = remaining.min(self.driver.chunk_size());
-            let buf =
-                self.driver.kernel().kmalloc(chunk, tl).map_err(|_| ScifError::NoMem)?;
+            let buf = self.driver.kernel().kmalloc(chunk, tl).map_err(|_| ScifError::NoMem)?;
             let resp = self.driver.transact(
                 &VphiRequest::RecvTimed { epd: self.epd, len: chunk },
                 &[],
@@ -414,10 +412,9 @@ impl GuestScif {
         prot: vphi_scif::Prot,
         tl: &mut Timeline,
     ) -> ScifResult<GuestMapped> {
-        let (vaddr, _) = self.driver.simple(
-            VphiRequest::Mmap { epd: self.epd, offset, len, prot: prot_wire(prot) },
-            tl,
-        )?;
+        let (vaddr, _) = self
+            .driver
+            .simple(VphiRequest::Mmap { epd: self.epd, offset, len, prot: prot_wire(prot) }, tl)?;
         Ok(GuestMapped {
             kvm: Arc::clone(kvm),
             driver: Arc::clone(&self.driver),
@@ -448,10 +445,8 @@ impl GuestScif {
         rval: u64,
         tl: &mut Timeline,
     ) -> ScifResult<()> {
-        self.driver.simple(
-            VphiRequest::FenceSignal { epd: self.epd, loff, lval, roff, rval },
-            tl,
-        )?;
+        self.driver
+            .simple(VphiRequest::FenceSignal { epd: self.epd, loff, lval, roff, rval }, tl)?;
         Ok(())
     }
 

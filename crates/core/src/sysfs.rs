@@ -36,8 +36,7 @@ impl GuestSysfs {
         // Stage a 4 KiB response buffer for the serialized table.
         let buf = driver.kernel().kmalloc(4096, tl).map_err(|_| ScifError::NoMem)?;
         let desc = Descriptor::writable(buf.gpa.0, 4096);
-        let resp =
-            driver.transact(&VphiRequest::SysfsRead { mic_index }, &[desc], 0, tl)?;
+        let resp = driver.transact(&VphiRequest::SysfsRead { mic_index }, &[desc], 0, tl)?;
         let (len, _) = resp.into_result()?;
         let mut bytes = vec![0u8; len as usize];
         driver.kernel().mem().read(buf.gpa, &mut bytes).map_err(|_| ScifError::Inval)?;

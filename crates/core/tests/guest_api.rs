@@ -64,10 +64,7 @@ fn timed_lane_costs_what_the_real_lane_costs() {
     // is the real lane's per-chunk Send op vs SendTimed (identical
     // charges), so totals must match exactly.
     assert_eq!(timed_tl.total(), real_tl.total());
-    assert_eq!(
-        timed_tl.total_for(SpanLabel::VmExitKick),
-        real_tl.total_for(SpanLabel::VmExitKick)
-    );
+    assert_eq!(timed_tl.total_for(SpanLabel::VmExitKick), real_tl.total_for(SpanLabel::VmExitKick));
     assert_eq!(
         timed_tl.total_for(SpanLabel::GuestWakeup),
         real_tl.total_for(SpanLabel::GuestWakeup)
@@ -165,11 +162,7 @@ fn paravirtual_spans_appear_exactly_once_per_request() {
         (SpanLabel::IrqInject, cost.irq_inject),
         (SpanLabel::GuestWakeup, cost.guest_wakeup),
     ] {
-        assert_eq!(
-            send_tl.total_for(label),
-            expect,
-            "span {label:?} charged wrong amount"
-        );
+        assert_eq!(send_tl.total_for(label), expect, "span {label:?} charged wrong amount");
     }
     // And the waiting-scheme counters agree with one interrupt wait.
     assert_eq!(vm.frontend().stats().interrupt_waits, 3); // open+connect+send

@@ -144,10 +144,7 @@ fn fig4_offset_is_constant_across_sizes() {
     // the guest staging copy, ~2 µs at 16 KiB).
     let min = offsets.iter().min().unwrap();
     let max = offsets.iter().max().unwrap();
-    assert!(
-        max.as_nanos() - min.as_nanos() < 5_000,
-        "offset should be constant: {offsets:?}"
-    );
+    assert!(max.as_nanos() - min.as_nanos() < 5_000, "offset should be constant: {offsets:?}");
 
     native.close();
     guest.close(&mut tl).unwrap();

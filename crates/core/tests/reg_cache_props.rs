@@ -1,0 +1,225 @@
+//! Registration-cache correctness under interleaving and concurrency.
+//!
+//! The cache must never *serve a stale translation*: a lookup may only
+//! hit when the same `(endpoint, range)` was translated earlier and no
+//! invalidating event — overlapping `scif_unregister` or endpoint close —
+//! happened in between.  The property test drives arbitrary interleavings
+//! of register / RMA / unregister / close against a reference model; the
+//! stress test hammers the cache from six guest threads in the style of
+//! the token-routing concurrency suite.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vphi::builder::{VmConfig, VphiHost};
+use vphi::debugfs::VphiDebugReport;
+use vphi::{GuestScif, VphiVm};
+use vphi_scif::window::WindowBacking;
+use vphi_scif::{Port, Prot, RmaFlags, ScifAddr};
+use vphi_sim_core::Timeline;
+
+const PAGE: u64 = 4096;
+
+/// Device server that accepts `conns` connections in turn, registering a
+/// GDDR window on each, and serves until the peer hangs up.
+fn spawn_window_server(
+    host: &VphiHost,
+    port: Port,
+    window_len: u64,
+    conns: usize,
+) -> std::thread::JoinHandle<()> {
+    let board = Arc::clone(host.board(0));
+    let server = host.device_endpoint(0).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let h = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(port, &mut tl).unwrap();
+        server.listen(16, &mut tl).unwrap();
+        tx.send(()).unwrap();
+        let mut workers = Vec::new();
+        for _ in 0..conns {
+            let conn = server.accept(&mut tl).unwrap();
+            let region = board.memory().alloc_timed(window_len).unwrap();
+            conn.register(
+                Some(0),
+                window_len,
+                Prot::READ_WRITE,
+                WindowBacking::Device(region),
+                &mut tl,
+            )
+            .unwrap();
+            workers.push(std::thread::spawn(move || {
+                let mut tl = Timeline::new();
+                let mut b = [0u8; 1];
+                let _ = conn.core().recv(&mut b, &mut tl);
+            }));
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+    });
+    rx.recv().unwrap();
+    h
+}
+
+/// Wall-clock wait until the device window of the current connection is
+/// visible to the guest (retries a 1-byte remote read).
+fn wait_for_guest_window(guest: &GuestScif, vm: &VphiVm) {
+    let buf = vm.alloc_buf(1).unwrap();
+    for _ in 0..1000 {
+        let mut tl = Timeline::new();
+        if guest.vreadfrom(&buf, 0, RmaFlags::SYNC, &mut tl).is_ok() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!("device window never appeared (guest)");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary interleavings of RMA reads/writes, window registration,
+    /// unregistration and endpoint close/reopen: every cache probe must
+    /// agree with a reference model, so a hit can never reuse a
+    /// translation an invalidation should have dropped.
+    #[test]
+    fn interleavings_never_serve_stale_translations(
+        ops in prop::collection::vec((0u8..5u8, 0usize..4usize), 1..30)
+    ) {
+        let host = VphiHost::new(1);
+        let reopens = ops.iter().filter(|(kind, _)| *kind == 4).count();
+        let server = spawn_window_server(&host, Port(760), 16 * PAGE, reopens + 1);
+        let vm = host.spawn_vm(VmConfig::default());
+        let addr = ScifAddr::new(host.device_node(0), Port(760));
+
+        // Four disjoint guest buffers of 1..=4 pages.  Allocated before any
+        // probe buffer so a freed probe page can never alias bufs[0] and
+        // pre-warm its cache entry.
+        let bufs: Vec<_> =
+            (0..4).map(|i| vm.alloc_buf((i as u64 + 1) * PAGE).unwrap()).collect();
+
+        let mut tl = Timeline::new();
+        let mut guest = vm.open_scif(&mut tl).unwrap();
+        guest.connect(addr, &mut tl).unwrap();
+        wait_for_guest_window(&guest, &vm);
+
+        // The reference model: which buffers have a live cached
+        // translation, and which windows are registered over them.
+        let mut cached: HashSet<usize> = HashSet::new();
+        let mut windows: HashMap<usize, u64> = HashMap::new();
+
+        for (kind, b) in ops {
+            let mut tl = Timeline::new();
+            match kind {
+                // RMA on buffer `b`: the probe must hit exactly when the
+                // model says the translation is still live.
+                0 | 1 => {
+                    let before = VphiDebugReport::collect(&vm);
+                    if kind == 0 {
+                        guest.vreadfrom(&bufs[b], 0, RmaFlags::SYNC, &mut tl).unwrap();
+                    } else {
+                        guest.vwriteto(&bufs[b], 0, RmaFlags::SYNC, &mut tl).unwrap();
+                    }
+                    let after = VphiDebugReport::collect(&vm);
+                    let hits = after.reg_cache_hits - before.reg_cache_hits;
+                    let misses = after.reg_cache_misses - before.reg_cache_misses;
+                    prop_assert_eq!(hits + misses, 1, "every RMA probes exactly once");
+                    prop_assert_eq!(
+                        hits == 1,
+                        cached.contains(&b),
+                        "hit disagrees with model: stale or lost translation"
+                    );
+                    cached.insert(b);
+                }
+                // Register a window over buffer `b` (if none yet).
+                2 => {
+                    if let std::collections::hash_map::Entry::Vacant(e) = windows.entry(b) {
+                        let off =
+                            guest.register(&bufs[b], Prot::READ_WRITE, None, &mut tl).unwrap();
+                        e.insert(off);
+                    }
+                }
+                // Unregister it: overlapping translations must die.
+                3 => {
+                    if let Some(off) = windows.remove(&b) {
+                        guest.unregister(off, bufs[b].len(), &mut tl).unwrap();
+                        cached.remove(&b);
+                    }
+                }
+                // Close and reopen the endpoint: everything dies.
+                _ => {
+                    guest.close(&mut tl).unwrap();
+                    cached.clear();
+                    windows.clear();
+                    guest = vm.open_scif(&mut tl).unwrap();
+                    guest.connect(addr, &mut tl).unwrap();
+                    wait_for_guest_window(&guest, &vm);
+                }
+            }
+        }
+
+        let mut tl_close = Timeline::new();
+        let _ = guest.close(&mut tl_close);
+        vm.shutdown();
+        let _ = server.join();
+    }
+}
+
+/// Six guest threads sharing one frontend, each doing warm RMA rounds on
+/// its own buffer with a register/unregister invalidation in the middle —
+/// the cache and the notification-coalescing counters must stay coherent
+/// under real thread interleaving.
+#[test]
+fn six_threads_hammer_the_cache_coherently() {
+    let host = VphiHost::new(1);
+    let threads = 6usize;
+    let rounds = 10u32;
+    let server = spawn_window_server(&host, Port(770), 16 * PAGE, threads);
+    let vm = Arc::new(host.spawn_vm(VmConfig::default()));
+
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let vm = Arc::clone(&vm);
+        let node = host.device_node(0);
+        handles.push(std::thread::spawn(move || {
+            let mut tl = Timeline::new();
+            let guest = vm.open_scif(&mut tl).unwrap();
+            guest.connect(ScifAddr::new(node, Port(770)), &mut tl).unwrap();
+            wait_for_guest_window(&guest, &vm);
+            let buf = vm.alloc_buf(2 * PAGE).unwrap();
+            for round in 0..rounds {
+                let mut tl = Timeline::new();
+                guest.vreadfrom(&buf, 0, RmaFlags::SYNC, &mut tl).unwrap();
+                if round == 4 {
+                    // Window churn over the same pages: the next read
+                    // must re-translate, not reuse the dead pin.
+                    let off = guest.register(&buf, Prot::READ_WRITE, None, &mut tl).unwrap();
+                    guest.unregister(off, buf.len(), &mut tl).unwrap();
+                }
+            }
+            guest.close(&mut tl).unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let report = VphiDebugReport::collect(&vm);
+    let t = threads as u64;
+    // Each thread: one wait probe (miss), a cold first read, then warm
+    // reads except the one after its unregister.
+    assert!(report.reg_cache_hits >= t * (rounds as u64 - 2), "hits = {}", report.reg_cache_hits);
+    assert!(report.reg_cache_misses >= 3 * t, "misses = {}", report.reg_cache_misses);
+    assert!(report.reg_cache_invalidations >= t, "each unregister invalidates that thread's entry");
+    // Frontend and backend notification accounting must balance exactly:
+    // every request kicks once (delivered or suppressed) and every
+    // completion either injects or coalesces its interrupt.
+    assert_eq!(report.kicks_delivered + report.kicks_suppressed, report.requests);
+    assert_eq!(report.irq_injections + report.irqs_coalesced, report.backend_requests);
+    assert_eq!(vm.frontend().channel().inflight_count(), 0);
+
+    vm.shutdown();
+    let _ = server.join();
+}

@@ -96,8 +96,8 @@ mod tests {
         let a = init_matrix(n, 4);
         let b = init_matrix(n, 5);
         let mut c = vec![f64::MAX; n * n]; // garbage that must not leak through
-        // beta=0 must fully overwrite, but MAX*0 = NaN-free here because we
-        // multiply first; use a finite garbage value instead.
+                                           // beta=0 must fully overwrite, but MAX*0 = NaN-free here because we
+                                           // multiply first; use a finite garbage value instead.
         let mut c_fin = vec![12345.0; n * n];
         dgemm(n, 1.0, &a, &b, 0.0, &mut c_fin);
         let mut expected = vec![0.0; n * n];

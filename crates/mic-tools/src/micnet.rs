@@ -143,8 +143,12 @@ impl MicShellDaemon {
         let uploads = Arc::new(AtomicU64::new(0));
         let sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
-        let (l2, r2, s2, u2) =
-            (Arc::clone(&listener), Arc::clone(&running), Arc::clone(&sessions), Arc::clone(&uploads));
+        let (l2, r2, s2, u2) = (
+            Arc::clone(&listener),
+            Arc::clone(&running),
+            Arc::clone(&sessions),
+            Arc::clone(&uploads),
+        );
         let board2 = Arc::clone(&board);
         let accept_thread = std::thread::Builder::new()
             .name(format!("mic-sshd-{mic}"))
@@ -231,11 +235,7 @@ fn shell_session(conn: ScifEndpoint, board: Arc<vphi_phi::PhiBoard>, uploads: Ar
                     if !files.contains_key(&name) {
                         // "No such file or directory" — the user forgot to
                         // scp the binary first.
-                        write_frame(
-                            &conn,
-                            &ShellMsg::Err { errno: 2 }.encode(),
-                            &mut tl,
-                        )?;
+                        write_frame(&conn, &ShellMsg::Err { errno: 2 }.encode(), &mut tl)?;
                         return Ok(());
                     }
                     let job = ComputeJob::new(name.clone(), threads, flops, mem_bytes);
@@ -324,10 +324,8 @@ impl MicShell {
         tl: &mut Timeline,
     ) -> ScifResult<String> {
         let before = tl.total_for(SpanLabel::DeviceCompute);
-        let out = self.request(
-            &ShellMsg::Run { name: name.to_string(), threads, flops, mem_bytes },
-            tl,
-        )?;
+        let out =
+            self.request(&ShellMsg::Run { name: name.to_string(), threads, flops, mem_bytes }, tl)?;
         // The shell blocks for the run; the daemon's uOS charge happens on
         // its own timeline, so mirror it here from the reported duration.
         let _ = before;
@@ -407,12 +405,15 @@ impl Mic0Link {
     }
 
     /// Send a packet of arbitrary size, fragmenting at the MTU.
-    pub fn send_packet(&self, ethertype: u16, payload: &[u8], tl: &mut Timeline) -> ScifResult<u16> {
+    pub fn send_packet(
+        &self,
+        ethertype: u16,
+        payload: &[u8],
+        tl: &mut Timeline,
+    ) -> ScifResult<u16> {
         let budget = EthFrame::MTU - FragHeader::SIZE;
         let count = payload.len().div_ceil(budget).max(1) as u16;
-        let packet_id = self
-            .next_packet_id
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let packet_id = self.next_packet_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         for (index, chunk) in payload.chunks(budget.max(1)).enumerate() {
             let hdr = FragHeader { packet_id, index: index as u16, count };
             let mut body = hdr.encode().to_vec();
@@ -721,9 +722,7 @@ mod tests {
 
         // 3.5 MTUs of payload → 4 fragments, echoed and reassembled.
         let payload_len = EthFrame::MTU * 3 + EthFrame::MTU / 2;
-        let frags = link
-            .send_packet(ETHERTYPE_PING, &vec![0x42u8; payload_len], &mut tl)
-            .unwrap();
+        let frags = link.send_packet(ETHERTYPE_PING, &vec![0x42u8; payload_len], &mut tl).unwrap();
         assert_eq!(frags, 4);
         let (ethertype, echoed) = link.recv_packet(&mut tl).unwrap();
         assert_eq!(ethertype, ETHERTYPE_PING);

@@ -12,9 +12,9 @@
 //! Collectives are implemented gather/scatter-at-root, the classic small-
 //! world MPI fallback.
 
+use vphi_coi::transport::{CoiEnv, CoiListener, CoiTransport};
 use vphi_scif::{NodeId, Port, ScifError, ScifResult};
 use vphi_sim_core::Timeline;
-use vphi_coi::transport::{CoiEnv, CoiListener, CoiTransport};
 
 /// One participant in the communicator.
 pub struct MpiRank {
@@ -324,8 +324,7 @@ mod tests {
                 } else {
                     establish_leaf(env.as_ref(), HOST_NODE, Port(556), rank, 3, &mut tl).unwrap()
                 };
-                comm.bcast(if rank == 0 { Some(b"model-params") } else { None }, &mut tl)
-                    .unwrap()
+                comm.bcast(if rank == 0 { Some(b"model-params") } else { None }, &mut tl).unwrap()
             }));
         }
         for h in handles {

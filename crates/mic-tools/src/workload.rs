@@ -80,8 +80,7 @@ impl Workload {
         threads: u32,
         tl: &mut vphi_sim_core::Timeline,
     ) -> (vphi_phi::JobOutcome, f64) {
-        let job =
-            vphi_phi::ComputeJob::new(self.name(), threads, self.flops(), self.bytes());
+        let job = vphi_phi::ComputeJob::new(self.name(), threads, self.flops(), self.bytes());
         let work = self.clone();
         let (outcome, checksum) = uos.run_with(&job, tl, move || match work {
             Workload::Dgemm { n } => {
@@ -214,13 +213,11 @@ mod tests {
         assert!((sum1 - reference).abs() < 1e-6, "{sum1} vs {reference}");
 
         // The other kernels run too.
-        let (_, triad) =
-            Workload::Stream { elems: 1000, iters: 2 }.execute_real(&uos, 56, &mut tl);
+        let (_, triad) = Workload::Stream { elems: 1000, iters: 2 }.execute_real(&uos, 56, &mut tl);
         // c[i] = i + 3*(i%13): closed-form checkable.
         let expected: f64 = (0..1000).map(|i| i as f64 + 3.0 * ((i % 13) as f64)).sum();
         assert_eq!(triad, expected);
-        let (_, nbody) =
-            Workload::NBody { bodies: 16, steps: 2 }.execute_real(&uos, 56, &mut tl);
+        let (_, nbody) = Workload::NBody { bodies: 16, steps: 2 }.execute_real(&uos, 56, &mut tl);
         assert!(nbody.is_finite());
     }
 }

@@ -162,9 +162,6 @@ mod tests {
             tl_copy.total_for(SpanLabel::LinkTransfer),
             tl_timed.total_for(SpanLabel::LinkTransfer)
         );
-        assert_eq!(
-            tl_copy.total_for(SpanLabel::DmaSetup),
-            tl_timed.total_for(SpanLabel::DmaSetup)
-        );
+        assert_eq!(tl_copy.total_for(SpanLabel::DmaSetup), tl_timed.total_for(SpanLabel::DmaSetup));
     }
 }

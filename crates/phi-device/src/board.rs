@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use vphi_sim_core::{CostModel, SimDuration, VirtualClock};
 use vphi_pcie::{DmaEngine, Doorbell, LinkConfig, MsiVector, PcieLink};
+use vphi_sim_core::{CostModel, SimDuration, VirtualClock};
 
 use crate::memory::DeviceMemory;
 use crate::spec::PhiSpec;
@@ -68,11 +68,8 @@ impl PhiBoard {
         cost: Arc<CostModel>,
         clock: Arc<VirtualClock>,
     ) -> Self {
-        let link = Arc::new(PcieLink::new(
-            LinkConfig::default(),
-            Arc::clone(&cost),
-            Arc::clone(&clock),
-        ));
+        let link =
+            Arc::new(PcieLink::new(LinkConfig::default(), Arc::clone(&cost), Arc::clone(&clock)));
         let dma = Arc::new(DmaEngine::new(Arc::clone(&link), spec.dma_channels));
         let memory = Arc::new(DeviceMemory::new(spec.memory_bytes));
         let uos = Arc::new(UosScheduler::new(spec.clone(), cost, clock));

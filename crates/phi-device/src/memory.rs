@@ -318,7 +318,7 @@ mod tests {
         let mut b = [0xFFu8; 3];
         r.read(0, &mut b).unwrap();
         assert_eq!(b, [0, 0, 0]); // writes discarded, reads are zeros
-        // Bounds are still enforced.
+                                  // Bounds are still enforced.
         assert_eq!(r.read(64 * PAGE_SIZE, &mut b), Err(MemError::OutOfBounds));
         // with_bytes_mut still refuses (no backing to expose).
         assert!(r.with_bytes_mut(|_| ()).is_err());

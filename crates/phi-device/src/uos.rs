@@ -58,7 +58,12 @@ pub struct ComputeJob {
 }
 
 impl ComputeJob {
-    pub fn new(name: impl Into<String>, threads: u32, total_flops: f64, bytes_touched: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        threads: u32,
+        total_flops: f64,
+        bytes_touched: u64,
+    ) -> Self {
         ComputeJob { name: name.into(), threads, total_flops, bytes_touched }
     }
 }
@@ -191,19 +196,13 @@ impl UosScheduler {
         let oversubscribed = total_runnable > hw_threads;
         // Timeslicing factor: how many runnable threads compete for each
         // hardware thread the job owns.
-        let oversub_factor = if oversubscribed {
-            total_runnable as f64 / hw_threads as f64
-        } else {
-            1.0
-        };
+        let oversub_factor =
+            if oversubscribed { total_runnable as f64 / hw_threads as f64 } else { 1.0 };
 
         let eff = thread_efficiency(threads_per_core.min(self.spec.threads_per_core));
         let rate_gflops = cores_used as f64 * self.spec.core_peak_gflops() * eff;
-        let flop_secs = if job.total_flops > 0.0 {
-            job.total_flops / (rate_gflops * 1e9)
-        } else {
-            0.0
-        };
+        let flop_secs =
+            if job.total_flops > 0.0 { job.total_flops / (rate_gflops * 1e9) } else { 0.0 };
         // Memory-bound side; bandwidth is shared across the cores a job
         // uses, approximated as the full-card bandwidth.
         let mem_secs = job.bytes_touched as f64 / GDDR_BYTES_PER_SEC;

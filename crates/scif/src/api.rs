@@ -195,7 +195,13 @@ impl ScifEndpoint {
     }
 
     /// `scif_mmap`.
-    pub fn mmap(&self, offset: u64, len: u64, prot: Prot, tl: &mut Timeline) -> ScifResult<MappedRegion> {
+    pub fn mmap(
+        &self,
+        offset: u64,
+        len: u64,
+        prot: Prot,
+        tl: &mut Timeline,
+    ) -> ScifResult<MappedRegion> {
         self.syscall(tl);
         self.core.mmap(offset, len, prot)
     }

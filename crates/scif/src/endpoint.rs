@@ -113,10 +113,7 @@ impl EndpointCore {
     }
 
     pub(crate) fn peer_core(&self) -> ScifResult<Arc<EndpointCore>> {
-        self.peer
-            .get()
-            .and_then(Weak::upgrade)
-            .ok_or(ScifError::ConnReset)
+        self.peer.get().and_then(Weak::upgrade).ok_or(ScifError::ConnReset)
     }
 
     /// `scif_bind`.
@@ -217,7 +214,10 @@ impl EndpointCore {
 
     /// Non-blocking accept (`SCIF_ACCEPT_ASYNC`): `Ok(None)` when no
     /// connection is pending.
-    pub fn try_accept(self: &Arc<Self>, tl: &mut Timeline) -> ScifResult<Option<Arc<EndpointCore>>> {
+    pub fn try_accept(
+        self: &Arc<Self>,
+        tl: &mut Timeline,
+    ) -> ScifResult<Option<Arc<EndpointCore>>> {
         if self.state() != EpState::Listening {
             return Err(ScifError::Inval);
         }
@@ -342,8 +342,7 @@ impl EndpointCore {
             if self.state() == EpState::Closed {
                 return Err(ScifError::ConnReset);
             }
-            let peer_gone =
-                self.peer_core().map(|p| p.state() == EpState::Closed).unwrap_or(true);
+            let peer_gone = self.peer_core().map(|p| p.state() == EpState::Closed).unwrap_or(true);
             if peer_gone {
                 return Err(ScifError::ConnReset);
             }
@@ -496,10 +495,7 @@ mod tests {
         let (fabric, dev) = test_fabric();
         let ep = fabric.open(HOST_NODE).unwrap();
         let mut tl = Timeline::new();
-        assert_eq!(
-            ep.connect(ScifAddr::new(dev, Port(999)), &mut tl),
-            Err(ScifError::ConnRefused)
-        );
+        assert_eq!(ep.connect(ScifAddr::new(dev, Port(999)), &mut tl), Err(ScifError::ConnRefused));
         // Endpoint is reusable afterwards.
         assert_eq!(ep.state(), EpState::Bound);
     }
@@ -584,10 +580,7 @@ mod tests {
         }
         let c2 = fabric.open(HOST_NODE).unwrap();
         let mut tl = Timeline::new();
-        assert_eq!(
-            c2.connect(ScifAddr::new(dev, Port(106)), &mut tl),
-            Err(ScifError::ConnRefused)
-        );
+        assert_eq!(c2.connect(ScifAddr::new(dev, Port(106)), &mut tl), Err(ScifError::ConnRefused));
         // Drain the backlog so the first connector completes.
         let mut tl2 = Timeline::new();
         server.accept(&mut tl2).unwrap();

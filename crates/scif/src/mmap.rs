@@ -182,10 +182,7 @@ mod tests {
         let (roff, _) = register_pinned(&server, 2 * PAGE_SIZE, Prot::READ_WRITE).unwrap();
         assert_eq!(client.mmap(roff + 1, PAGE_SIZE, Prot::READ).err(), Some(ScifError::Inval));
         assert_eq!(client.mmap(roff, 100, Prot::READ).err(), Some(ScifError::Inval));
-        assert_eq!(
-            client.mmap(roff, 4 * PAGE_SIZE, Prot::READ).err(),
-            Some(ScifError::OutOfRange)
-        );
+        assert_eq!(client.mmap(roff, 4 * PAGE_SIZE, Prot::READ).err(), Some(ScifError::OutOfRange));
         let map = client.mmap(roff, PAGE_SIZE, Prot::READ).unwrap();
         let mut b = [0u8; 2];
         assert_eq!(map.load(PAGE_SIZE - 1, &mut b).err(), Some(ScifError::OutOfRange));

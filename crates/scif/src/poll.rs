@@ -85,11 +85,7 @@ fn ready_events(ep: &EndpointCore, interest: PollEvents) -> PollEvents {
 /// Poll a set of endpoints.  Blocks (really) until at least one endpoint
 /// is ready or `wall_timeout` elapses; charges one `PollWait` span per
 /// wake-up iteration.  Returns the number of ready entries (0 = timeout).
-pub fn poll(
-    fds: &mut [PollFd],
-    wall_timeout: Duration,
-    tl: &mut Timeline,
-) -> ScifResult<usize> {
+pub fn poll(fds: &mut [PollFd], wall_timeout: Duration, tl: &mut Timeline) -> ScifResult<usize> {
     if fds.is_empty() {
         return Err(ScifError::Inval);
     }

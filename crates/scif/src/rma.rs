@@ -168,7 +168,13 @@ impl EndpointCore {
         // completes in the background at now + transfer_time.
         tl.charge(SpanLabel::RmaSetup, self.shared.cost.rma_setup);
         let mut sub = Timeline::new();
-        self.shared.charge_rma_path(self.node_id(), peer.node_id(), bytes, flags.use_cpu, &mut sub)?;
+        self.shared.charge_rma_path(
+            self.node_id(),
+            peer.node_id(),
+            bytes,
+            flags.use_cpu,
+            &mut sub,
+        )?;
         let extra = sub.total().saturating_sub(self.shared.cost.rma_setup);
         let completes_at = self.shared.clock.now() + extra;
         let marker = {
@@ -306,9 +312,8 @@ mod tests {
     fn vread_pulls_remote_window_contents() {
         let (_f, client, server) = setup();
         let data = pinned_from(&vec![7u8; PAGE_SIZE as usize]);
-        let roff = server
-            .register(None, PAGE_SIZE, Prot::READ, WindowBacking::Pinned(data))
-            .unwrap();
+        let roff =
+            server.register(None, PAGE_SIZE, Prot::READ, WindowBacking::Pinned(data)).unwrap();
         let mut out = vec![0u8; 1000];
         let mut tl = Timeline::new();
         client.vreadfrom(&mut out, roff, RmaFlags::SYNC, &mut tl).unwrap();
@@ -349,10 +354,7 @@ mod tests {
         let (ro_off, _) = register_pinned(&server, PAGE_SIZE, Prot::READ).unwrap();
         let (wo_off, _) = register_pinned(&server, PAGE_SIZE, Prot::WRITE).unwrap();
         let mut tl = Timeline::new();
-        assert_eq!(
-            client.vwriteto(&[1], ro_off, RmaFlags::SYNC, &mut tl),
-            Err(ScifError::Access)
-        );
+        assert_eq!(client.vwriteto(&[1], ro_off, RmaFlags::SYNC, &mut tl), Err(ScifError::Access));
         let mut b = [0u8];
         assert_eq!(
             client.vreadfrom(&mut b, wo_off, RmaFlags::SYNC, &mut tl),
@@ -414,17 +416,9 @@ mod tests {
         let (loff, lbuf) = register_pinned(&client, PAGE_SIZE, Prot::READ_WRITE).unwrap();
         let mut tl = Timeline::new();
         client.vwriteto(&[5u8; 8], roff, RmaFlags::ASYNC, &mut tl).unwrap();
-        client
-            .fence_signal(loff, 0xAAAA_BBBB, roff + 64, 0xCCCC_DDDD, &mut tl)
-            .unwrap();
-        assert_eq!(
-            u64::from_le_bytes(lbuf.lock()[..8].try_into().unwrap()),
-            0xAAAA_BBBB
-        );
-        assert_eq!(
-            u64::from_le_bytes(rbuf.lock()[64..72].try_into().unwrap()),
-            0xCCCC_DDDD
-        );
+        client.fence_signal(loff, 0xAAAA_BBBB, roff + 64, 0xCCCC_DDDD, &mut tl).unwrap();
+        assert_eq!(u64::from_le_bytes(lbuf.lock()[..8].try_into().unwrap()), 0xAAAA_BBBB);
+        assert_eq!(u64::from_le_bytes(rbuf.lock()[64..72].try_into().unwrap()), 0xCCCC_DDDD);
         assert_eq!(client.pending_rma_count(), 0);
     }
 

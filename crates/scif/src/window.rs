@@ -273,10 +273,7 @@ mod tests {
         assert_eq!(t.register(None, 100, Prot::READ, backing(1)), Err(ScifError::Inval));
         assert_eq!(t.register(Some(3), PAGE_SIZE, Prot::READ, backing(1)), Err(ScifError::Inval));
         // Backing shorter than window.
-        assert_eq!(
-            t.register(None, 2 * PAGE_SIZE, Prot::READ, backing(1)),
-            Err(ScifError::Inval)
-        );
+        assert_eq!(t.register(None, 2 * PAGE_SIZE, Prot::READ, backing(1)), Err(ScifError::Inval));
     }
 
     #[test]

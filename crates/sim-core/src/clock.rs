@@ -42,8 +42,7 @@ impl VirtualClock {
             if t.0 <= cur {
                 return SimTime(cur);
             }
-            match self.now_ns.compare_exchange_weak(cur, t.0, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match self.now_ns.compare_exchange_weak(cur, t.0, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return t,
                 Err(actual) => cur = actual,
             }
@@ -94,10 +93,12 @@ impl BusyResource {
         loop {
             let start = free.max(at.0);
             let end = start + hold.0;
-            match self
-                .free_at_ns
-                .compare_exchange_weak(free, end, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match self.free_at_ns.compare_exchange_weak(
+                free,
+                end,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
                 Ok(_) => {
                     self.busy_total_ns.fetch_add(hold.0, Ordering::Relaxed);
                     self.grants.fetch_add(1, Ordering::Relaxed);

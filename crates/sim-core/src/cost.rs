@@ -19,8 +19,6 @@
 //! Nothing downstream hard-codes those figures; ablating a parameter moves
 //! the curves, which is exactly what the ablation benches demonstrate.
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::SimDuration;
 
 /// Size of a small page, shared by guest, host and device memory models.
@@ -34,7 +32,7 @@ pub const KMALLOC_MAX_SIZE: u64 = 4 * 1024 * 1024;
 
 /// All structural costs, in virtual time.  See the module docs for the
 /// calibration story.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     // ---- native SCIF path -------------------------------------------------
     /// Host user→kernel syscall entry+exit (ioctl on /dev/mic/scif).
@@ -76,6 +74,10 @@ pub struct CostModel {
     /// This is the term that caps vPHI remote-read throughput at 72% of
     /// native in Fig. 5.
     pub page_translate: SimDuration,
+    /// Backend: probe of the RMA registration cache (one hash lookup +
+    /// LRU touch).  Paid on every cached-path RMA request, hit or miss; a
+    /// hit then skips the per-page `page_translate` charges entirely.
+    pub reg_cache_lookup: SimDuration,
     /// Backend: push the response on the used ring.
     pub used_push: SimDuration,
     /// Virtual-interrupt injection (QEMU → KVM irqfd → guest vector).
@@ -139,6 +141,11 @@ impl CostModel {
             // 640 ns/page of link time vs 249 ns/page of translate gives
             // 640 / (640 + 249) = 0.72 — Fig. 5's 72%.
             page_translate: SimDuration::from_nanos(249),
+            // One HashMap probe + LRU touch under the backend lock.  Not
+            // part of any floor sum: it is only charged on the cached RMA
+            // path, where it replaces (hit) or fronts (miss) the per-page
+            // translate term.
+            reg_cache_lookup: SimDuration::from_nanos(150),
             used_push: SimDuration::from_nanos(600),
             irq_inject: SimDuration::from_nanos(9_500),
             guest_wakeup: SimDuration::from_nanos(348_750),

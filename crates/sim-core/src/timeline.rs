@@ -8,12 +8,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::SimDuration;
 
 /// Which structural step a span was charged by.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpanLabel {
     // native SCIF path
     HostSyscall,
@@ -35,6 +33,8 @@ pub enum SpanLabel {
     BackendDecode,
     GuestBufMap,
     PageTranslate,
+    /// Backend registration-cache probe on the RMA path (hit or miss).
+    RegCacheLookup,
     UsedPush,
     IrqInject,
     GuestWakeup,
@@ -65,6 +65,7 @@ impl SpanLabel {
                 | SpanLabel::BackendDecode
                 | SpanLabel::GuestBufMap
                 | SpanLabel::PageTranslate
+                | SpanLabel::RegCacheLookup
                 | SpanLabel::UsedPush
                 | SpanLabel::IrqInject
                 | SpanLabel::GuestWakeup
@@ -82,14 +83,14 @@ impl fmt::Display for SpanLabel {
 }
 
 /// One labelled charge of virtual time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Span {
     pub label: SpanLabel,
     pub duration: SimDuration,
 }
 
 /// An ordered record of the spans charged to one request.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timeline {
     spans: Vec<Span>,
 }
@@ -138,11 +139,7 @@ impl Timeline {
 
     /// Total charged to virtualization-overhead labels.
     pub fn virtualization_overhead(&self) -> SimDuration {
-        self.spans
-            .iter()
-            .filter(|s| s.label.is_virtualization_overhead())
-            .map(|s| s.duration)
-            .sum()
+        self.spans.iter().filter(|s| s.label.is_virtualization_overhead()).map(|s| s.duration).sum()
     }
 
     /// Collapse to `(label, total)` pairs in first-appearance order.

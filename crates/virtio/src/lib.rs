@@ -22,4 +22,4 @@ pub mod queue;
 pub mod ring;
 
 pub use queue::{Notifiers, QueueError, VirtQueue};
-pub use ring::{DescChain, Descriptor, DescFlags, UsedElem};
+pub use ring::{DescChain, DescFlags, Descriptor, UsedElem};

@@ -221,6 +221,13 @@ impl VirtQueue {
         Ok(Some(DescChain { head, descriptors }))
     }
 
+    /// Whether undelivered chains sit on the avail ring.  The backend
+    /// re-checks this after lifting kick suppression: a chain posted in
+    /// the suppressed window never delivered its kick.
+    pub fn avail_pending(&self) -> bool {
+        !self.state.lock().avail.is_empty()
+    }
+
     /// Block (really) until a kick arrives or the queue shuts down.
     pub fn wait_kick(&self) -> bool {
         self.notifiers.kick.wait()
@@ -339,8 +346,7 @@ mod tests {
             f.fetch_add(1, Ordering::Relaxed);
         }));
         let mut tl = Timeline::new();
-        let head =
-            q.add_chain(&[Descriptor::readable(0, 1)], PUSH, &mut tl).unwrap();
+        let head = q.add_chain(&[Descriptor::readable(0, 1)], PUSH, &mut tl).unwrap();
         q.pop_avail().unwrap().unwrap();
         q.push_used(UsedElem { id: head, len: 0 }, PUSH, &mut tl);
         assert_eq!(fired.load(Ordering::Relaxed), 1);

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 
-use vphi_virtio::{Descriptor, UsedElem, VirtQueue};
 use vphi_sim_core::{SimDuration, Timeline};
+use vphi_virtio::{Descriptor, UsedElem, VirtQueue};
 
 const PUSH: SimDuration = SimDuration::from_nanos(650);
 

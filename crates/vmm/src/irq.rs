@@ -63,9 +63,12 @@ mod tests {
         let chip = IrqChip::new(Arc::clone(&cost));
         let hits = Arc::new(AtomicU32::new(0));
         let h = Arc::clone(&hits);
-        chip.register(3, Arc::new(move |_: u32, _: &mut Timeline| {
-            h.fetch_add(1, Ordering::Relaxed);
-        }));
+        chip.register(
+            3,
+            Arc::new(move |_: u32, _: &mut Timeline| {
+                h.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
         let mut tl = Timeline::new();
         chip.inject(3, &mut tl);
         assert_eq!(hits.load(Ordering::Relaxed), 1);

@@ -131,10 +131,7 @@ mod tests {
         let k = kernel();
         let mut tl = Timeline::new();
         assert!(k.kmalloc(KMALLOC_MAX_SIZE, &mut tl).is_ok());
-        assert_eq!(
-            k.kmalloc(KMALLOC_MAX_SIZE + 1, &mut tl),
-            Err(GuestMemError::OutOfMemory)
-        );
+        assert_eq!(k.kmalloc(KMALLOC_MAX_SIZE + 1, &mut tl), Err(GuestMemError::OutOfMemory));
         assert_eq!(k.kmalloc(0, &mut tl), Err(GuestMemError::EmptyRequest));
         assert!(tl.total_for(SpanLabel::GuestKmalloc) > SimDuration::ZERO);
     }

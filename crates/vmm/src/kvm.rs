@@ -185,8 +185,7 @@ mod tests {
             .unwrap();
         let mut tl = Timeline::new();
         // A write spanning pages 1-2 takes two faults.
-        kvm.store(addr + PAGE_SIZE + 100, &vec![0u8; (PAGE_SIZE + 200) as usize], &mut tl)
-            .unwrap();
+        kvm.store(addr + PAGE_SIZE + 100, &vec![0u8; (PAGE_SIZE + 200) as usize], &mut tl).unwrap();
         assert_eq!(kvm.fault_count(), 2);
         // Touching them again is free.
         kvm.store(addr + PAGE_SIZE, &[1], &mut tl).unwrap();

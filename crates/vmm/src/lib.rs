@@ -33,7 +33,7 @@ pub mod vma;
 pub mod waitqueue;
 
 pub use event_loop::QemuEventLoop;
-pub use guest_mem::{Gpa, GuestMemory, GuestMemError};
+pub use guest_mem::{Gpa, GuestMemError, GuestMemory};
 pub use irq::IrqChip;
 pub use kernel::GuestKernel;
 pub use kvm::KvmModule;

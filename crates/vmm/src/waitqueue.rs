@@ -126,8 +126,7 @@ mod tests {
             wq.wake_all();
             std::thread::sleep(Duration::from_millis(5));
         }
-        let mut got: Vec<u32> =
-            handles.into_iter().map(|h| h.join().unwrap().unwrap()).collect();
+        let mut got: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap().unwrap()).collect();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2, 3]);
         assert_eq!(wq.wakeup_count(), 4);
@@ -139,7 +138,7 @@ mod tests {
     fn wake_before_wait_is_not_lost_if_condition_holds() {
         let wq = WaitQueue::new();
         wq.wake_all(); // nobody listening
-        // A waiter whose predicate is already true returns instantly.
+                       // A waiter whose predicate is already true returns instantly.
         assert_eq!(wq.wait_until(|| Some(1)), Some(1));
     }
 }

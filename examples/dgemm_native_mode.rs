@@ -46,8 +46,7 @@ fn main() {
         vm_report.total_time, vm_report.launch_time, vm_report.device_time
     );
 
-    let ratio =
-        vm_report.total_time.as_nanos() as f64 / host_report.total_time.as_nanos() as f64;
+    let ratio = vm_report.total_time.as_nanos() as f64 / host_report.total_time.as_nanos() as f64;
     println!("\nnormalized total (host = 1.0): {ratio:.3}");
     println!(
         "on-device time identical: {} — vPHI never touches the executing binary",

@@ -4,8 +4,8 @@
 //! `cargo run --release -p vphi-examples --bin <name>`.
 
 use vphi::builder::VphiHost;
-use vphi_scif::{Port, Prot, ScifEndpoint};
 use vphi_scif::window::WindowBacking;
+use vphi_scif::{Port, Prot, ScifEndpoint};
 use vphi_sim_core::Timeline;
 
 /// Start a device-side echo server: accepts one connection, then echoes

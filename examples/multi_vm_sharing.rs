@@ -14,8 +14,7 @@ use vphi_coi::{CoiDaemon, GuestEnv};
 use vphi_mic_tools::{micnativeloadex, MicBinary};
 
 fn main() {
-    let n_vms: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let n_vms: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
 
     let host = VphiHost::new(1);
     let daemon = CoiDaemon::spawn(&host, 0).expect("coi_daemon");

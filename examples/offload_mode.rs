@@ -61,10 +61,7 @@ fn main() {
             .expect("run_function");
         assert_eq!(ret, 0);
     }
-    println!(
-        "3 kernels done; device time total {}",
-        pipeline.device_time_total()
-    );
+    println!("3 kernels done; device time total {}", pipeline.device_time_total());
 
     // 4. Results back, teardown.
     process.read_buffer(&c, bytes, &mut tl).expect("read C");

@@ -73,10 +73,7 @@ fn main() {
         let env: Arc<dyn CoiEnv> = if rank == 0 {
             Arc::new(GuestEnv::new(&vm))
         } else {
-            Arc::new(DeviceSideEnv {
-                fabric: Arc::clone(host.fabric()),
-                node: host.device_node(0),
-            })
+            Arc::new(DeviceSideEnv { fabric: Arc::clone(host.fabric()), node: host.device_node(0) })
         };
         let (x, y) = (x.clone(), y.clone());
         handles.push(std::thread::spawn(move || {

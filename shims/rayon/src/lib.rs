@@ -1,0 +1,50 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Only the slice entry points the workspace uses are provided
+//! (`par_iter_mut`, `par_chunks_mut`).  They return the std sequential
+//! iterators, which expose the same adapter surface (`enumerate`,
+//! `for_each`, ...) that the callers rely on.  Wall-clock parallel speedup
+//! is irrelevant here: all performance in this repo is *virtual-time*,
+//! charged through `vphi-sim-core` timelines, never measured off the
+//! host's actual thread count.
+
+pub mod prelude {
+    /// Mutable "parallel" slice iterators, sequential under the hood.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_visits_every_element() {
+        let mut xs = [1u32; 8];
+        xs.par_iter_mut().for_each(|x| *x *= 2);
+        assert!(xs.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerates_in_order() {
+        let mut xs = vec![0usize; 9];
+        xs.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i;
+            }
+        });
+        assert_eq!(xs, [0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+}

@@ -153,7 +153,10 @@ fn accept_on_a_worker_does_not_block_other_requests() {
     native.connect(ScifAddr::new(vphi_scif::HOST_NODE, lport), &mut tl).unwrap();
     let peer = accepter.join().unwrap().unwrap();
     assert_eq!(peer.node, vphi_scif::HOST_NODE);
-    assert!(vm.backend().inner().stats.worker_dispatches.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    assert!(
+        vm.backend().inner().stats.worker_dispatches.load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
 
     native.close();
     vm.shutdown();

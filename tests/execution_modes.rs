@@ -132,10 +132,7 @@ fn symmetric_mode_with_vm_root_and_device_leaves() {
         let env: Arc<dyn CoiEnv> = if rank == 0 {
             Arc::new(GuestEnv::new(&vm))
         } else {
-            Arc::new(DeviceSideEnv {
-                fabric: Arc::clone(host.fabric()),
-                node: host.device_node(0),
-            })
+            Arc::new(DeviceSideEnv { fabric: Arc::clone(host.fabric()), node: host.device_node(0) })
         };
         handles.push(std::thread::spawn(move || {
             let mut tl = Timeline::new();

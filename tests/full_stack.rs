@@ -2,8 +2,8 @@
 //! SCIF → PCIe → device, in realistic combinations.
 
 use vphi::builder::{VmConfig, VphiHost};
-use vphi_scif::{Port, Prot, RmaFlags, ScifAddr};
 use vphi_scif::window::WindowBacking;
+use vphi_scif::{Port, Prot, RmaFlags, ScifAddr};
 use vphi_sim_core::units::MIB;
 use vphi_sim_core::{SimDuration, Timeline};
 
@@ -118,9 +118,7 @@ fn guest_window_is_visible_to_device_rma() {
         let mut got = vec![0u8; 16];
         conn.core().vreadfrom(&mut got, roffset, RmaFlags::SYNC, &mut tl).unwrap();
         assert_eq!(&got, b"guest registered");
-        conn.core()
-            .vwriteto(b"device wrote this", roffset + 64, RmaFlags::SYNC, &mut tl)
-            .unwrap();
+        conn.core().vwriteto(b"device wrote this", roffset + 64, RmaFlags::SYNC, &mut tl).unwrap();
         conn.core().send(&[1], &mut tl).unwrap();
     });
     rx.recv().unwrap();

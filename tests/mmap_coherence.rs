@@ -29,8 +29,14 @@ fn window_server(
         let region = board.memory().alloc(4 * PAGE_SIZE).unwrap();
         region.write(0, b"device wrote before mmap").unwrap();
         off_tx.send(region.offset()).unwrap();
-        conn.register(Some(0), 4 * PAGE_SIZE, Prot::READ_WRITE, WindowBacking::Device(region), &mut tl)
-            .unwrap();
+        conn.register(
+            Some(0),
+            4 * PAGE_SIZE,
+            Prot::READ_WRITE,
+            WindowBacking::Device(region),
+            &mut tl,
+        )
+        .unwrap();
         conn.core().send(&[1], &mut tl).unwrap();
         let mut b = [0u8; 1];
         let _ = conn.core().recv(&mut b, &mut tl);
