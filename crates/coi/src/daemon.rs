@@ -10,11 +10,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use vphi::builder::VphiHost;
 use vphi_phi::{ComputeJob, PhiBoard};
 use vphi_scif::{Port, ScifEndpoint, ScifError, ScifResult};
 use vphi_sim_core::{CostModel, SimDuration, SpanLabel, Timeline};
+use vphi_sync::{LockClass, TrackedMutex};
 
 use crate::protocol::{CoiMsg, ComputeManifest, COI_VERSION};
 use crate::wire::{read_frame, write_frame};
@@ -25,8 +25,8 @@ pub const COI_PORT_BASE: u16 = 400;
 /// A running daemon (device-side service).
 pub struct CoiDaemon {
     listener: Arc<ScifEndpoint>,
-    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
-    sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    accept_thread: TrackedMutex<Option<std::thread::JoinHandle<()>>>,
+    sessions: Arc<TrackedMutex<Vec<std::thread::JoinHandle<()>>>>,
     running: Arc<AtomicBool>,
     launches: Arc<AtomicU64>,
 }
@@ -54,8 +54,8 @@ impl CoiDaemon {
 
         let running = Arc::new(AtomicBool::new(true));
         let launches = Arc::new(AtomicU64::new(0));
-        let sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let sessions: Arc<TrackedMutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(TrackedMutex::new(LockClass::ServerSessions, Vec::new()));
 
         let l2 = Arc::clone(&listener);
         let (r2, s2, la2) = (Arc::clone(&running), Arc::clone(&sessions), Arc::clone(&launches));
@@ -82,7 +82,7 @@ impl CoiDaemon {
 
         Ok(CoiDaemon {
             listener,
-            accept_thread: Mutex::new(Some(accept_thread)),
+            accept_thread: TrackedMutex::new(LockClass::ServerAccept, Some(accept_thread)),
             sessions,
             running,
             launches,

@@ -20,7 +20,6 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use vphi_phi::PhiBoard;
 use vphi_scif::window::{WindowBacking, WindowBytes};
 use vphi_scif::{
@@ -28,6 +27,7 @@ use vphi_scif::{
     HOST_NODE,
 };
 use vphi_sim_core::{SpanLabel, Timeline};
+use vphi_sync::{LockClass, TrackedMutex};
 use vphi_virtio::{DescChain, Descriptor, UsedElem, VirtQueue};
 use vphi_vmm::vm::VirtualPciDevice;
 use vphi_vmm::{Gpa, GuestMemory, IrqChip, KvmModule, QemuEventLoop, VmaFlags};
@@ -118,14 +118,14 @@ pub struct BackendInner {
     event_loop: Arc<QemuEventLoop>,
     fabric: Arc<ScifFabric>,
     boards: Vec<Arc<PhiBoard>>,
-    eps: Mutex<EndpointTable>,
-    mmaps: Mutex<MmapTable>,
+    eps: TrackedMutex<EndpointTable>,
+    mmaps: TrackedMutex<MmapTable>,
     policy: DispatchPolicy,
     running: AtomicBool,
     coalesce: bool,
     /// Registered windows, (epd, window offset) → (backing gpa, len).
     /// Only consulted to invalidate the cache on `scif_unregister`.
-    windows: Mutex<HashMap<(u64, u64), (u64, u64)>>,
+    windows: TrackedMutex<HashMap<(u64, u64), (u64, u64)>>,
     pub reg_cache: RegistrationCache,
     pub stats: BackendStats,
 }
@@ -488,7 +488,7 @@ fn wire_prot(p: u8) -> Prot {
 /// The virtual PCI device QEMU exposes to the guest.
 pub struct BackendDevice {
     inner: Arc<BackendInner>,
-    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    thread: TrackedMutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for BackendDevice {
@@ -571,16 +571,22 @@ impl BackendDevice {
                 event_loop,
                 fabric,
                 boards,
-                eps: Mutex::new(EndpointTable { endpoints: HashMap::new(), next_epd: 1 }),
-                mmaps: Mutex::new(MmapTable { maps: HashMap::new() }),
+                eps: TrackedMutex::new(
+                    LockClass::BackendEndpoints,
+                    EndpointTable { endpoints: HashMap::new(), next_epd: 1 },
+                ),
+                mmaps: TrackedMutex::new(
+                    LockClass::BackendMmaps,
+                    MmapTable { maps: HashMap::new() },
+                ),
                 policy,
                 running: AtomicBool::new(false),
                 coalesce: options.coalesce_notifications,
-                windows: Mutex::new(HashMap::new()),
+                windows: TrackedMutex::new(LockClass::BackendWindows, HashMap::new()),
                 reg_cache: RegistrationCache::new(options.reg_cache),
                 stats: BackendStats::default(),
             }),
-            thread: Mutex::new(None),
+            thread: TrackedMutex::new(LockClass::BackendWorker, None),
         })
     }
 

@@ -21,8 +21,8 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
 use vphi_sim_core::cost::PAGE_SIZE;
+use vphi_sync::{LockClass, TrackedMutex};
 
 /// Tuning knobs for the registration cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +108,7 @@ struct CacheInner {
 pub struct RegistrationCache {
     config: RegCacheConfig,
     pub stats: RegCacheStats,
-    inner: Mutex<CacheInner>,
+    inner: TrackedMutex<CacheInner>,
 }
 
 impl std::fmt::Debug for RegistrationCache {
@@ -125,7 +125,10 @@ impl RegistrationCache {
         RegistrationCache {
             config,
             stats: RegCacheStats::default(),
-            inner: Mutex::new(CacheInner { entries: HashMap::new(), tick: 0 }),
+            inner: TrackedMutex::new(
+                LockClass::RegCache,
+                CacheInner { entries: HashMap::new(), tick: 0 },
+            ),
         }
     }
 

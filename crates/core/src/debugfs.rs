@@ -43,6 +43,11 @@ pub struct VphiDebugReport {
     pub worker_events: u64,
     pub irq_injections: u64,
     pub mmap_faults: u64,
+    // lock-order audit (process-wide, not per-VM; see vphi-sync)
+    pub sync_acquisitions: u64,
+    pub sync_max_hold_depth: u64,
+    pub sync_order_edges: u64,
+    pub sync_cycle_checks: u64,
 }
 
 impl VphiDebugReport {
@@ -52,6 +57,7 @@ impl VphiDebugReport {
         let be = vm.backend().inner();
         let el = vm.vm().event_loop();
         let cache = be.reg_cache.snapshot();
+        let sync = vphi_sync::audit::stats();
         VphiDebugReport {
             vm_id: vm.vm().id(),
             requests: fe.requests,
@@ -76,6 +82,10 @@ impl VphiDebugReport {
             worker_events: el.worker_event_count(),
             irq_injections: vm.vm().kernel().irq().inject_count(crate::frontend::VPHI_IRQ_VECTOR),
             mmap_faults: vm.vm().kvm().fault_count(),
+            sync_acquisitions: sync.acquisitions,
+            sync_max_hold_depth: sync.max_hold_depth,
+            sync_order_edges: sync.order_edges,
+            sync_cycle_checks: sync.cycle_checks,
         }
     }
 
@@ -98,7 +108,9 @@ impl VphiDebugReport {
              \x20 vm paused           {paused}\n\
              \x20 events (block/work) {bev}/{wev}\n\
              \x20 irq injections      {irq}\n\
-             \x20 mmap faults         {flt}\n",
+             \x20 mmap faults         {flt}\n\
+             \x20 lock acq/depth      {sacq}/{sdep}\n\
+             \x20 lock edges/checks   {sedg}/{schk}\n",
             id = self.vm_id,
             req = self.requests,
             iw = self.interrupt_waits,
@@ -122,6 +134,10 @@ impl VphiDebugReport {
             wev = self.worker_events,
             irq = self.irq_injections,
             flt = self.mmap_faults,
+            sacq = self.sync_acquisitions,
+            sdep = self.sync_max_hold_depth,
+            sedg = self.sync_order_edges,
+            schk = self.sync_cycle_checks,
         )
     }
 }
@@ -164,9 +180,21 @@ mod tests {
         assert!(after_close.vm_paused > SimDuration::ZERO);
         assert_eq!(after_close.blocking_events, 2);
 
+        // The tracked locks fed the audit: the session above took dozens of
+        // locks, some nested, and every nested acquisition was cycle-checked.
+        // (In a plain release build the detector is compiled out and the
+        // counters legitimately read zero.)
+        if vphi_sync::audit::ENABLED {
+            assert!(after_close.sync_acquisitions > 0);
+            assert!(after_close.sync_max_hold_depth >= 2);
+            assert!(after_close.sync_order_edges > 0);
+            assert!(after_close.sync_cycle_checks > 0);
+        }
+
         let text = after_close.render();
         assert!(text.contains("requests            2"));
         assert!(text.contains("vm paused"));
+        assert!(text.contains("lock acq/depth"));
         vm.shutdown();
     }
 }

@@ -23,10 +23,10 @@ pub use waiting::WaitScheme;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use vphi_scif::{ScifError, ScifResult};
 use vphi_sim_core::cost::KMALLOC_MAX_SIZE;
 use vphi_sim_core::{SpanLabel, Timeline};
+use vphi_sync::{LockClass, TrackedMutex};
 use vphi_virtio::{Descriptor, VirtQueue};
 use vphi_vmm::kernel::KmallocBuf;
 use vphi_vmm::{GuestKernel, WaitQueue};
@@ -50,9 +50,9 @@ pub type ReqToken = u64;
 pub struct VphiChannel {
     pub queue: Arc<VirtQueue>,
     /// head → (token, request timeline), travelling frontend → backend.
-    inflight: Mutex<HashMap<u16, (ReqToken, Timeline)>>,
+    inflight: TrackedMutex<HashMap<u16, (ReqToken, Timeline)>>,
     /// token → completed timeline, travelling backend → frontend.
-    completed: Mutex<HashMap<ReqToken, Timeline>>,
+    completed: TrackedMutex<HashMap<ReqToken, Timeline>>,
     next_token: std::sync::atomic::AtomicU64,
     /// Set when the backend stops servicing (VM shutdown): guest calls
     /// fail fast with `ENODEV` instead of waiting on a dead ring.
@@ -65,8 +65,8 @@ impl VphiChannel {
     pub fn new(queue_size: u16) -> Arc<Self> {
         Arc::new(VphiChannel {
             queue: VirtQueue::new(queue_size),
-            inflight: Mutex::new(HashMap::new()),
-            completed: Mutex::new(HashMap::new()),
+            inflight: TrackedMutex::new(LockClass::FrontendInflight, HashMap::new()),
+            completed: TrackedMutex::new(LockClass::FrontendCompleted, HashMap::new()),
             next_token: std::sync::atomic::AtomicU64::new(1),
             shutdown: std::sync::atomic::AtomicBool::new(false),
             waitq: Arc::new(WaitQueue::new()),
@@ -143,11 +143,11 @@ pub struct FrontendDriver {
     /// Staging chunk size for large transfers — `KMALLOC_MAX_SIZE` in the
     /// paper; configurable for the ABL-CHUNK ablation.
     chunk_size: u64,
-    stats: Mutex<FrontendStats>,
+    stats: TrackedMutex<FrontendStats>,
     /// Preallocated request/response header slots (a slab, allocated once
     /// at module insertion — per-request kmalloc is only paid for payload
     /// staging, as in the real driver).
-    slots: Mutex<Vec<(KmallocBuf, KmallocBuf)>>,
+    slots: TrackedMutex<Vec<(KmallocBuf, KmallocBuf)>>,
 }
 
 impl std::fmt::Debug for FrontendDriver {
@@ -208,8 +208,8 @@ impl FrontendDriver {
             channel,
             scheme,
             chunk_size,
-            stats: Mutex::new(FrontendStats::default()),
-            slots: Mutex::new(slots),
+            stats: TrackedMutex::new(LockClass::FrontendStats, FrontendStats::default()),
+            slots: TrackedMutex::new(LockClass::FrontendSlots, slots),
         })
     }
 

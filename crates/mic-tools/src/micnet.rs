@@ -20,13 +20,13 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use vphi::builder::VphiHost;
 use vphi_coi::transport::{CoiEnv, CoiTransport};
 use vphi_coi::wire::{read_frame, write_frame, ByteReader, ByteWriter};
 use vphi_phi::ComputeJob;
 use vphi_scif::{Port, ScifEndpoint, ScifError, ScifResult};
 use vphi_sim_core::{SimDuration, SpanLabel, Timeline};
+use vphi_sync::{LockClass, TrackedMutex};
 
 /// The well-known port of the mic0 shell daemon (sshd on the uOS).
 pub const MIC_SHELL_PORT: Port = Port(22);
@@ -125,8 +125,8 @@ impl ShellMsg {
 /// The card-side shell daemon ("sshd" reachable through mic0).
 pub struct MicShellDaemon {
     listener: Arc<ScifEndpoint>,
-    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
-    sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    accept_thread: TrackedMutex<Option<std::thread::JoinHandle<()>>>,
+    sessions: Arc<TrackedMutex<Vec<std::thread::JoinHandle<()>>>>,
     running: Arc<AtomicBool>,
     uploads: Arc<AtomicU64>,
 }
@@ -141,8 +141,8 @@ impl MicShellDaemon {
 
         let running = Arc::new(AtomicBool::new(true));
         let uploads = Arc::new(AtomicU64::new(0));
-        let sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let sessions: Arc<TrackedMutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(TrackedMutex::new(LockClass::ServerSessions, Vec::new()));
         let (l2, r2, s2, u2) = (
             Arc::clone(&listener),
             Arc::clone(&running),
@@ -171,7 +171,7 @@ impl MicShellDaemon {
 
         Ok(MicShellDaemon {
             listener,
-            accept_thread: Mutex::new(Some(accept_thread)),
+            accept_thread: TrackedMutex::new(LockClass::ServerAccept, Some(accept_thread)),
             sessions,
             running,
             uploads,
@@ -489,8 +489,8 @@ impl Mic0Link {
 /// of the emulated network driver).
 pub struct MicNetDaemon {
     listener: Arc<ScifEndpoint>,
-    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
-    sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    accept_thread: TrackedMutex<Option<std::thread::JoinHandle<()>>>,
+    sessions: Arc<TrackedMutex<Vec<std::thread::JoinHandle<()>>>>,
     running: Arc<AtomicBool>,
 }
 
@@ -504,8 +504,8 @@ impl MicNetDaemon {
         listener.bind(MIC_NET_PORT, &mut tl)?;
         listener.listen(8, &mut tl)?;
         let running = Arc::new(AtomicBool::new(true));
-        let sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let sessions: Arc<TrackedMutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(TrackedMutex::new(LockClass::ServerSessions, Vec::new()));
         let (l2, r2, s2) = (Arc::clone(&listener), Arc::clone(&running), Arc::clone(&sessions));
         let accept_thread = std::thread::Builder::new()
             .name(format!("mic-netd-{mic}"))
@@ -523,7 +523,7 @@ impl MicNetDaemon {
             .expect("spawn mic netd");
         Ok(MicNetDaemon {
             listener,
-            accept_thread: Mutex::new(Some(accept_thread)),
+            accept_thread: TrackedMutex::new(LockClass::ServerAccept, Some(accept_thread)),
             sessions,
             running,
         })

@@ -6,15 +6,24 @@
 //! the MMIO write is charged by the caller through the link's
 //! `control_transaction`.
 
-use parking_lot::{Condvar, Mutex};
 use std::time::Duration;
+use vphi_sync::{LockClass, TrackedCondvar, TrackedMutex};
 
 /// A counting doorbell: `ring` increments, `wait` blocks until the count
 /// exceeds what the waiter has already consumed.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Doorbell {
-    state: Mutex<DoorbellState>,
-    cond: Condvar,
+    state: TrackedMutex<DoorbellState>,
+    cond: TrackedCondvar,
+}
+
+impl Default for Doorbell {
+    fn default() -> Self {
+        Doorbell {
+            state: TrackedMutex::new(LockClass::Doorbell, DoorbellState::default()),
+            cond: TrackedCondvar::new(),
+        }
+    }
 }
 
 #[derive(Debug, Default)]

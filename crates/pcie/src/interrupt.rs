@@ -5,9 +5,9 @@
 //! the *QEMU backend* raises a virtual interrupt into the guest the same
 //! way (the `vmm` crate builds its IRQ chip on the same abstraction).
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use vphi_sync::{LockClass, TrackedMutex};
 
 use vphi_sim_core::{SpanLabel, Timeline};
 
@@ -27,7 +27,7 @@ impl<F: Fn(u32, &mut Timeline) + Send + Sync> InterruptHandler for F {
 /// One MSI vector with a registered handler chain.
 pub struct MsiVector {
     vector: u32,
-    handlers: Mutex<Vec<Arc<dyn InterruptHandler>>>,
+    handlers: TrackedMutex<Vec<Arc<dyn InterruptHandler>>>,
     raised: AtomicU64,
 }
 
@@ -42,7 +42,11 @@ impl std::fmt::Debug for MsiVector {
 
 impl MsiVector {
     pub fn new(vector: u32) -> Self {
-        MsiVector { vector, handlers: Mutex::new(Vec::new()), raised: AtomicU64::new(0) }
+        MsiVector {
+            vector,
+            handlers: TrackedMutex::new(LockClass::MsiHandlers, Vec::new()),
+            raised: AtomicU64::new(0),
+        }
     }
 
     pub fn vector(&self) -> u32 {

@@ -2,9 +2,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use vphi_pcie::{DmaEngine, Doorbell, LinkConfig, MsiVector, PcieLink};
 use vphi_sim_core::{CostModel, SimDuration, VirtualClock};
+use vphi_sync::{LockClass, TrackedRwLock};
 
 use crate::memory::DeviceMemory;
 use crate::spec::PhiSpec;
@@ -34,7 +34,7 @@ impl BoardState {
 /// and the uOS scheduler once booted.
 pub struct PhiBoard {
     spec: PhiSpec,
-    state: RwLock<BoardState>,
+    state: TrackedRwLock<BoardState>,
     memory: Arc<DeviceMemory>,
     link: Arc<PcieLink>,
     dma: Arc<DmaEngine>,
@@ -45,7 +45,7 @@ pub struct PhiBoard {
     /// MSI toward the host SCIF driver.
     pub msi: Arc<MsiVector>,
     uos: Arc<UosScheduler>,
-    sysfs: RwLock<SysfsInfo>,
+    sysfs: TrackedRwLock<SysfsInfo>,
     mic_index: u32,
 }
 
@@ -73,10 +73,13 @@ impl PhiBoard {
         let dma = Arc::new(DmaEngine::new(Arc::clone(&link), spec.dma_channels));
         let memory = Arc::new(DeviceMemory::new(spec.memory_bytes));
         let uos = Arc::new(UosScheduler::new(spec.clone(), cost, clock));
-        let sysfs = RwLock::new(SysfsInfo::from_spec(&spec, mic_index, "offline"));
+        let sysfs = TrackedRwLock::new(
+            LockClass::BoardSysfs,
+            SysfsInfo::from_spec(&spec, mic_index, "offline"),
+        );
         PhiBoard {
             spec,
-            state: RwLock::new(BoardState::Offline),
+            state: TrackedRwLock::new(LockClass::BoardState, BoardState::Offline),
             memory,
             link,
             dma,

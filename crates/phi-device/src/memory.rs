@@ -9,8 +9,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
 use vphi_sim_core::cost::PAGE_SIZE;
+use vphi_sync::{LockClass, TrackedMutex, TrackedRwLock};
 
 /// Errors from the device memory allocator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +47,7 @@ impl std::error::Error for MemError {}
 pub struct DeviceRegion {
     offset: u64,
     len: u64,
-    backing: Option<Mutex<Vec<u8>>>,
+    backing: Option<TrackedMutex<Vec<u8>>>,
 }
 
 impl DeviceRegion {
@@ -121,7 +121,7 @@ struct FreeSpan {
 #[derive(Debug)]
 pub struct DeviceMemory {
     capacity: u64,
-    inner: RwLock<MemInner>,
+    inner: TrackedRwLock<MemInner>,
 }
 
 #[derive(Debug, Default)]
@@ -140,7 +140,10 @@ impl DeviceMemory {
         free.insert(0, FreeSpan { len: capacity });
         DeviceMemory {
             capacity,
-            inner: RwLock::new(MemInner { free, regions: BTreeMap::new(), allocated: 0 }),
+            inner: TrackedRwLock::new(
+                LockClass::PhiMemTable,
+                MemInner { free, regions: BTreeMap::new(), allocated: 0 },
+            ),
         }
     }
 
@@ -181,7 +184,8 @@ impl DeviceMemory {
         let region = Arc::new(DeviceRegion {
             offset: off,
             len,
-            backing: backed.then(|| Mutex::new(vec![0u8; len as usize])),
+            backing: backed
+                .then(|| TrackedMutex::new(LockClass::PhiMemData, vec![0u8; len as usize])),
         });
         inner.regions.insert(off, Arc::clone(&region));
         inner.allocated += len;

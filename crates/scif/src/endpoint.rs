@@ -10,8 +10,8 @@
 
 use std::sync::{Arc, OnceLock, Weak};
 
-use parking_lot::Mutex;
 use vphi_sim_core::{SimTime, SpanLabel, Timeline};
+use vphi_sync::{LockClass, TrackedMutex};
 
 use crate::error::{ScifError, ScifResult};
 use crate::fabric::{enqueue_connect, FabricShared, Listener, NodeCore};
@@ -42,16 +42,16 @@ pub struct EndpointCore {
     id: u64,
     pub(crate) shared: Arc<FabricShared>,
     pub(crate) node: Arc<NodeCore>,
-    state: Mutex<EpState>,
-    local_port: Mutex<Option<Port>>,
-    listener: Mutex<Option<Arc<Listener>>>,
+    state: TrackedMutex<EpState>,
+    local_port: TrackedMutex<Option<Port>>,
+    listener: TrackedMutex<Option<Arc<Listener>>>,
     pub(crate) recv_q: OnceLock<Arc<MsgQueue>>,
     pub(crate) send_q: OnceLock<Arc<MsgQueue>>,
     pub(crate) peer: OnceLock<Weak<EndpointCore>>,
     peer_addr: OnceLock<ScifAddr>,
-    pub(crate) windows: Mutex<WindowTable>,
-    pub(crate) rma_pending: Mutex<Vec<RmaCompletion>>,
-    pub(crate) next_marker: Mutex<u64>,
+    pub(crate) windows: TrackedMutex<WindowTable>,
+    pub(crate) rma_pending: TrackedMutex<Vec<RmaCompletion>>,
+    pub(crate) next_marker: TrackedMutex<u64>,
     /// Bytes available on the *timed bulk lane* (see
     /// [`send_timed`](EndpointCore::send_timed)).
     timed_rx: std::sync::atomic::AtomicU64,
@@ -74,16 +74,16 @@ impl EndpointCore {
             id,
             shared,
             node,
-            state: Mutex::new(EpState::Unbound),
-            local_port: Mutex::new(None),
-            listener: Mutex::new(None),
+            state: TrackedMutex::new(LockClass::EndpointState, EpState::Unbound),
+            local_port: TrackedMutex::new(LockClass::EpPort, None),
+            listener: TrackedMutex::new(LockClass::EpListener, None),
             recv_q: OnceLock::new(),
             send_q: OnceLock::new(),
             peer: OnceLock::new(),
             peer_addr: OnceLock::new(),
-            windows: Mutex::new(WindowTable::new()),
-            rma_pending: Mutex::new(Vec::new()),
-            next_marker: Mutex::new(1),
+            windows: TrackedMutex::new(LockClass::WindowTable, WindowTable::new()),
+            rma_pending: TrackedMutex::new(LockClass::RmaPending, Vec::new()),
+            next_marker: TrackedMutex::new(LockClass::RmaMarker, 1),
             timed_rx: std::sync::atomic::AtomicU64::new(0),
         })
     }

@@ -6,9 +6,9 @@ use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex, RwLock};
 use vphi_phi::PhiBoard;
 use vphi_sim_core::{CostModel, SpanLabel, Timeline, VirtualClock};
+use vphi_sync::{LockClass, TrackedCondvar, TrackedMutex, TrackedRwLock};
 
 use crate::endpoint::EndpointCore;
 use crate::error::{ScifError, ScifResult};
@@ -20,10 +20,19 @@ pub(crate) const WALL_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A wake-any hub: blocking fabric operations (accept, connect, poll) wait
 /// on this and re-check their condition whenever anything happens.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct ActivityHub {
-    version: Mutex<u64>,
-    cond: Condvar,
+    version: TrackedMutex<u64>,
+    cond: TrackedCondvar,
+}
+
+impl Default for ActivityHub {
+    fn default() -> Self {
+        ActivityHub {
+            version: TrackedMutex::new(LockClass::ActivityHub, 0),
+            cond: TrackedCondvar::new(),
+        }
+    }
 }
 
 impl ActivityHub {
@@ -76,7 +85,7 @@ pub(crate) struct PendingConn {
 /// A listening port's state.
 pub(crate) struct Listener {
     pub backlog: usize,
-    pub pending: Mutex<VecDeque<PendingConn>>,
+    pub pending: TrackedMutex<VecDeque<PendingConn>>,
     pub closed: AtomicBool,
 }
 
@@ -84,7 +93,7 @@ impl Listener {
     fn new(backlog: usize) -> Self {
         Listener {
             backlog: backlog.max(1),
-            pending: Mutex::new(VecDeque::new()),
+            pending: TrackedMutex::new(LockClass::ListenerPending, VecDeque::new()),
             closed: AtomicBool::new(false),
         }
     }
@@ -93,7 +102,7 @@ impl Listener {
 /// One SCIF node's driver state (the host's `scif.ko` or the uOS's).
 pub struct NodeCore {
     id: NodeId,
-    ports: Mutex<HashMap<Port, Arc<Listener>>>,
+    ports: TrackedMutex<HashMap<Port, Arc<Listener>>>,
     next_ephemeral: AtomicU16,
     /// The board behind this node; `None` for the host node.
     board: Option<Arc<PhiBoard>>,
@@ -167,7 +176,7 @@ pub struct FabricShared {
     pub cost: Arc<CostModel>,
     pub clock: Arc<VirtualClock>,
     pub(crate) activity: ActivityHub,
-    nodes: RwLock<BTreeMap<NodeId, Arc<NodeCore>>>,
+    nodes: TrackedRwLock<BTreeMap<NodeId, Arc<NodeCore>>>,
     next_ep_id: AtomicU64,
 }
 
@@ -262,12 +271,12 @@ impl ScifFabric {
             cost,
             clock,
             activity: ActivityHub::default(),
-            nodes: RwLock::new(BTreeMap::new()),
+            nodes: TrackedRwLock::new(LockClass::FabricNodes, BTreeMap::new()),
             next_ep_id: AtomicU64::new(1),
         });
         let host = Arc::new(NodeCore {
             id: HOST_NODE,
-            ports: Mutex::new(HashMap::new()),
+            ports: TrackedMutex::new(LockClass::NodePorts, HashMap::new()),
             next_ephemeral: AtomicU16::new(Port::EPHEMERAL_START),
             board: None,
         });
@@ -283,7 +292,7 @@ impl ScifFabric {
             id,
             Arc::new(NodeCore {
                 id,
-                ports: Mutex::new(HashMap::new()),
+                ports: TrackedMutex::new(LockClass::NodePorts, HashMap::new()),
                 next_ephemeral: AtomicU16::new(Port::EPHEMERAL_START),
                 board: Some(board),
             }),

@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use vphi_sync::{LockClass, TrackedCondvar, TrackedMutex};
 
 /// Default queue capacity.  Generous enough that microbenchmarks don't
 /// trip flow control, small enough that a runaway sender blocks (tested).
@@ -26,9 +26,9 @@ struct QInner {
 /// A bounded, blocking byte queue.
 #[derive(Debug)]
 pub struct MsgQueue {
-    inner: Mutex<QInner>,
-    readable: Condvar,
-    writable: Condvar,
+    inner: TrackedMutex<QInner>,
+    readable: TrackedCondvar,
+    writable: TrackedCondvar,
     capacity: usize,
 }
 
@@ -36,9 +36,12 @@ impl MsgQueue {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         MsgQueue {
-            inner: Mutex::new(QInner { buf: VecDeque::new(), closed: false }),
-            readable: Condvar::new(),
-            writable: Condvar::new(),
+            inner: TrackedMutex::new(
+                LockClass::MsgQueue,
+                QInner { buf: VecDeque::new(), closed: false },
+            ),
+            readable: TrackedCondvar::new(),
+            writable: TrackedCondvar::new(),
             capacity,
         }
     }

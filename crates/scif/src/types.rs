@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use vphi_sync::{LockClass, TrackedMutex};
 
 /// A SCIF node: 0 is the host ("self" in MPSS terms), 1..N are cards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -111,16 +111,16 @@ impl RmaFlags {
 /// A pinned, shareable user buffer — what `scif_register` pins and RMA
 /// peers access.  Cloning shares the same storage, like a pinned page set
 /// shared between the app and the driver.
-pub type PinnedBuf = Arc<Mutex<Vec<u8>>>;
+pub type PinnedBuf = Arc<TrackedMutex<Vec<u8>>>;
 
 /// Convenience constructor for a zeroed pinned buffer.
 pub fn pinned_buf(len: usize) -> PinnedBuf {
-    Arc::new(Mutex::new(vec![0u8; len]))
+    Arc::new(TrackedMutex::new(LockClass::PinnedBuf, vec![0u8; len]))
 }
 
 /// Convenience constructor from existing bytes.
 pub fn pinned_from(data: &[u8]) -> PinnedBuf {
-    Arc::new(Mutex::new(data.to_vec()))
+    Arc::new(TrackedMutex::new(LockClass::PinnedBuf, data.to_vec()))
 }
 
 #[cfg(test)]

@@ -29,7 +29,12 @@ impl VirtualClock {
     }
 
     /// Advance the clock by `d` and return the time after the advance.
+    ///
+    /// Charging virtual time while holding a lock would serialize unrelated
+    /// requests behind the holder's simulated latency, so the audit layer
+    /// treats any held tracked lock here as an ordering violation.
     pub fn advance(&self, d: SimDuration) -> SimTime {
+        vphi_sync::audit::assert_lockless("VirtualClock::advance");
         SimTime(self.now_ns.fetch_add(d.0, Ordering::AcqRel) + d.0)
     }
 
@@ -37,6 +42,7 @@ impl VirtualClock {
     /// becomes `max(now, t)`.  Used when a resource computes a completion
     /// time that may lie in the clock's future.
     pub fn observe(&self, t: SimTime) -> SimTime {
+        vphi_sync::audit::assert_lockless("VirtualClock::observe");
         let mut cur = self.now_ns.load(Ordering::Acquire);
         loop {
             if t.0 <= cur {

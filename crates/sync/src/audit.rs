@@ -1,0 +1,378 @@
+//! The lock-order audit: per-thread held stacks, the global class-level
+//! order graph, cycle/layer/nesting checks and the counters surfaced in
+//! `VphiDebugReport`.
+//!
+//! Active in debug/test builds and, in release, behind the `sync-audit`
+//! feature.  Inactive builds compile every entry point to a no-op.
+
+/// Opaque handle for one registered acquisition; returned by
+/// [`on_acquire`] and redeemed by [`on_release`].
+#[derive(Debug, Clone, Copy)]
+pub struct Token(#[allow(dead_code)] u64);
+
+/// How a lock was taken — shared acquisitions of one class may nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcqKind {
+    Exclusive,
+    Shared,
+}
+
+/// Snapshot of the audit counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Tracked lock acquisitions (mutex, rwlock and condvar re-acquires).
+    pub acquisitions: u64,
+    /// Deepest held-lock stack observed on any thread.
+    pub max_hold_depth: u64,
+    /// Distinct class-order edges recorded in the global graph.
+    pub order_edges: u64,
+    /// Acquisitions that ran the order checks (≥ 1 lock already held).
+    pub cycle_checks: u64,
+    /// Violations reported outside of test capture.
+    pub violations: u64,
+}
+
+#[cfg(any(debug_assertions, feature = "sync-audit"))]
+mod imp {
+    use super::{AcqKind, SyncStats, Token};
+    use crate::LockClass;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    const NCLASS: usize = LockClass::COUNT;
+
+    struct Held {
+        class: LockClass,
+        kind: AcqKind,
+        site: &'static Location<'static>,
+        slot: u64,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+        static CAPTURE: RefCell<Option<Vec<String>>> = const { RefCell::new(None) };
+    }
+
+    // Global order graph: EDGES[a] bit b set ⇔ some thread acquired class
+    // b while holding class a.  First-seen acquisition sites per edge live
+    // in EDGE_SITES for diagnostics.  (The audit's own lock is a raw
+    // std::sync::Mutex on purpose — tracking it would recurse.)
+    static EDGES: [AtomicU64; NCLASS] = [const { AtomicU64::new(0) }; NCLASS];
+    type SiteMap = HashMap<(u8, u8), (&'static Location<'static>, &'static Location<'static>)>;
+    static EDGE_SITES: StdMutex<Option<SiteMap>> = StdMutex::new(None);
+
+    static ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
+    static MAX_DEPTH: AtomicU64 = AtomicU64::new(0);
+    static ORDER_EDGES: AtomicU64 = AtomicU64::new(0);
+    static CYCLE_CHECKS: AtomicU64 = AtomicU64::new(0);
+    static VIOLATIONS: AtomicU64 = AtomicU64::new(0);
+    static NEXT_SLOT: AtomicU64 = AtomicU64::new(1);
+
+    fn report(msg: String) {
+        let captured = CAPTURE.with(|c| {
+            if let Some(sink) = c.borrow_mut().as_mut() {
+                sink.push(msg.clone());
+                true
+            } else {
+                false
+            }
+        });
+        if !captured {
+            VIOLATIONS.fetch_add(1, Ordering::Relaxed);
+            panic!("vphi-sync lock-order violation: {msg}");
+        }
+    }
+
+    fn edge_sites(from: LockClass, to: LockClass) -> String {
+        let guard = EDGE_SITES.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match guard.as_ref().and_then(|m| m.get(&(from as u8, to as u8))) {
+            Some((a, b)) => format!("{from:?} at {a} then {to:?} at {b}"),
+            None => format!("{from:?} then {to:?} (sites unrecorded)"),
+        }
+    }
+
+    /// Depth-first reachability over the edge bitmasks.
+    fn reaches(from: usize, target: usize, visited: &mut u64) -> bool {
+        if from == target {
+            return true;
+        }
+        if *visited & (1 << from) != 0 {
+            return false;
+        }
+        *visited |= 1 << from;
+        let mut succ = EDGES[from].load(Ordering::Acquire);
+        while succ != 0 {
+            let next = succ.trailing_zeros() as usize;
+            succ &= succ - 1;
+            if reaches(next, target, visited) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn record_edge(held: &Held, class: LockClass, site: &'static Location<'static>) {
+        let from = held.class.index();
+        let to = class.index();
+        let prev = EDGES[from].fetch_or(1 << to, Ordering::AcqRel);
+        if prev & (1 << to) != 0 {
+            return; // edge already known; graph unchanged, no new cycle.
+        }
+        ORDER_EDGES.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut guard = EDGE_SITES.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard
+                .get_or_insert_with(HashMap::new)
+                .entry((from as u8, to as u8))
+                .or_insert((held.site, site));
+        }
+        // A cycle exists iff the *new* edge closed one: can we get back
+        // from `to` to `from`?
+        let mut visited = 0u64;
+        if reaches(to, from, &mut visited) {
+            report(format!(
+                "lock-order cycle: this thread acquired {class:?} (at {site}) while holding \
+                 {held_class:?} (acquired at {held_site}), but the order graph already has a \
+                 path {class:?} → … → {held_class:?} (first recorded: {reverse})",
+                held_class = held.class,
+                held_site = held.site,
+                reverse = edge_sites(class, held.class),
+            ));
+        }
+    }
+
+    pub fn on_acquire(class: LockClass, kind: AcqKind, site: &'static Location<'static>) -> Token {
+        ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if !held.is_empty() {
+                CYCLE_CHECKS.fetch_add(1, Ordering::Relaxed);
+            }
+            for entry in held.iter() {
+                if entry.class == class {
+                    if kind == AcqKind::Shared && entry.kind == AcqKind::Shared {
+                        continue;
+                    }
+                    report(format!(
+                        "same-class nesting: {class:?} acquired at {site} while already held \
+                         (acquired at {})",
+                        entry.site
+                    ));
+                    continue;
+                }
+                if class.layer() < entry.class.layer() {
+                    report(format!(
+                        "layer inversion: {class:?} (layer {}) acquired at {site} while holding \
+                         {:?} (layer {}, acquired at {}) — outer layers must be taken first",
+                        class.layer(),
+                        entry.class,
+                        entry.class.layer(),
+                        entry.site
+                    ));
+                    // The inversion is the violation; keep the bad edge out
+                    // of the graph so the correct-order sites don't later
+                    // report a cascaded cycle.
+                    continue;
+                }
+                record_edge(entry, class, site);
+            }
+            let slot = NEXT_SLOT.fetch_add(1, Ordering::Relaxed);
+            held.push(Held { class, kind, site, slot });
+            MAX_DEPTH.fetch_max(held.len() as u64, Ordering::Relaxed);
+            Token(slot)
+        })
+    }
+
+    pub fn on_release(token: Token) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|e| e.slot == token.0) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    pub fn assert_lockless(what: &str) {
+        HELD.with(|h| {
+            let held = h.borrow();
+            if let Some(top) = held.last() {
+                report(format!(
+                    "{what} entered while holding {:?} (acquired at {}; {} lock(s) held) — \
+                     virtual-time advances must be lock-free",
+                    top.class,
+                    top.site,
+                    held.len()
+                ));
+            }
+        });
+    }
+
+    pub fn capture_violations<R>(f: impl FnOnce() -> R) -> (R, Vec<String>) {
+        CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+        let out = f();
+        let grabbed = CAPTURE.with(|c| c.borrow_mut().take().unwrap_or_default());
+        (out, grabbed)
+    }
+
+    pub fn stats() -> SyncStats {
+        SyncStats {
+            acquisitions: ACQUISITIONS.load(Ordering::Relaxed),
+            max_hold_depth: MAX_DEPTH.load(Ordering::Relaxed),
+            order_edges: ORDER_EDGES.load(Ordering::Relaxed),
+            cycle_checks: CYCLE_CHECKS.load(Ordering::Relaxed),
+            violations: VIOLATIONS.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn violation_count() -> u64 {
+        VIOLATIONS.load(Ordering::Relaxed)
+    }
+
+    pub fn held_depth() -> usize {
+        HELD.with(|h| h.borrow().len())
+    }
+
+    pub const ENABLED: bool = true;
+}
+
+#[cfg(not(any(debug_assertions, feature = "sync-audit")))]
+mod imp {
+    use super::{AcqKind, SyncStats, Token};
+    use crate::LockClass;
+    use std::panic::Location;
+
+    #[inline(always)]
+    pub fn on_acquire(
+        _class: LockClass,
+        _kind: AcqKind,
+        _site: &'static Location<'static>,
+    ) -> Token {
+        Token(0)
+    }
+
+    #[inline(always)]
+    pub fn on_release(_token: Token) {}
+
+    #[inline(always)]
+    pub fn assert_lockless(_what: &str) {}
+
+    pub fn capture_violations<R>(f: impl FnOnce() -> R) -> (R, Vec<String>) {
+        (f(), Vec::new())
+    }
+
+    pub fn stats() -> SyncStats {
+        SyncStats::default()
+    }
+
+    pub fn violation_count() -> u64 {
+        0
+    }
+
+    pub fn held_depth() -> usize {
+        0
+    }
+
+    pub const ENABLED: bool = false;
+}
+
+pub use imp::{
+    assert_lockless, capture_violations, held_depth, on_acquire, on_release, stats,
+    violation_count, ENABLED,
+};
+
+// In a plain release build the detector is the no-op module and there is
+// nothing to test; `--features sync-audit` turns these back on.
+#[cfg(all(test, any(debug_assertions, feature = "sync-audit")))]
+mod tests {
+    use super::*;
+    use crate::{LockClass, TrackedCondvar, TrackedMutex, TrackedRwLock};
+    use std::time::Duration;
+
+    #[test]
+    fn plain_acquisitions_are_counted_and_clean() {
+        let m = TrackedMutex::new(LockClass::TestInner, 1u32);
+        let before = stats().acquisitions;
+        *m.lock() += 1;
+        assert_eq!(*m.lock_or_recover(), 2);
+        assert!(stats().acquisitions >= before + 2);
+    }
+
+    #[test]
+    fn ordered_nesting_records_an_edge() {
+        let outer = TrackedMutex::new(LockClass::TestOuter, ());
+        let inner = TrackedMutex::new(LockClass::TestInner, ());
+        let before = stats().order_edges;
+        let g = outer.lock();
+        let _h = inner.lock();
+        drop(g);
+        assert!(stats().order_edges > before);
+        assert_eq!(held_depth(), 1);
+    }
+
+    #[test]
+    fn layer_inversion_is_reported() {
+        let outer = TrackedMutex::new(LockClass::TestOuter, ());
+        let inner = TrackedMutex::new(LockClass::TestInner, ());
+        let (_, violations) = capture_violations(|| {
+            let _g = inner.lock();
+            let _h = outer.lock();
+        });
+        assert!(
+            violations.iter().any(|v| v.contains("layer inversion")),
+            "expected a layer-inversion report, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn same_class_nesting_is_reported_for_exclusive() {
+        let a = TrackedMutex::new(LockClass::TestA, ());
+        let b = TrackedMutex::new(LockClass::TestA, ());
+        let (_, violations) = capture_violations(|| {
+            let _g = a.lock();
+            let _h = b.lock();
+        });
+        assert!(violations.iter().any(|v| v.contains("same-class nesting")));
+    }
+
+    #[test]
+    fn shared_reads_of_one_class_may_nest() {
+        let a = TrackedRwLock::new(LockClass::TestA, ());
+        let b = TrackedRwLock::new(LockClass::TestA, ());
+        let (_, violations) = capture_violations(|| {
+            let _g = a.read();
+            let _h = b.read();
+        });
+        assert!(violations.is_empty(), "read-read nesting flagged: {violations:?}");
+    }
+
+    #[test]
+    fn condvar_wait_releases_the_held_token() {
+        let m = TrackedMutex::new(LockClass::TestA, ());
+        let c = TrackedCondvar::new();
+        let mut g = m.lock();
+        assert_eq!(held_depth(), 1);
+        // The wait times out, but during it the token must be gone; after
+        // re-acquisition it is back.
+        c.wait_for(&mut g, Duration::from_millis(1));
+        assert_eq!(held_depth(), 1);
+        drop(g);
+        assert_eq!(held_depth(), 0);
+    }
+
+    #[test]
+    fn clock_style_assert_fires_only_under_locks() {
+        let (_, violations) = capture_violations(|| {
+            assert_lockless("test advance");
+        });
+        assert!(violations.is_empty());
+        let m = TrackedMutex::new(LockClass::TestA, ());
+        let (_, violations) = capture_violations(|| {
+            let _g = m.lock();
+            assert_lockless("test advance");
+        });
+        assert!(violations.iter().any(|v| v.contains("lock-free")));
+    }
+}

@@ -1,0 +1,428 @@
+//! Instrumented synchronization primitives for the vPHI workspace.
+//!
+//! Every lock in the stack is a [`TrackedMutex`] / [`TrackedRwLock`]
+//! declared with a [`LockClass`].  Acquisitions feed a per-thread held-lock
+//! stack and a global class-level lock-order graph (see [`audit`]), which
+//! detects — at the moment the second lock is taken, no real deadlock
+//! needed:
+//!
+//! * **order cycles** (an ABBA pattern between two lock classes),
+//! * **layer inversions** (taking an outer-layer lock while holding an
+//!   inner-layer one — e.g. a `scif` fabric lock under a `virtio` queue
+//!   lock),
+//! * **same-class nesting** (two mutexes of one class on one thread),
+//! * **locks held across a `sim-core` virtual-clock advance** (via
+//!   [`audit::assert_lockless`], called by `VirtualClock`).
+//!
+//! Violations panic with both acquisition sites in debug/test builds; the
+//! `sync-audit` feature turns the same checks on in release builds.  When
+//! neither is active the wrappers compile down to the plain `parking_lot`
+//! primitives.
+//!
+//! Poisoning: `lock()` **is** the poison-recovering acquire (it delegates
+//! to [`TrackedMutex::lock_or_recover`]); a panicking thread never poisons
+//! a lock for the rest of a stress test.  `lock().unwrap()` is therefore
+//! both unnecessary and banned by `cargo run -p xtask -- lint`.
+
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
+use std::time::Duration;
+
+pub mod audit;
+
+pub use parking_lot::WaitTimeoutResult;
+
+use audit::{AcqKind, Token};
+
+/// Every lock in the workspace belongs to a class; the class's **layer**
+/// encodes the documented acquisition order (DESIGN.md #12): a thread may
+/// only acquire locks of a layer **greater than or equal to** the layers
+/// it already holds (outer layers first).  Same-layer classes are allowed
+/// to interleave either way; the dynamic order graph still rejects cycles
+/// between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum LockClass {
+    // --- VMM control plane (outermost) ---
+    /// `vmm::Vm` device list.
+    VmDevices = 0,
+    /// `vmm::KvmModule` VMA table.
+    KvmVmas = 1,
+    /// `vmm::KvmModule` resolved-page set.
+    KvmResolved = 2,
+    /// `vmm::KvmModule` fault counter.
+    KvmFaults = 3,
+    // --- host-side service threads ---
+    /// Backend / daemon service-thread join handles.
+    BackendWorker = 4,
+    /// micnetd / COI daemon accept-thread handle.
+    ServerAccept = 5,
+    /// micnetd / COI daemon session-thread list.
+    ServerSessions = 6,
+    /// Backend guest-epd → endpoint table.
+    BackendEndpoints = 7,
+    /// Backend mmap-handle table.
+    BackendMmaps = 8,
+    /// Backend registered-window bookkeeping.
+    BackendWindows = 9,
+    /// Backend RMA registration cache.
+    RegCache = 10,
+    // --- SCIF fabric ---
+    /// Fabric node registry.
+    FabricNodes = 11,
+    /// Endpoint state machine.
+    EndpointState = 12,
+    /// Endpoint local port.
+    EpPort = 13,
+    /// Endpoint listener slot.
+    EpListener = 14,
+    /// Per-node bound-port map.
+    NodePorts = 15,
+    /// Listener pending-connection backlog.
+    ListenerPending = 16,
+    /// Fabric activity hub (wake-any version counter).
+    ActivityHub = 17,
+    /// SCIF message queue ring state.
+    MsgQueue = 18,
+    /// Endpoint registered-window table.
+    WindowTable = 19,
+    /// Endpoint RMA fence-marker counter.
+    RmaMarker = 20,
+    /// Endpoint pending async-RMA completions.
+    RmaPending = 21,
+    // --- Phi device ---
+    /// Board lifecycle state.
+    BoardState = 22,
+    /// Board sysfs attribute map.
+    BoardSysfs = 23,
+    /// GDDR allocator region table.
+    PhiMemTable = 24,
+    // --- virtio / interrupt delivery ---
+    /// Virtqueue ring state.
+    VirtQueueState = 25,
+    /// PCIe doorbell state.
+    Doorbell = 26,
+    /// Virtqueue IRQ-callback slot (held while the callback runs).
+    VirtioIrq = 27,
+    /// Per-VM IRQ-chip vector map.
+    IrqVectors = 28,
+    /// MSI vector handler chain.
+    MsiHandlers = 29,
+    /// Guest wake-all wait queue (predicates run under this lock).
+    WaitQueue = 30,
+    // --- frontend driver ---
+    /// Frontend head → in-flight request table.
+    FrontendInflight = 31,
+    /// Frontend token → completed reply table.
+    FrontendCompleted = 32,
+    /// Frontend per-driver counters.
+    FrontendStats = 33,
+    /// Frontend preallocated header slots.
+    FrontendSlots = 34,
+    // --- byte-storage leaves (innermost real locks) ---
+    /// Pinned user/guest pages (`scif::PinnedBuf`).
+    PinnedBuf = 35,
+    /// GDDR region backing bytes.
+    PhiMemData = 36,
+    /// Guest physical-memory arena.
+    GuestMemState = 37,
+    /// VMA test/backing byte buffers.
+    VmaData = 38,
+    // --- test-only classes (isolated from the real hierarchy) ---
+    /// Regression tests: an outer-layer test lock.
+    TestOuter = 39,
+    /// Regression tests: ABBA partner A.
+    TestA = 40,
+    /// Regression tests: ABBA partner B.
+    TestB = 41,
+    /// Regression tests: an inner-layer test lock.
+    TestInner = 42,
+}
+
+impl LockClass {
+    /// Number of classes (adjacency bitmasks are `u64`, so this must stay
+    /// ≤ 64).
+    pub const COUNT: usize = 43;
+
+    /// The class's layer in the documented hierarchy — smaller layers are
+    /// acquired first (outermost).
+    pub const fn layer(self) -> u8 {
+        match self {
+            LockClass::VmDevices => 10,
+            LockClass::KvmVmas => 12,
+            LockClass::KvmResolved => 14,
+            LockClass::KvmFaults => 16,
+            LockClass::BackendWorker => 20,
+            LockClass::ServerAccept => 20,
+            LockClass::ServerSessions => 22,
+            LockClass::BackendEndpoints => 24,
+            LockClass::BackendMmaps => 24,
+            LockClass::BackendWindows => 26,
+            LockClass::RegCache => 28,
+            LockClass::FabricNodes => 30,
+            LockClass::EndpointState => 32,
+            LockClass::EpPort => 34,
+            LockClass::EpListener => 34,
+            LockClass::NodePorts => 36,
+            LockClass::ListenerPending => 38,
+            LockClass::ActivityHub => 40,
+            LockClass::MsgQueue => 42,
+            LockClass::WindowTable => 44,
+            LockClass::RmaMarker => 46,
+            LockClass::RmaPending => 48,
+            LockClass::BoardState => 50,
+            LockClass::BoardSysfs => 52,
+            LockClass::PhiMemTable => 54,
+            LockClass::VirtQueueState => 60,
+            LockClass::Doorbell => 62,
+            LockClass::VirtioIrq => 64,
+            LockClass::IrqVectors => 66,
+            LockClass::MsiHandlers => 68,
+            LockClass::WaitQueue => 70,
+            LockClass::FrontendInflight => 72,
+            LockClass::FrontendCompleted => 74,
+            LockClass::FrontendStats => 76,
+            LockClass::FrontendSlots => 78,
+            LockClass::PinnedBuf => 80,
+            LockClass::PhiMemData => 82,
+            LockClass::GuestMemState => 84,
+            LockClass::VmaData => 86,
+            LockClass::TestOuter => 90,
+            LockClass::TestA => 92,
+            LockClass::TestB => 92,
+            LockClass::TestInner => 94,
+        }
+    }
+
+    pub(crate) const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+// ---------------------------------------------------------------- Mutex
+
+/// A mutex that reports its acquisitions to the lock-order audit.
+pub struct TrackedMutex<T: ?Sized> {
+    class: LockClass,
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> TrackedMutex<T> {
+    pub const fn new(class: LockClass, value: T) -> Self {
+        TrackedMutex { class, inner: parking_lot::Mutex::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> TrackedMutex<T> {
+    pub fn class(&self) -> LockClass {
+        self.class
+    }
+
+    /// Acquire, recovering from poisoning.  Delegates to
+    /// [`lock_or_recover`](TrackedMutex::lock_or_recover); kept as the
+    /// idiomatic spelling so the 170 existing call sites read unchanged.
+    #[track_caller]
+    pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
+        self.lock_or_recover()
+    }
+
+    /// The poison-recovering acquire: a panic on another thread while it
+    /// held this mutex does not cascade into this caller (the underlying
+    /// primitive strips `PoisonError`), and the acquisition is checked
+    /// against the lock-order graph before blocking.
+    #[track_caller]
+    pub fn lock_or_recover(&self) -> TrackedMutexGuard<'_, T> {
+        let token = audit::on_acquire(self.class, AcqKind::Exclusive, Location::caller());
+        TrackedMutexGuard { inner: self.inner.lock(), class: self.class, token }
+    }
+
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<TrackedMutexGuard<'_, T>> {
+        let inner = self.inner.try_lock()?;
+        let token = audit::on_acquire(self.class, AcqKind::Exclusive, Location::caller());
+        Some(TrackedMutexGuard { inner, class: self.class, token })
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for TrackedMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.try_lock() {
+            Some(g) => f.debug_struct("TrackedMutex").field("data", &&*g).finish(),
+            None => f.write_str("TrackedMutex { <locked> }"),
+        }
+    }
+}
+
+pub struct TrackedMutexGuard<'a, T: ?Sized> {
+    inner: parking_lot::MutexGuard<'a, T>,
+    class: LockClass,
+    token: Token,
+}
+
+impl<T: ?Sized> Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for TrackedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for TrackedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        audit::on_release(self.token);
+    }
+}
+
+// -------------------------------------------------------------- Condvar
+
+/// A condition variable usable with [`TrackedMutex`].  The held-lock token
+/// is dropped for the duration of the wait (the mutex is released) and
+/// re-registered — re-running the order checks — on wakeup.
+#[derive(Default)]
+pub struct TrackedCondvar {
+    inner: parking_lot::Condvar,
+}
+
+impl TrackedCondvar {
+    pub const fn new() -> Self {
+        TrackedCondvar { inner: parking_lot::Condvar::new() }
+    }
+
+    pub fn notify_one(&self) -> bool {
+        self.inner.notify_one()
+    }
+
+    pub fn notify_all(&self) -> usize {
+        self.inner.notify_all()
+    }
+
+    #[track_caller]
+    pub fn wait<T>(&self, guard: &mut TrackedMutexGuard<'_, T>) {
+        let site = Location::caller();
+        audit::on_release(guard.token);
+        self.inner.wait(&mut guard.inner);
+        guard.token = audit::on_acquire(guard.class, AcqKind::Exclusive, site);
+    }
+
+    #[track_caller]
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut TrackedMutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let site = Location::caller();
+        audit::on_release(guard.token);
+        let result = self.inner.wait_for(&mut guard.inner, timeout);
+        guard.token = audit::on_acquire(guard.class, AcqKind::Exclusive, site);
+        result
+    }
+}
+
+impl std::fmt::Debug for TrackedCondvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TrackedCondvar { .. }")
+    }
+}
+
+// --------------------------------------------------------------- RwLock
+
+/// A reader-writer lock that reports its acquisitions to the audit.
+/// Shared (read) acquisitions of one class may nest; exclusive ones may
+/// not.
+pub struct TrackedRwLock<T: ?Sized> {
+    class: LockClass,
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T> TrackedRwLock<T> {
+    pub const fn new(class: LockClass, value: T) -> Self {
+        TrackedRwLock { class, inner: parking_lot::RwLock::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> TrackedRwLock<T> {
+    pub fn class(&self) -> LockClass {
+        self.class
+    }
+
+    #[track_caller]
+    pub fn read(&self) -> TrackedRwLockReadGuard<'_, T> {
+        let token = audit::on_acquire(self.class, AcqKind::Shared, Location::caller());
+        TrackedRwLockReadGuard { inner: self.inner.read(), token }
+    }
+
+    #[track_caller]
+    pub fn write(&self) -> TrackedRwLockWriteGuard<'_, T> {
+        let token = audit::on_acquire(self.class, AcqKind::Exclusive, Location::caller());
+        TrackedRwLockWriteGuard { inner: self.inner.write(), token }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for TrackedRwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TrackedRwLock { .. }")
+    }
+}
+
+pub struct TrackedRwLockReadGuard<'a, T: ?Sized> {
+    inner: parking_lot::RwLockReadGuard<'a, T>,
+    token: Token,
+}
+
+impl<T: ?Sized> Deref for TrackedRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for TrackedRwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        audit::on_release(self.token);
+    }
+}
+
+pub struct TrackedRwLockWriteGuard<'a, T: ?Sized> {
+    inner: parking_lot::RwLockWriteGuard<'a, T>,
+    token: Token,
+}
+
+impl<T: ?Sized> Deref for TrackedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for TrackedRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for TrackedRwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        audit::on_release(self.token);
+    }
+}

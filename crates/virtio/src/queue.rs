@@ -9,9 +9,9 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use vphi_pcie::Doorbell;
 use vphi_sim_core::{SpanLabel, Timeline};
+use vphi_sync::{LockClass, TrackedMutex};
 
 use crate::ring::{DescChain, Descriptor, UsedElem};
 
@@ -47,12 +47,15 @@ pub struct Notifiers {
     pub kick: Arc<Doorbell>,
     /// Device → guest "used ring has completions" (the vPHI backend wires
     /// this to a virtual-interrupt injection).
-    pub irq: Mutex<Option<IrqCallback>>,
+    pub irq: TrackedMutex<Option<IrqCallback>>,
 }
 
 impl Default for Notifiers {
     fn default() -> Self {
-        Notifiers { kick: Arc::new(Doorbell::new()), irq: Mutex::new(None) }
+        Notifiers {
+            kick: Arc::new(Doorbell::new()),
+            irq: TrackedMutex::new(LockClass::VirtioIrq, None),
+        }
     }
 }
 
@@ -78,7 +81,7 @@ struct QueueState {
 /// A split virtqueue of `size` descriptors.
 pub struct VirtQueue {
     size: u16,
-    state: Mutex<QueueState>,
+    state: TrackedMutex<QueueState>,
     pub notifiers: Notifiers,
 }
 
@@ -93,14 +96,17 @@ impl VirtQueue {
         assert!(size > 0 && size.is_power_of_two(), "queue size must be a power of two");
         Arc::new(VirtQueue {
             size,
-            state: Mutex::new(QueueState {
-                table: vec![None; size as usize],
-                free: (0..size).rev().collect(),
-                avail: VecDeque::new(),
-                used: VecDeque::new(),
-                suppress_irq: false,
-                suppress_kick: false,
-            }),
+            state: TrackedMutex::new(
+                LockClass::VirtQueueState,
+                QueueState {
+                    table: vec![None; size as usize],
+                    free: (0..size).rev().collect(),
+                    avail: VecDeque::new(),
+                    used: VecDeque::new(),
+                    suppress_irq: false,
+                    suppress_kick: false,
+                },
+            ),
             notifiers: Notifiers::default(),
         })
     }

@@ -7,8 +7,8 @@
 
 use std::collections::BTreeMap;
 
-use parking_lot::Mutex;
 use vphi_sim_core::cost::PAGE_SIZE;
+use vphi_sync::{LockClass, TrackedMutex};
 
 /// A guest-physical address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,7 +65,7 @@ struct MemState {
 #[derive(Debug)]
 pub struct GuestMemory {
     size: u64,
-    state: Mutex<MemState>,
+    state: TrackedMutex<MemState>,
 }
 
 impl GuestMemory {
@@ -75,11 +75,10 @@ impl GuestMemory {
         free.insert(0, size);
         GuestMemory {
             size,
-            state: Mutex::new(MemState {
-                arena: vec![0u8; size as usize],
-                free,
-                live: BTreeMap::new(),
-            }),
+            state: TrackedMutex::new(
+                LockClass::GuestMemState,
+                MemState { arena: vec![0u8; size as usize], free, live: BTreeMap::new() },
+            ),
         }
     }
 

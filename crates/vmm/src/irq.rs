@@ -8,14 +8,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use vphi_pcie::{InterruptHandler, MsiVector};
 use vphi_sim_core::{CostModel, Timeline};
+use vphi_sync::{LockClass, TrackedMutex};
 
 /// A per-VM interrupt controller.
 pub struct IrqChip {
     cost: Arc<CostModel>,
-    vectors: Mutex<HashMap<u32, Arc<MsiVector>>>,
+    vectors: TrackedMutex<HashMap<u32, Arc<MsiVector>>>,
 }
 
 impl std::fmt::Debug for IrqChip {
@@ -26,7 +26,7 @@ impl std::fmt::Debug for IrqChip {
 
 impl IrqChip {
     pub fn new(cost: Arc<CostModel>) -> Self {
-        IrqChip { cost, vectors: Mutex::new(HashMap::new()) }
+        IrqChip { cost, vectors: TrackedMutex::new(LockClass::IrqVectors, HashMap::new()) }
     }
 
     /// Get (or create) a vector.

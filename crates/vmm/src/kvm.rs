@@ -15,9 +15,9 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use vphi_sim_core::cost::PAGE_SIZE;
 use vphi_sim_core::{CostModel, SpanLabel, Timeline};
+use vphi_sync::{LockClass, TrackedMutex};
 
 use crate::vma::{VmaError, VmaTable};
 
@@ -34,10 +34,10 @@ pub enum KvmPatch {
 pub struct KvmModule {
     cost: Arc<CostModel>,
     patch: KvmPatch,
-    pub vmas: Mutex<VmaTable>,
+    pub vmas: TrackedMutex<VmaTable>,
     /// Pages already faulted in (VMA start, page index).
-    resolved: Mutex<HashSet<(u64, u64)>>,
-    faults: Mutex<u64>,
+    resolved: TrackedMutex<HashSet<(u64, u64)>>,
+    faults: TrackedMutex<u64>,
 }
 
 impl std::fmt::Debug for KvmModule {
@@ -51,9 +51,9 @@ impl KvmModule {
         KvmModule {
             cost,
             patch,
-            vmas: Mutex::new(VmaTable::new()),
-            resolved: Mutex::new(HashSet::new()),
-            faults: Mutex::new(0),
+            vmas: TrackedMutex::new(LockClass::KvmVmas, VmaTable::new()),
+            resolved: TrackedMutex::new(LockClass::KvmResolved, HashSet::new()),
+            faults: TrackedMutex::new(LockClass::KvmFaults, 0),
         }
     }
 
@@ -136,7 +136,10 @@ mod tests {
 
     fn phi_backing(pages: u64) -> Arc<VecBacking> {
         Arc::new(VecBacking {
-            data: parking_lot::Mutex::new(vec![0u8; (pages * PAGE_SIZE) as usize]),
+            data: vphi_sync::TrackedMutex::new(
+                vphi_sync::LockClass::VmaData,
+                vec![0u8; (pages * PAGE_SIZE) as usize],
+            ),
             pfn_base: Some(0x4000),
         })
     }

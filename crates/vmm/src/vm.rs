@@ -7,8 +7,8 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use vphi_sim_core::CostModel;
+use vphi_sync::{LockClass, TrackedMutex};
 use vphi_virtio::VirtQueue;
 
 use crate::event_loop::QemuEventLoop;
@@ -36,7 +36,7 @@ pub struct Vm {
     kernel: Arc<GuestKernel>,
     kvm: Arc<KvmModule>,
     event_loop: Arc<QemuEventLoop>,
-    devices: Mutex<Vec<Arc<dyn VirtualPciDevice>>>,
+    devices: TrackedMutex<Vec<Arc<dyn VirtualPciDevice>>>,
 }
 
 impl std::fmt::Debug for Vm {
@@ -63,7 +63,7 @@ impl Vm {
             kernel,
             kvm,
             event_loop,
-            devices: Mutex::new(Vec::new()),
+            devices: TrackedMutex::new(LockClass::VmDevices, Vec::new()),
         })
     }
 

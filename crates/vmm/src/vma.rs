@@ -169,11 +169,11 @@ impl VmaTable {
 #[cfg(test)]
 pub(crate) mod test_support {
     use super::*;
-    use parking_lot::Mutex;
+    use vphi_sync::TrackedMutex;
 
     /// A simple in-memory backing for tests.
     pub struct VecBacking {
-        pub data: Mutex<Vec<u8>>,
+        pub data: TrackedMutex<Vec<u8>>,
         pub pfn_base: Option<u64>,
     }
 
@@ -208,11 +208,11 @@ pub(crate) mod test_support {
 mod tests {
     use super::test_support::VecBacking;
     use super::*;
-    use parking_lot::Mutex;
+    use vphi_sync::{LockClass, TrackedMutex};
 
     fn backing(pages: u64, pfn: Option<u64>) -> Arc<VecBacking> {
         Arc::new(VecBacking {
-            data: Mutex::new(vec![0u8; (pages * PAGE_SIZE) as usize]),
+            data: TrackedMutex::new(LockClass::VmaData, vec![0u8; (pages * PAGE_SIZE) as usize]),
             pfn_base: pfn,
         })
     }

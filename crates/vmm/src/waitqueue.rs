@@ -10,18 +10,29 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use vphi_sync::{LockClass, TrackedCondvar, TrackedMutex};
 
 /// Wall-clock bound so deadlocked tests fail loudly.
 const WALL_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A wake-all wait queue.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WaitQueue {
-    generation: Mutex<u64>,
-    cond: Condvar,
+    generation: TrackedMutex<u64>,
+    cond: TrackedCondvar,
     wakeups: AtomicU64,
     sleeps: AtomicU64,
+}
+
+impl Default for WaitQueue {
+    fn default() -> Self {
+        WaitQueue {
+            generation: TrackedMutex::new(LockClass::WaitQueue, 0),
+            cond: TrackedCondvar::new(),
+            wakeups: AtomicU64::new(0),
+            sleeps: AtomicU64::new(0),
+        }
+    }
 }
 
 impl WaitQueue {
@@ -104,7 +115,8 @@ mod tests {
         // The paper's scheme: N sleepers, one reply — everyone wakes, one
         // wins, the rest go back to sleep.
         let wq = Arc::new(WaitQueue::new());
-        let ready: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let ready: Arc<TrackedMutex<Vec<u32>>> =
+            Arc::new(TrackedMutex::new(LockClass::TestInner, Vec::new()));
         let mut handles = Vec::new();
         for id in 0..4u32 {
             let wq = Arc::clone(&wq);

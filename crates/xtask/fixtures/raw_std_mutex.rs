@@ -1,0 +1,13 @@
+//! Lint fixture: deliberately violates the concurrency discipline.
+//! `xtask lint` must reject this file; its directory is excluded from the
+//! workspace walk and it is never compiled.
+
+use std::sync::Mutex;
+
+static RAW: Mutex<u32> = Mutex::new(0);
+
+fn bump() -> u32 {
+    let mut g = RAW.lock().unwrap();
+    *g += 1;
+    *g
+}

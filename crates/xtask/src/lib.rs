@@ -1,0 +1,393 @@
+//! The `xtask lint` pass: token-level static checks for the workspace's
+//! concurrency discipline.
+//!
+//! The runtime side of the discipline lives in `vphi-sync` (lock classes,
+//! the order graph, the deadlock detector).  This pass closes the loopholes
+//! the runtime can't see: code that *bypasses* the tracked types, code that
+//! re-panics on poison, wire-protocol matches that would silently drop a new
+//! opcode, and blocking acquisitions in the VMM event loop (which runs with
+//! the guest paused, so a blocked lock there stalls the whole VM).
+//!
+//! Checks (see DESIGN.md #12):
+//! 1. `raw-sync` — `std::sync::{Mutex, RwLock, Condvar}` and `parking_lot`
+//!    are banned outside `vphi-sync` and `shims/`; everything else must use
+//!    the tracked types.
+//! 2. `lock-unwrap` — `.lock().unwrap()` is banned; tracked locks recover
+//!    from poison (`lock()` / `lock_or_recover()`), so a panicking stress
+//!    thread cannot cascade into unrelated failures.
+//! 3. `protocol-exhaustive` — in `core/src/protocol.rs`, any `match` whose
+//!    arm *patterns* name `VphiRequest` must not have a `_` arm: adding an
+//!    opcode must be a compile-or-lint error at every dispatch site.  (The
+//!    byte-level `decode` match is exempt because `VphiRequest` appears
+//!    only to the right of `=>` there.)
+//! 4. `event-loop-blocking` — no `.lock()` / `.read()` / `.write()` /
+//!    `.wait*()` method calls in `vmm/src/event_loop.rs`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use syn::{Delimiter, TokenTree};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// Directories (relative to the workspace root) the walker skips entirely.
+/// `crates/sync` implements the tracked types on top of the raw primitives;
+/// `shims/` vendors external crates verbatim-ish; fixtures exist to fail.
+const SKIP_DIRS: &[&str] = &["target", ".git", "shims", "crates/sync", "crates/xtask/fixtures"];
+
+/// Lint every `.rs` file under `root`, returning all findings.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files).map_err(|e| e.to_string())?;
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        out.extend(lint_source(rel, &src)?);
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        if SKIP_DIRS.iter().any(|s| rel == Path::new(s)) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint a single file's source.  `rel` is the workspace-relative path; the
+/// file-specific rules key off it.
+pub fn lint_source(rel: &Path, src: &str) -> Result<Vec<Violation>, String> {
+    let file = syn::parse_file(src).map_err(|e| format!("{}: {e}", rel.display()))?;
+    let mut v = Vec::new();
+    let is_protocol = rel.ends_with("core/src/protocol.rs");
+    let is_event_loop = rel.ends_with("vmm/src/event_loop.rs");
+    walk(&file.tokens, rel, is_protocol, is_event_loop, &mut v);
+    Ok(v)
+}
+
+fn walk(
+    tokens: &[TokenTree],
+    rel: &Path,
+    is_protocol: bool,
+    is_event_loop: bool,
+    out: &mut Vec<Violation>,
+) {
+    scan_sequences(tokens, rel, is_event_loop, out);
+    if is_protocol {
+        scan_protocol_matches(tokens, rel, out);
+    }
+    for t in tokens {
+        if let TokenTree::Group(g) = t {
+            walk(&g.tokens, rel, is_protocol, is_event_loop, out);
+        }
+    }
+}
+
+const BANNED_SYNC: &[&str] = &["Mutex", "RwLock", "Condvar"];
+
+/// Rules 1, 2, 4: fixed token sequences within one nesting level.
+fn scan_sequences(tokens: &[TokenTree], rel: &Path, is_event_loop: bool, out: &mut Vec<Violation>) {
+    let ident = |i: usize| tokens.get(i).and_then(TokenTree::ident);
+    let punct = |i: usize| tokens.get(i).and_then(TokenTree::punct);
+    for i in 0..tokens.len() {
+        // Rule 1a: `std :: sync :: <banned>` or `std :: sync :: { ..banned.. }`.
+        if ident(i) == Some("std")
+            && punct(i + 1) == Some(':')
+            && punct(i + 2) == Some(':')
+            && ident(i + 3) == Some("sync")
+            && punct(i + 4) == Some(':')
+            && punct(i + 5) == Some(':')
+        {
+            match tokens.get(i + 6) {
+                Some(TokenTree::Ident(id)) if BANNED_SYNC.contains(&id.text.as_str()) => {
+                    out.push(Violation {
+                        file: rel.to_path_buf(),
+                        line: id.line,
+                        rule: "raw-sync",
+                        message: format!(
+                            "raw std::sync::{} is banned outside vphi-sync; use vphi_sync::Tracked{} with a declared LockClass",
+                            id.text, id.text
+                        ),
+                    });
+                }
+                Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => {
+                    for t in &g.tokens {
+                        if let TokenTree::Ident(id) = t {
+                            if BANNED_SYNC.contains(&id.text.as_str()) {
+                                out.push(Violation {
+                                    file: rel.to_path_buf(),
+                                    line: id.line,
+                                    rule: "raw-sync",
+                                    message: format!(
+                                        "raw std::sync::{} is banned outside vphi-sync; use vphi_sync::Tracked{} with a declared LockClass",
+                                        id.text, id.text
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Rule 1b: any mention of parking_lot outside vphi-sync/shims.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.text == "parking_lot" {
+                out.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: id.line,
+                    rule: "raw-sync",
+                    message: "parking_lot is banned outside vphi-sync; use the tracked types"
+                        .into(),
+                });
+            }
+        }
+        // Rule 2: `. lock ( ) . unwrap`.
+        if punct(i) == Some('.')
+            && ident(i + 1) == Some("lock")
+            && matches!(tokens.get(i + 2), Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis)
+            && punct(i + 3) == Some('.')
+            && ident(i + 4) == Some("unwrap")
+        {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: tokens[i + 1].line(),
+                rule: "lock-unwrap",
+                message: "lock().unwrap() re-panics on poison; tracked lock() already recovers — drop the unwrap()".into(),
+            });
+        }
+        // Rule 4: blocking acquisition in the event loop.
+        if is_event_loop && punct(i) == Some('.') {
+            if let Some(name) = ident(i + 1) {
+                let blocking = matches!(name, "lock" | "lock_or_recover" | "read" | "write")
+                    || name.starts_with("wait");
+                let is_call = matches!(
+                    tokens.get(i + 2),
+                    Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+                );
+                if blocking && is_call {
+                    out.push(Violation {
+                        file: rel.to_path_buf(),
+                        line: tokens[i + 1].line(),
+                        rule: "event-loop-blocking",
+                        message: format!(
+                            ".{name}() in the vmm event loop can block with the guest paused; hand off to a worker instead"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Rule 3: exhaustive matches over the wire-protocol request enum.
+fn scan_protocol_matches(tokens: &[TokenTree], rel: &Path, out: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        if tokens[i].ident() != Some("match") {
+            continue;
+        }
+        // The match body is the next brace group at this nesting level
+        // (struct literals are not legal in a match scrutinee).
+        let Some(body) = tokens[i + 1..].iter().find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter == Delimiter::Brace => Some(g),
+            _ => None,
+        }) else {
+            continue;
+        };
+        let arms = split_arms(&body.tokens);
+        let over_request =
+            arms.iter().any(|a| a.pattern.iter().any(|t| t.ident() == Some("VphiRequest")));
+        if !over_request {
+            continue;
+        }
+        for arm in &arms {
+            if arm.pattern.len() == 1 && arm.pattern[0].ident() == Some("_") {
+                out.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: arm.pattern[0].line(),
+                    rule: "protocol-exhaustive",
+                    message: "wildcard arm in a match over VphiRequest: a new opcode would be silently dropped; list every variant".into(),
+                });
+            }
+        }
+    }
+}
+
+struct Arm<'a> {
+    /// Pattern tokens (guard stripped at the top-level `if`).
+    pattern: &'a [TokenTree],
+}
+
+/// Split a match body's tokens into arms: pattern tokens left of each
+/// top-level `=>`, value consumed up to the arm-terminating `,` (or a brace
+/// group immediately after `=>`).
+fn split_arms(body: &[TokenTree]) -> Vec<Arm<'_>> {
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let start = i;
+        // Find `=>` (adjacent `=` `>` puncts).
+        let mut arrow = None;
+        while i < body.len() {
+            if body[i].punct() == Some('=')
+                && body.get(i + 1).and_then(TokenTree::punct) == Some('>')
+            {
+                arrow = Some(i);
+                break;
+            }
+            i += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let mut pattern = &body[start..arrow];
+        // Strip a trailing `if <guard>` so `_ if c` still reads as `_`.
+        if let Some(guard_at) = pattern.iter().position(|t| t.ident() == Some("if")) {
+            pattern = &pattern[..guard_at];
+        }
+        arms.push(Arm { pattern });
+        i = arrow + 2;
+        // Skip the arm value: a brace-group body ends the arm; otherwise
+        // scan to the next top-level comma.
+        if let Some(TokenTree::Group(g)) = body.get(i) {
+            if g.delimiter == Delimiter::Brace {
+                i += 1;
+                if body.get(i).and_then(TokenTree::punct) == Some(',') {
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        while i < body.len() {
+            if body[i].punct() == Some(',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    arms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(rel: &str, src: &str) -> Vec<Violation> {
+        lint_source(Path::new(rel), src).unwrap()
+    }
+
+    #[test]
+    fn flags_raw_std_mutex_and_use_lists() {
+        let v = lint(
+            "crates/foo/src/lib.rs",
+            "use std::sync::Mutex;\nfn f() -> std::sync::RwLock<u8> { todo!() }\nuse std::sync::{Arc, Condvar};\n",
+        );
+        let rules: Vec<_> = v.iter().map(|x| (x.rule, x.line)).collect();
+        assert_eq!(rules, [("raw-sync", 1), ("raw-sync", 2), ("raw-sync", 3)]);
+    }
+
+    #[test]
+    fn allows_std_sync_atomics_and_arc() {
+        let v = lint(
+            "crates/foo/src/lib.rs",
+            "use std::sync::Arc;\nuse std::sync::atomic::{AtomicU64, Ordering};\nuse std::sync::mpsc;\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_parking_lot_anywhere() {
+        let v = lint("crates/foo/src/lib.rs", "use parking_lot::Mutex;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "raw-sync");
+    }
+
+    #[test]
+    fn mentions_in_comments_and_strings_are_fine() {
+        let v = lint(
+            "crates/foo/src/lib.rs",
+            "// std::sync::Mutex in prose\nconst S: &str = \"parking_lot::Mutex\";\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_lock_unwrap() {
+        let v = lint("crates/foo/src/lib.rs", "fn f() { let g = m.lock().unwrap(); drop(g); }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "lock-unwrap");
+        // lock() without unwrap, and unrelated unwraps, are fine.
+        assert!(lint("a.rs", "fn f() { let g = m.lock(); x.parse().unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn protocol_wildcard_over_request_enum_is_flagged() {
+        let src = "fn dispatch(r: &VphiRequest) {\n  match r {\n    VphiRequest::Open => a(),\n    _ => b(),\n  }\n}";
+        let v = lint("crates/core/src/protocol.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "protocol-exhaustive");
+        assert_eq!(v[0].line, 4);
+        // Same source outside protocol.rs is not this rule's business.
+        assert!(lint("crates/core/src/backend/mod.rs", src).is_empty());
+    }
+
+    #[test]
+    fn decode_style_byte_match_is_exempt() {
+        // VphiRequest appears only to the right of `=>`: not a match over
+        // the enum, so the `_ => return None` default is legitimate.
+        let src = "fn decode(b: &[u8]) -> Option<VphiRequest> {\n  Some(match b[0] {\n    1 => VphiRequest::Open,\n    _ => return None,\n  })\n}";
+        assert!(lint("crates/core/src/protocol.rs", src).is_empty());
+    }
+
+    #[test]
+    fn guarded_wildcard_still_counts() {
+        let src = "fn f(r: &VphiRequest, c: bool) { match r { VphiRequest::Open => a(), _ if c => b(), _ => d(), } }";
+        let v = lint("crates/core/src/protocol.rs", src);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn event_loop_blocking_calls_are_flagged() {
+        let src = "fn f(m: &M) { m.lock(); q.wait_until(|| true); s.load(Ordering::Relaxed); }";
+        let v = lint("crates/vmm/src/event_loop.rs", src);
+        let rules: Vec<_> = v.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, ["event-loop-blocking", "event-loop-blocking"]);
+        // The same calls elsewhere are the runtime detector's job, not lint's.
+        assert!(lint("crates/vmm/src/kvm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fixture_fails_and_workspace_root_is_findable() {
+        let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/raw_std_mutex.rs");
+        let src = std::fs::read_to_string(&fixture).unwrap();
+        let v = lint("crates/xtask/fixtures/raw_std_mutex.rs", &src);
+        assert!(
+            v.iter().any(|x| x.rule == "raw-sync") && v.iter().any(|x| x.rule == "lock-unwrap"),
+            "fixture must trip raw-sync and lock-unwrap: {v:?}"
+        );
+    }
+}

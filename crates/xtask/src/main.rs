@@ -1,0 +1,35 @@
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    // crates/xtask/ -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations = match xtask::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    if violations.is_empty() {
+        eprintln!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

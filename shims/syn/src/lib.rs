@@ -1,0 +1,495 @@
+//! Offline shim of the `syn` crate, scoped to what `xtask lint` needs.
+//!
+//! The real `syn` parses Rust into a typed AST.  The lint pass only needs a
+//! faithful *token* view with line numbers: it matches short token sequences
+//! (`std :: sync :: Mutex`, `. lock ( ) . unwrap`, match-arm patterns left of
+//! `=>`) rather than full syntax.  So this shim is a lexer plus a delimiter
+//! matcher: it understands everything that can hide tokens from a naive text
+//! scan — comments, string/raw-string/char literals, lifetimes — and groups
+//! the rest into nested [`TokenTree`]s.
+//!
+//! Divergences from real `syn`, on purpose:
+//! - `parse_file` returns a flat [`File`] of token trees, not an AST.
+//! - Every token carries the 1-based source line it starts on.
+//! - Multi-character operators are emitted as adjacent single-char
+//!   [`Punct`]s (like proc-macro2 without spacing info).
+
+use std::fmt;
+
+/// The delimiter of a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    Parenthesis,
+    Bracket,
+    Brace,
+}
+
+/// An identifier, keyword, or lifetime (lifetimes keep their leading `'`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    pub text: String,
+    pub line: usize,
+}
+
+/// A single punctuation character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Punct {
+    pub ch: char,
+    pub line: usize,
+}
+
+/// A string, char, byte, or numeric literal (verbatim source text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Literal {
+    pub text: String,
+    pub line: usize,
+}
+
+/// A delimited token sequence: `(...)`, `[...]`, or `{...}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    pub delimiter: Delimiter,
+    pub tokens: Vec<TokenTree>,
+    /// Line of the opening delimiter.
+    pub line: usize,
+}
+
+/// One node of the token tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenTree {
+    Ident(Ident),
+    Punct(Punct),
+    Literal(Literal),
+    Group(Group),
+}
+
+impl TokenTree {
+    /// The source line this token starts on.
+    pub fn line(&self) -> usize {
+        match self {
+            TokenTree::Ident(i) => i.line,
+            TokenTree::Punct(p) => p.line,
+            TokenTree::Literal(l) => l.line,
+            TokenTree::Group(g) => g.line,
+        }
+    }
+
+    /// The identifier text, if this is an ident.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenTree::Ident(i) => Some(&i.text),
+            _ => None,
+        }
+    }
+
+    /// The punctuation char, if this is a punct.
+    pub fn punct(&self) -> Option<char> {
+        match self {
+            TokenTree::Punct(p) => Some(p.ch),
+            _ => None,
+        }
+    }
+}
+
+/// A lexed source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct File {
+    pub tokens: Vec<TokenTree>,
+}
+
+/// A lex error (unterminated literal/comment or unbalanced delimiter).
+#[derive(Debug, Clone)]
+pub struct Error {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lex `src` into a token tree.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let mut lx = Lexer { chars: src.chars().collect(), pos: 0, line: 1 };
+    let tokens = lx.group_contents(None)?;
+    Ok(File { tokens })
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error { line: self.line, message: message.into() }
+    }
+
+    /// Lex tokens until `closing` (consumed) or, when `closing` is `None`,
+    /// end of input.
+    fn group_contents(&mut self, closing: Option<char>) -> Result<Vec<TokenTree>, Error> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let Some(c) = self.peek(0) else {
+                return match closing {
+                    None => Ok(out),
+                    Some(c) => Err(self.err(format!("unclosed delimiter, expected `{c}`"))),
+                };
+            };
+            match c {
+                ')' | ']' | '}' => {
+                    if Some(c) == closing {
+                        self.bump();
+                        return Ok(out);
+                    }
+                    return Err(self.err(format!("unbalanced `{c}`")));
+                }
+                '(' | '[' | '{' => {
+                    let line = self.line;
+                    self.bump();
+                    let (delimiter, close) = match c {
+                        '(' => (Delimiter::Parenthesis, ')'),
+                        '[' => (Delimiter::Bracket, ']'),
+                        _ => (Delimiter::Brace, '}'),
+                    };
+                    let tokens = self.group_contents(Some(close))?;
+                    out.push(TokenTree::Group(Group { delimiter, tokens, line }));
+                }
+                '"' => out.push(self.string_literal()?),
+                '\'' => out.push(self.char_or_lifetime()?),
+                'r' | 'b' if self.is_literal_prefix() => out.push(self.prefixed_literal()?),
+                c if c.is_alphabetic() || c == '_' => out.push(self.ident()),
+                c if c.is_ascii_digit() => out.push(self.number()),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    out.push(TokenTree::Punct(Punct { ch: c, line }));
+                }
+            }
+        }
+    }
+
+    /// Skip whitespace and comments (line, nested block, doc).
+    fn skip_trivia(&mut self) -> Result<(), Error> {
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek(1) == Some('/') => {
+                    while let Some(c) = self.peek(0) {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek(1) == Some('*') => {
+                    let start = self.line;
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match (self.peek(0), self.peek(1)) {
+                            (Some('/'), Some('*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(Error {
+                                    line: start,
+                                    message: "unterminated block comment".into(),
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// True when the `r`/`b` at the cursor starts a literal (`r"`, `r#"`,
+    /// `b"`, `b'`, `br"`, `br#"`, `r#ident` is handled as a raw ident).
+    fn is_literal_prefix(&self) -> bool {
+        let mut i = 1;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            i = 2;
+        }
+        match self.peek(i) {
+            Some('"') => true,
+            Some('\'') => self.peek(0) == Some('b'),
+            Some('#') => {
+                // Distinguish raw string r#"..." from raw ident r#ident.
+                let mut j = i;
+                while self.peek(j) == Some('#') {
+                    j += 1;
+                }
+                self.peek(j) == Some('"')
+            }
+            _ => false,
+        }
+    }
+
+    fn prefixed_literal(&mut self) -> Result<TokenTree, Error> {
+        let line = self.line;
+        let start = self.pos;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump(); // the `r` or `b`
+        }
+        match self.peek(0) {
+            Some('\'') => {
+                // b'x' byte literal: reuse the char scanner.
+                let tok = self.char_or_lifetime()?;
+                let text: String = self.chars[start..self.pos].iter().collect();
+                let _ = tok;
+                Ok(TokenTree::Literal(Literal { text, line }))
+            }
+            Some('"') => {
+                self.string_literal()?;
+                let text: String = self.chars[start..self.pos].iter().collect();
+                Ok(TokenTree::Literal(Literal { text, line }))
+            }
+            Some('#') => {
+                let mut hashes = 0usize;
+                while self.peek(0) == Some('#') {
+                    self.bump();
+                    hashes += 1;
+                }
+                if self.bump() != Some('"') {
+                    return Err(self.err("expected `\"` after raw-string hashes"));
+                }
+                // Scan for `"` followed by `hashes` `#`s.
+                loop {
+                    match self.bump() {
+                        Some('"') => {
+                            let mut seen = 0usize;
+                            while seen < hashes && self.peek(0) == Some('#') {
+                                self.bump();
+                                seen += 1;
+                            }
+                            if seen == hashes {
+                                let text: String = self.chars[start..self.pos].iter().collect();
+                                return Ok(TokenTree::Literal(Literal { text, line }));
+                            }
+                        }
+                        Some(_) => {}
+                        None => {
+                            return Err(Error { line, message: "unterminated raw string".into() })
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("is_literal_prefix checked"),
+        }
+    }
+
+    fn string_literal(&mut self) -> Result<TokenTree, Error> {
+        let line = self.line;
+        let start = self.pos;
+        self.bump(); // opening `"`
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump();
+                }
+                Some('"') => {
+                    let text: String = self.chars[start..self.pos].iter().collect();
+                    return Ok(TokenTree::Literal(Literal { text, line }));
+                }
+                Some(_) => {}
+                None => return Err(Error { line, message: "unterminated string".into() }),
+            }
+        }
+    }
+
+    /// `'a` lifetime vs `'x'` / `'\n'` char literal.
+    fn char_or_lifetime(&mut self) -> Result<TokenTree, Error> {
+        let line = self.line;
+        let start = self.pos;
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some('\\') => false,
+            Some(c) if c.is_alphabetic() || c == '_' => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // `'`
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            return Ok(TokenTree::Ident(Ident { text, line }));
+        }
+        self.bump(); // `'`
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump();
+                }
+                Some('\'') => {
+                    let text: String = self.chars[start..self.pos].iter().collect();
+                    return Ok(TokenTree::Literal(Literal { text, line }));
+                }
+                Some(_) => {}
+                None => return Err(Error { line, message: "unterminated char literal".into() }),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> TokenTree {
+        let line = self.line;
+        let start = self.pos;
+        // Raw identifier r#name.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        TokenTree::Ident(Ident { text, line })
+    }
+
+    fn number(&mut self) -> TokenTree {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part — but not `..` (range) or `.method()`.
+        if self.peek(0) == Some('.') {
+            if let Some(c) = self.peek(1) {
+                if c.is_ascii_digit() {
+                    self.bump(); // `.`
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        TokenTree::Literal(Literal { text, line })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(tokens: &[TokenTree]) -> Vec<&str> {
+        tokens.iter().filter_map(|t| t.ident()).collect()
+    }
+
+    #[test]
+    fn lexes_idents_puncts_and_groups() {
+        let f = parse_file("fn main() { let x = a.b; }").unwrap();
+        assert_eq!(idents(&f.tokens), ["fn", "main"]);
+        let TokenTree::Group(body) = &f.tokens[3] else { panic!("expected body group") };
+        assert_eq!(body.delimiter, Delimiter::Brace);
+        assert_eq!(idents(&body.tokens), ["let", "x", "a", "b"]);
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = "// Mutex in comment\nlet s = \"std::sync::Mutex\"; /* Mutex\n again */ real";
+        let f = parse_file(src).unwrap();
+        assert_eq!(idents(&f.tokens), ["let", "s", "real"]);
+        // Line numbers survive comments and embedded newlines.
+        assert_eq!(f.tokens.last().unwrap().line(), 3);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = "let x = r#\"has \"quotes\" and }\"#; after";
+        let f = parse_file(src).unwrap();
+        assert_eq!(idents(&f.tokens), ["let", "x", "after"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = '}'; let n = '\\n'; let u = '_'; }";
+        let f = parse_file(src).unwrap();
+        // The `'}'` char literal must not terminate the brace group early.
+        let TokenTree::Group(body) = f.tokens.last().unwrap() else { panic!("expected body") };
+        assert_eq!(idents(&body.tokens), ["let", "c", "let", "n", "let", "u"]);
+        // Lifetimes lex as idents with a leading quote.
+        assert!(f.tokens.iter().any(|t| t.ident() == Some("'a")));
+    }
+
+    #[test]
+    fn byte_and_numeric_literals() {
+        let f = parse_file(
+            "let a = b'x'; let b = b\"bytes\"; let c = 0x1f; let d = 1.5e3; let r = 0..10;",
+        )
+        .unwrap();
+        let lits: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Literal(l) => Some(l.text.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, ["b'x'", "b\"bytes\"", "0x1f", "1.5e3", "0", "10"]);
+    }
+
+    #[test]
+    fn unbalanced_delimiters_error() {
+        assert!(parse_file("fn f() {").is_err());
+        assert!(parse_file("fn f() }").is_err());
+    }
+}

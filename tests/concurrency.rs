@@ -40,7 +40,7 @@ fn multi_echo(host: &VphiHost, port: Port, conns: usize) -> std::thread::JoinHan
             }));
         }
         for w in workers {
-            let _ = w.join();
+            w.join().expect("echo worker panicked");
         }
     });
     rx.recv().unwrap();
@@ -82,6 +82,12 @@ fn many_guest_threads_share_one_frontend() {
     assert!(vm.frontend().stats().requests >= (threads as u64) * 10);
     vm.shutdown();
     echo.join().unwrap();
+    // Six guest threads hammered every lock in the stack; the lock-order
+    // audit saw every acquisition and found nothing to flag.
+    assert_eq!(vphi_sync::audit::violation_count(), 0, "lock-order violations detected");
+    if vphi_sync::audit::ENABLED {
+        assert!(vphi_sync::audit::stats().cycle_checks > 0, "audit was not exercised");
+    }
 }
 
 #[test]

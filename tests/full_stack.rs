@@ -62,6 +62,12 @@ fn guest_payload_integrity_across_sizes() {
     ep.close(&mut tl).unwrap();
     vm.shutdown();
     echo.join().unwrap();
+    // The full guest→ring→backend→fabric→device path ran under the
+    // lock-order audit without a single violation.
+    assert_eq!(vphi_sync::audit::violation_count(), 0, "lock-order violations detected");
+    if vphi_sync::audit::ENABLED {
+        assert!(vphi_sync::audit::stats().cycle_checks > 0, "audit was not exercised");
+    }
 }
 
 #[test]
