@@ -1,0 +1,61 @@
+//! ABL-FAULTS bench: wall cost of the fault-injection hooks (disarmed —
+//! the production state — and armed on an idle plan) and of a full card
+//! reset, plus the ablation report itself.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vphi::builder::VphiHost;
+use vphi_bench::faults::abl_faults;
+use vphi_faults::{FaultHook, FaultInjector, FaultPlan, FaultSite};
+
+fn print_figure() {
+    let report = abl_faults();
+    println!(
+        "ABL-FAULTS — disarmed fire {:.1} ns, armed-idle fire {:.1} ns, \
+         {} crossings/send, hook share {:.4}% of {:.0} ns send wall",
+        report.disarmed_ns_per_fire,
+        report.armed_idle_ns_per_fire,
+        report.crossings_per_send,
+        report.hook_overhead_pct,
+        report.send_wall_ns,
+    );
+    println!(
+        "recovery: card reset {} with 2 VMs (quarantined victim {} / bystander {})\n",
+        report.reset_recovery, report.victim_quarantined, report.bystander_quarantined,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+
+    let mut group = c.benchmark_group("abl_faults");
+
+    let disarmed = FaultHook::new();
+    group.bench_function("fire_disarmed", |b| {
+        b.iter(|| {
+            std::hint::black_box(disarmed.fire(std::hint::black_box(FaultSite::PcieDmaError)))
+        })
+    });
+
+    let armed = FaultHook::new();
+    armed.arm(Arc::new(FaultInjector::new(FaultPlan::from_seed(0, 0))));
+    group.bench_function("fire_armed_idle", |b| {
+        b.iter(|| std::hint::black_box(armed.fire(std::hint::black_box(FaultSite::PcieDmaError))))
+    });
+
+    // A full fail + reset cycle on a 2-card host (no VMs attached — this
+    // is the simulator's wall cost of the recovery path itself).
+    let host = VphiHost::new(2);
+    group.bench_function("fail_and_reset_card", |b| {
+        b.iter(|| {
+            host.board(0).fail("bench: injected lockup");
+            std::hint::black_box(host.reset_card(0))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

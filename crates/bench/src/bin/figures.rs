@@ -5,13 +5,14 @@
 //! figures                # everything
 //! figures --fig 4        # just Figure 4
 //! figures --fig breakdown
-//! figures --fig 6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|share
+//! figures --fig 6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|share
 //! ```
 
 use vphi_bench::abl_cache::abl_cache;
 use vphi_bench::ablations::{abl_block, abl_chunk, abl_wait};
 use vphi_bench::breakdown::breakdown_one_byte;
 use vphi_bench::dgemm::{dgemm_figure, dgemm_sizes};
+use vphi_bench::faults::abl_faults;
 use vphi_bench::fig4::fig4_latency;
 use vphi_bench::fig5::fig5_throughput;
 use vphi_bench::sharing::sharing_scaling;
@@ -246,6 +247,96 @@ fn abl_cache_json(report: &vphi_bench::AblCacheReport) -> String {
     )
 }
 
+fn abl_faults_fig() {
+    let report = abl_faults();
+    let table = vec![
+        vec![
+            "hook fire (disarmed)".to_string(),
+            format!("{:.1} ns", report.disarmed_ns_per_fire),
+            String::new(),
+        ],
+        vec![
+            "hook fire (armed, idle plan)".to_string(),
+            format!("{:.1} ns", report.armed_idle_ns_per_fire),
+            String::new(),
+        ],
+        vec![
+            "1-byte send (hooks disarmed)".to_string(),
+            report.latency_disarmed.to_string(),
+            format!("{:.0} ns wall", report.send_wall_ns),
+        ],
+        vec![
+            "1-byte send (hooks armed)".to_string(),
+            report.latency_armed.to_string(),
+            format!("{} hook crossings", report.crossings_per_send),
+        ],
+        vec![
+            "hook share of send wall time".to_string(),
+            format!("{:.4}%", report.hook_overhead_pct),
+            "budget: <1%".to_string(),
+        ],
+        vec![
+            "card reset, 2 VMs attached".to_string(),
+            report.reset_recovery.to_string(),
+            format!(
+                "quarantined {}/{} (victim/bystander)",
+                report.victim_quarantined, report.bystander_quarantined
+            ),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            "ABL-FAULTS — steady-state cost of disarmed fault hooks + recovery latency",
+            &["measurement", "cost", "notes"],
+            &table,
+        )
+    );
+    println!(
+        "bystander unaffected: {}; victim reconnected after reset: {}\n",
+        report.bystander_send_ok, report.victim_recovered_send_ok
+    );
+
+    // Machine-readable companion for plotting scripts.
+    let json = abl_faults_json(&report);
+    let path = "BENCH_faults.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON (the build environment has no serde).
+fn abl_faults_json(report: &vphi_bench::FaultsReport) -> String {
+    format!(
+        "{{\n  \"figure\": \"abl-faults\",\n\
+         \x20 \"disarmed_ns_per_fire\": {:.2},\n\
+         \x20 \"armed_idle_ns_per_fire\": {:.2},\n\
+         \x20 \"crossings_per_send\": {},\n\
+         \x20 \"send_wall_ns\": {:.0},\n\
+         \x20 \"hook_overhead_pct\": {:.4},\n\
+         \x20 \"latency_disarmed_us\": {:.3},\n\
+         \x20 \"latency_armed_us\": {:.3},\n\
+         \x20 \"reset_recovery_us\": {:.3},\n\
+         \x20 \"victim_quarantined\": {},\n\
+         \x20 \"bystander_quarantined\": {},\n\
+         \x20 \"bystander_send_ok\": {},\n\
+         \x20 \"victim_recovered_send_ok\": {}\n}}\n",
+        report.disarmed_ns_per_fire,
+        report.armed_idle_ns_per_fire,
+        report.crossings_per_send,
+        report.send_wall_ns,
+        report.hook_overhead_pct,
+        report.latency_disarmed.as_micros_f64(),
+        report.latency_armed.as_micros_f64(),
+        report.reset_recovery.as_micros_f64(),
+        report.victim_quarantined,
+        report.bystander_quarantined,
+        report.bystander_send_ok,
+        report.victim_recovered_send_ok,
+    )
+}
+
 fn share_fig() {
     let rows = sharing_scaling(&[1, 2, 4, 8]);
     let table: Vec<Vec<String>> = rows
@@ -292,6 +383,7 @@ fn main() {
         "abl-chunk" => abl_chunk_fig(),
         "abl-block" => abl_block_fig(),
         "abl-cache" => abl_cache_fig(),
+        "abl-faults" => abl_faults_fig(),
         "share" => share_fig(),
         "all" => {
             fig4();
@@ -304,11 +396,12 @@ fn main() {
             abl_chunk_fig();
             abl_block_fig();
             abl_cache_fig();
+            abl_faults_fig();
             share_fig();
         }
         other => {
             eprintln!(
-                "unknown figure '{other}': use 4|breakdown|5|6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|share|all"
+                "unknown figure '{other}': use 4|breakdown|5|6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|share|all"
             );
             std::process::exit(2);
         }

@@ -4,6 +4,7 @@ pub mod abl_cache;
 pub mod ablations;
 pub mod breakdown;
 pub mod dgemm;
+pub mod faults;
 pub mod fig4;
 pub mod fig5;
 pub mod sharing;
@@ -12,6 +13,7 @@ pub use abl_cache::{abl_cache, abl_cache_sizes, AblCacheReport, AblCacheRow};
 pub use ablations::{abl_block, abl_chunk, abl_wait, BlockRow, ChunkRow, WaitRow};
 pub use breakdown::{breakdown_one_byte, BreakdownRow};
 pub use dgemm::{dgemm_figure, DgemmRow, PAPER_THREAD_COUNTS};
+pub use faults::{abl_faults, FaultsReport};
 pub use fig4::{fig4_latency, Fig4Row};
 pub use fig5::{fig5_throughput, Fig5Row};
 pub use sharing::{sharing_scaling, ShareRow};

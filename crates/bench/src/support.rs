@@ -10,7 +10,17 @@ use vphi_sim_core::Timeline;
 /// A device-side server that accepts one connection and drains bytes
 /// until the peer closes (the paper's send-receive benchmark server).
 pub fn spawn_device_sink(host: &VphiHost, port: Port) -> std::thread::JoinHandle<u64> {
-    let server = host.device_endpoint(0).expect("device endpoint");
+    spawn_device_sink_on(host, 0, port)
+}
+
+/// [`spawn_device_sink`] on an arbitrary card (the faults ablation runs
+/// victim and bystander VMs against different boards).
+pub fn spawn_device_sink_on(
+    host: &VphiHost,
+    card: usize,
+    port: Port,
+) -> std::thread::JoinHandle<u64> {
+    let server = host.device_endpoint(card).expect("device endpoint");
     let (ready_tx, ready_rx) = std::sync::mpsc::channel();
     let handle = std::thread::spawn(move || {
         let mut tl = Timeline::new();

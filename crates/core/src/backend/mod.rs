@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use vphi_faults::{FaultHook, FaultSite};
 use vphi_phi::PhiBoard;
 use vphi_scif::window::{WindowBacking, WindowBytes};
 use vphi_scif::{
@@ -79,6 +80,17 @@ pub struct BackendStats {
     /// Intermediate interrupt injections elided because more completions
     /// from the same burst were about to land on the used ring.
     pub irqs_coalesced: AtomicU64,
+    /// Completion interrupts lost to fault injection (the reply sat on
+    /// the used ring until the requester's deadline re-check found it).
+    pub msi_lost: AtomicU64,
+    /// Abrupt guest deaths observed (injected or real).
+    pub guest_deaths: AtomicU64,
+    /// Endpoints closed by the dead-guest garbage collector.
+    pub endpoints_gced: AtomicU64,
+    /// Window registrations unpinned by the dead-guest garbage collector.
+    pub windows_gced: AtomicU64,
+    /// Endpoints force-closed because their card was reset.
+    pub endpoints_quarantined: AtomicU64,
 }
 
 /// Knobs the builder exposes beyond the dispatch policy.
@@ -128,6 +140,7 @@ pub struct BackendInner {
     windows: TrackedMutex<HashMap<(u64, u64), (u64, u64)>>,
     pub reg_cache: RegistrationCache,
     pub stats: BackendStats,
+    faults: FaultHook,
 }
 
 impl BackendInner {
@@ -139,11 +152,94 @@ impl BackendInner {
         self.eps.lock().endpoints.get(&epd).map(Arc::clone).ok_or(ScifError::Inval)
     }
 
+    /// Fault-injection arming point for backend-side sites (lost MSIs,
+    /// abrupt guest death).
+    pub fn fault_hook(&self) -> &FaultHook {
+        &self.faults
+    }
+
+    /// Windows the backend believes are still pinned (leak detector).
+    pub fn window_entries(&self) -> usize {
+        self.windows.lock().len()
+    }
+
+    /// Tear down everything a dead guest left behind: close (and thereby
+    /// unregister) its endpoints, unpin its windows and drop its cached
+    /// translations.  Guest requests already in flight observe the
+    /// shutdown flag instead of waiting on a dead ring.
+    pub fn guest_died(&self) {
+        self.stats.guest_deaths.fetch_add(1, Ordering::Relaxed);
+        // Flag first (new requests fail fast), wake last: a waiter that
+        // observes the dead device must be able to rely on the GC below
+        // having already drained every endpoint and window.
+        self.channel.mark_shutdown_quiet();
+        let eps: Vec<Arc<ScifEndpoint>> = {
+            let mut t = self.eps.lock();
+            t.endpoints.drain().map(|(_, ep)| ep).collect()
+        };
+        self.stats.endpoints_gced.fetch_add(eps.len() as u64, Ordering::Relaxed);
+        for ep in &eps {
+            ep.close();
+        }
+        let gone: Vec<((u64, u64), (u64, u64))> = self.windows.lock().drain().collect();
+        self.stats.windows_gced.fetch_add(gone.len() as u64, Ordering::Relaxed);
+        for ((epd, _off), (gpa, len)) in gone {
+            self.reg_cache.invalidate_range(epd, gpa, len);
+        }
+        self.channel.waitq.wake_all();
+    }
+
+    /// Card-reset recovery: force-close every endpoint that touched
+    /// `node`, dropping its windows and cached translations, but keep the
+    /// epd table entries so the guest's own `scif_close` still succeeds
+    /// once (close is idempotent) before the descriptor goes invalid.
+    /// Endpoints on other nodes — other VMs' traffic included — are
+    /// untouched.  Returns how many endpoints were quarantined.
+    pub fn quarantine_node(&self, node: NodeId) -> usize {
+        let victims: Vec<(u64, Arc<ScifEndpoint>)> = {
+            let t = self.eps.lock();
+            t.endpoints
+                .iter()
+                .filter(|(_, ep)| {
+                    ep.local_addr().map(|a| a.node == node).unwrap_or(false)
+                        || ep.peer_addr().map(|a| a.node == node).unwrap_or(false)
+                })
+                .map(|(&epd, ep)| (epd, Arc::clone(ep)))
+                .collect()
+        };
+        for (epd, ep) in &victims {
+            ep.close();
+            self.reg_cache.invalidate_endpoint(*epd);
+        }
+        {
+            let mut windows = self.windows.lock();
+            for (epd, _) in &victims {
+                windows.retain(|&(wepd, _), _| wepd != *epd);
+            }
+        }
+        self.stats.endpoints_quarantined.fetch_add(victims.len() as u64, Ordering::Relaxed);
+        victims.len()
+    }
+
     fn insert_ep(&self, ep: ScifEndpoint) -> u64 {
-        let mut t = self.eps.lock();
-        let epd = t.next_epd;
-        t.next_epd += 1;
-        t.endpoints.insert(epd, Arc::new(ep));
+        let epd = {
+            let mut t = self.eps.lock();
+            let epd = t.next_epd;
+            t.next_epd += 1;
+            t.endpoints.insert(epd, Arc::new(ep));
+            epd
+        };
+        // A worker-dispatched request can race the dead-guest GC: if the
+        // drain ran while this endpoint was being created, it must not
+        // resurrect state into a dead backend.  `mark_shutdown` is ordered
+        // before the drain, so re-checking after the insert closes the
+        // window: either the drain saw this entry, or we see the flag.
+        if self.channel.is_shutdown() {
+            if let Some(ep) = self.eps.lock().endpoints.remove(&epd) {
+                ep.close();
+                self.stats.endpoints_gced.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         epd
     }
 
@@ -154,6 +250,13 @@ impl BackendInner {
     /// them (notification coalescing).
     fn process(self: &Arc<Self>, chain: DescChain, more_pending: bool) {
         let (token, mut tl) = self.channel.claim(chain.head);
+        if self.faults.fire(FaultSite::VmmGuestDeath).is_some() {
+            // The guest died mid-request: its QEMU process tears down, so
+            // no response is ever written.  Waiters observe the shutdown
+            // flag; the GC releases everything the guest held.
+            self.guest_died();
+            return;
+        }
         let cost = self.cost();
         tl.charge(SpanLabel::BackendDecode, cost.backend_decode);
         tl.charge(SpanLabel::GuestBufMap, cost.guest_buf_map);
@@ -222,6 +325,13 @@ impl BackendInner {
         );
         if coalesce_irq {
             self.stats.irqs_coalesced.fetch_add(1, Ordering::Relaxed);
+        } else if self.faults.fire(FaultSite::PcieMsiLost).is_some() {
+            // The completion interrupt vanished: the reply is on the used
+            // ring but nobody is woken.  The requester's deadline expires,
+            // it re-checks the ring and takes the reply then.
+            self.stats.msi_lost.fetch_add(1, Ordering::Relaxed);
+            self.channel.complete_quiet(token, tl);
+            return;
         } else {
             self.guest_irq.inject(VPHI_IRQ_VECTOR, &mut tl);
         }
@@ -327,6 +437,16 @@ impl BackendInner {
                 // Remember which guest range backs the window so that
                 // unregistering it can drop stale cached translations.
                 self.windows.lock().insert((epd, off), (d.addr, len));
+                // Same race as `insert_ep`: a register racing the
+                // dead-guest GC must not leave a pinned window behind.
+                if self.channel.is_shutdown() {
+                    if self.windows.lock().remove(&(epd, off)).is_some() {
+                        let _ = ep.unregister(off, len, tl);
+                        self.reg_cache.invalidate_range(epd, d.addr, len);
+                        self.stats.windows_gced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(ScifError::NoDev);
+                }
                 Ok((off, 0))
             }
             VphiRequest::Unregister { epd, offset, len } => {
@@ -585,6 +705,7 @@ impl BackendDevice {
                 windows: TrackedMutex::new(LockClass::BackendWindows, HashMap::new()),
                 reg_cache: RegistrationCache::new(options.reg_cache),
                 stats: BackendStats::default(),
+                faults: FaultHook::new(),
             }),
             thread: TrackedMutex::new(LockClass::BackendWorker, None),
         })
@@ -596,6 +717,12 @@ impl BackendDevice {
 
     pub fn open_endpoints(&self) -> usize {
         self.inner.eps.lock().endpoints.len()
+    }
+
+    /// Arm every backend-side fault site on this device with `injector`.
+    pub fn arm_faults(&self, injector: &Arc<vphi_faults::FaultInjector>) {
+        self.inner.faults.arm(Arc::clone(injector));
+        self.inner.channel.queue.fault_hook().arm(Arc::clone(injector));
     }
 }
 

@@ -9,10 +9,12 @@
 
 use std::sync::Arc;
 
+use vphi_faults::{FaultHook, FaultInjector, FaultPlan};
 use vphi_phi::{PhiBoard, PhiSpec};
 use vphi_scif::{NodeId, ScifEndpoint, ScifFabric, ScifResult, HOST_NODE};
 use vphi_sim_core::units::MIB;
 use vphi_sim_core::{CostModel, SimDuration, Timeline, VirtualClock};
+use vphi_sync::{LockClass, TrackedMutex};
 use vphi_vmm::kvm::KvmPatch;
 use vphi_vmm::Vm;
 
@@ -85,6 +87,12 @@ pub struct VphiHost {
     clock: Arc<VirtualClock>,
     fabric: Arc<ScifFabric>,
     boards: Vec<Arc<PhiBoard>>,
+    /// Every backend device spawned on this host — walked by card-reset
+    /// recovery to quarantine the affected endpoints.
+    attached: TrackedMutex<Vec<Arc<BackendDevice>>>,
+    /// Host-wide fault-injection arming point; propagated to boards,
+    /// links, doorbells and every (existing and future) backend.
+    faults: FaultHook,
 }
 
 impl std::fmt::Debug for VphiHost {
@@ -116,7 +124,59 @@ impl VphiHost {
             fabric.add_device(Arc::clone(&board));
             boards.push(board);
         }
-        VphiHost { cost, clock, fabric, boards }
+        VphiHost {
+            cost,
+            clock,
+            fabric,
+            boards,
+            attached: TrackedMutex::new(LockClass::HostAttached, Vec::new()),
+            faults: FaultHook::new(),
+        }
+    }
+
+    /// Arm deterministic fault injection across the whole stack: every
+    /// board (lockups, ECC, panics), PCIe link (retrain stalls, DMA
+    /// errors), doorbell, and every attached backend (lost MSIs, guest
+    /// death) plus its virtio queue (lost kicks, used-ring delays).  VMs
+    /// spawned later inherit the plan.  First arm wins; returns the
+    /// injector either way so callers can read its counters.
+    pub fn arm_faults(&self, plan: FaultPlan) -> Arc<FaultInjector> {
+        let injector = Arc::new(FaultInjector::new(plan));
+        self.faults.arm(Arc::clone(&injector));
+        let injector =
+            Arc::clone(self.faults.injector().expect("arm_faults: hook armed just above"));
+        for board in &self.boards {
+            board.fault_hook().arm(Arc::clone(&injector));
+            board.link().fault_hook().arm(Arc::clone(&injector));
+            board.db_to_device.fault_hook().arm(Arc::clone(&injector));
+            board.db_to_host.fault_hook().arm(Arc::clone(&injector));
+        }
+        for backend in self.attached.lock().iter() {
+            backend.arm_faults(&injector);
+        }
+        injector
+    }
+
+    /// The armed injector, if [`arm_faults`](VphiHost::arm_faults) ran.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.injector()
+    }
+
+    /// Recover a failed card: reset and reboot the board, advance the
+    /// virtual clock past the reboot, then quarantine every attached
+    /// backend's endpoints that touched the card — other VMs' endpoints
+    /// are untouched.  Returns the virtual recovery duration.
+    pub fn reset_card(&self, i: usize) -> SimDuration {
+        let board = &self.boards[i];
+        let dur = board.reset();
+        self.clock.advance(dur);
+        let node = self.device_node(i);
+        for backend in self.attached.lock().iter() {
+            backend.inner().quarantine_node(node);
+        }
+        // Wake blocked fabric waiters so they observe the recovered state.
+        self.fabric.shared().bump_activity();
+        dur
     }
 
     pub fn cost(&self) -> &Arc<CostModel> {
@@ -181,6 +241,10 @@ impl VphiHost {
             },
         );
         vm.attach(Arc::clone(&backend) as Arc<dyn vphi_vmm::vm::VirtualPciDevice>);
+        self.attached.lock().push(Arc::clone(&backend));
+        if let Some(injector) = self.faults.injector() {
+            backend.arm_faults(injector);
+        }
         VphiVm { vm, frontend, backend }
     }
 }

@@ -43,6 +43,14 @@ pub struct VphiDebugReport {
     pub worker_events: u64,
     pub irq_injections: u64,
     pub mmap_faults: u64,
+    // fault injection & recovery
+    pub deadline_retries: u64,
+    pub msi_lost: u64,
+    pub guest_deaths: u64,
+    pub endpoints_gced: u64,
+    pub windows_gced: u64,
+    pub endpoints_quarantined: u64,
+    pub faults_fired: u64,
     // lock-order audit (process-wide, not per-VM; see vphi-sync)
     pub sync_acquisitions: u64,
     pub sync_max_hold_depth: u64,
@@ -82,6 +90,13 @@ impl VphiDebugReport {
             worker_events: el.worker_event_count(),
             irq_injections: vm.vm().kernel().irq().inject_count(crate::frontend::VPHI_IRQ_VECTOR),
             mmap_faults: vm.vm().kvm().fault_count(),
+            deadline_retries: fe.deadline_retries,
+            msi_lost: be.stats.msi_lost.load(Ordering::Relaxed),
+            guest_deaths: be.stats.guest_deaths.load(Ordering::Relaxed),
+            endpoints_gced: be.stats.endpoints_gced.load(Ordering::Relaxed),
+            windows_gced: be.stats.windows_gced.load(Ordering::Relaxed),
+            endpoints_quarantined: be.stats.endpoints_quarantined.load(Ordering::Relaxed),
+            faults_fired: be.fault_hook().injector().map(|inj| inj.fired_total()).unwrap_or(0),
             sync_acquisitions: sync.acquisitions,
             sync_max_hold_depth: sync.max_hold_depth,
             sync_order_edges: sync.order_edges,
@@ -109,6 +124,12 @@ impl VphiDebugReport {
              \x20 events (block/work) {bev}/{wev}\n\
              \x20 irq injections      {irq}\n\
              \x20 mmap faults         {flt}\n\
+             \x20 deadline retries    {dr}\n\
+             \x20 msi lost            {ml}\n\
+             \x20 guest deaths        {gd}\n\
+             \x20 gc eps/windows      {ge}/{gw}\n\
+             \x20 eps quarantined     {eq}\n\
+             \x20 faults fired        {ff}\n\
              \x20 lock acq/depth      {sacq}/{sdep}\n\
              \x20 lock edges/checks   {sedg}/{schk}\n",
             id = self.vm_id,
@@ -134,6 +155,13 @@ impl VphiDebugReport {
             wev = self.worker_events,
             irq = self.irq_injections,
             flt = self.mmap_faults,
+            dr = self.deadline_retries,
+            ml = self.msi_lost,
+            gd = self.guest_deaths,
+            ge = self.endpoints_gced,
+            gw = self.windows_gced,
+            eq = self.endpoints_quarantined,
+            ff = self.faults_fired,
             sacq = self.sync_acquisitions,
             sdep = self.sync_max_hold_depth,
             sedg = self.sync_order_edges,

@@ -36,6 +36,14 @@ use crate::protocol::{GuestEpd, VphiRequest, VphiResponse, REQ_SIZE, RESP_SIZE};
 /// The vPHI interrupt vector on the guest's IRQ chip.
 pub const VPHI_IRQ_VECTOR: u32 = 11;
 
+/// Wall-clock budget per completion-wait attempt.  When it expires without
+/// a completion or a shutdown, the frontend re-kicks the device: a lost
+/// kick or lost completion interrupt only costs one deadline, not a hang.
+const REQUEST_DEADLINE: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// Re-kick attempts before the frontend declares the request lost.
+const MAX_DEADLINE_RETRIES: u32 = 50;
+
 /// A unique per-request completion token.
 ///
 /// Virtqueue head ids are *recycled* as soon as any thread drains the used
@@ -75,8 +83,16 @@ impl VphiChannel {
 
     /// Mark the device gone and wake every sleeper so it can fail fast.
     pub fn mark_shutdown(&self) {
-        self.shutdown.store(true, std::sync::atomic::Ordering::Release);
+        self.mark_shutdown_quiet();
         self.waitq.wake_all();
+    }
+
+    /// Set the shutdown flag *without* waking sleepers.  The dead-guest GC
+    /// uses this to fail-fast new requests while it drains, then wakes
+    /// everyone only once the teardown is complete — so a waiter that
+    /// observes `ENODEV` can rely on the GC having already finished.
+    pub fn mark_shutdown_quiet(&self) {
+        self.shutdown.store(true, std::sync::atomic::Ordering::Release);
     }
 
     pub fn is_shutdown(&self) -> bool {
@@ -100,6 +116,13 @@ impl VphiChannel {
     pub fn complete(&self, token: ReqToken, tl: Timeline) {
         self.completed.lock().insert(token, tl);
         self.waitq.wake_all();
+    }
+
+    /// Deliver a completion *without* waking anyone — models a lost
+    /// completion MSI: the reply sits on the ring until the requester's
+    /// deadline expires and its re-check finds it.
+    pub fn complete_quiet(&self, token: ReqToken, tl: Timeline) {
+        self.completed.lock().insert(token, tl);
     }
 
     /// Frontend: non-blocking check for a specific completion.
@@ -133,6 +156,9 @@ pub struct FrontendStats {
     pub kicks_suppressed: u64,
     /// Kicks that actually caused a vm-exit.
     pub kicks_delivered: u64,
+    /// Times a request's completion deadline expired and the frontend
+    /// re-kicked the device (recovers lost kicks and lost MSIs).
+    pub deadline_retries: u64,
 }
 
 /// The guest kernel module.
@@ -343,18 +369,30 @@ impl FrontendDriver {
             }
         }
         let channel = &self.channel;
-        let backend_tl = channel
-            .waitq
-            .wait_until(|| {
-                if let Some(done) = channel.try_take(token) {
-                    return Some(Ok(done));
-                }
-                if channel.is_shutdown() {
-                    return Some(Err(ScifError::NoDev));
-                }
-                None
-            })
-            .unwrap_or(Err(ScifError::Again))?;
+        let pred = || {
+            if let Some(done) = channel.try_take(token) {
+                return Some(Ok(done));
+            }
+            if channel.is_shutdown() {
+                return Some(Err(ScifError::NoDev));
+            }
+            None
+        };
+        let mut outcome = None;
+        for _attempt in 0..=MAX_DEADLINE_RETRIES {
+            if let Some(r) = channel.waitq.wait_until_for(REQUEST_DEADLINE, pred) {
+                outcome = Some(r);
+                break;
+            }
+            // Deadline expired with no completion and no shutdown: the
+            // kick or the completion interrupt may have been lost.
+            // Re-kick so the backend re-scans the avail ring, and if the
+            // reply already sits in `completed` (quiet completion), the
+            // next attempt's immediate predicate check takes it.
+            self.stats.lock().deadline_retries += 1;
+            self.channel.queue.kick(cost.vmexit_kick, tl);
+        }
+        let backend_tl = outcome.unwrap_or(Err(ScifError::Again))?;
         if poll {
             // Busy-wait: near-zero latency to observe the completion, but
             // the vCPU burned the whole service time spinning.

@@ -7,6 +7,7 @@
 //! `control_transaction`.
 
 use std::time::Duration;
+use vphi_faults::{FaultHook, FaultSite};
 use vphi_sync::{LockClass, TrackedCondvar, TrackedMutex};
 
 /// A counting doorbell: `ring` increments, `wait` blocks until the count
@@ -15,6 +16,7 @@ use vphi_sync::{LockClass, TrackedCondvar, TrackedMutex};
 pub struct Doorbell {
     state: TrackedMutex<DoorbellState>,
     cond: TrackedCondvar,
+    faults: FaultHook,
 }
 
 impl Default for Doorbell {
@@ -22,6 +24,7 @@ impl Default for Doorbell {
         Doorbell {
             state: TrackedMutex::new(LockClass::Doorbell, DoorbellState::default()),
             cond: TrackedCondvar::new(),
+            faults: FaultHook::new(),
         }
     }
 }
@@ -38,8 +41,18 @@ impl Doorbell {
         Self::default()
     }
 
+    /// Fault-injection arming point (dropped rings).
+    pub fn fault_hook(&self) -> &FaultHook {
+        &self.faults
+    }
+
     /// Ring the doorbell once, waking all waiters.
     pub fn ring(&self) {
+        // An injected drop loses the MMIO write on the wire: no count, no
+        // wake.  Waiters recover via their own timeouts/retries.
+        if self.faults.fire(FaultSite::PcieDoorbellDrop).is_some() {
+            return;
+        }
         let mut st = self.state.lock();
         st.rung += 1;
         self.cond.notify_all();

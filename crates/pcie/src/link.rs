@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use vphi_faults::{FaultHook, FaultSite};
 use vphi_sim_core::{
     BusyResource, CostModel, SimDuration, SimTime, SpanLabel, Timeline, VirtualClock,
 };
@@ -37,11 +38,17 @@ pub struct PcieLink {
     cost: Arc<CostModel>,
     clock: Arc<VirtualClock>,
     resource: BusyResource,
+    faults: FaultHook,
 }
 
 impl PcieLink {
     pub fn new(config: LinkConfig, cost: Arc<CostModel>, clock: Arc<VirtualClock>) -> Self {
-        PcieLink { config, cost, clock, resource: BusyResource::new() }
+        PcieLink { config, cost, clock, resource: BusyResource::new(), faults: FaultHook::new() }
+    }
+
+    /// Fault-injection arming point (retrain stalls, DMA errors).
+    pub fn fault_hook(&self) -> &FaultHook {
+        &self.faults
     }
 
     pub fn config(&self) -> &LinkConfig {
@@ -79,7 +86,14 @@ impl PcieLink {
         tl.charge(SpanLabel::LinkLatency, self.cost.link_latency);
         tl.charge(SpanLabel::LinkContention, grant.queued);
         tl.charge(SpanLabel::LinkTransfer, hold);
-        self.clock.observe(grant.end + self.cost.link_latency)
+        let mut end = grant.end + self.cost.link_latency;
+        // An injected link retrain stalls this transaction for `param` µs.
+        if let Some(stall_us) = self.faults.fire(FaultSite::PcieRetrainStall) {
+            let stall = SimDuration::from_micros(stall_us);
+            tl.charge(SpanLabel::LinkLatency, stall);
+            end += stall;
+        }
+        self.clock.observe(end)
     }
 
     /// A zero-payload control transaction (doorbell write, tiny message):

@@ -1,7 +1,9 @@
 //! The assembled coprocessor board.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use vphi_faults::{FaultHook, FaultSite};
 use vphi_pcie::{DmaEngine, Doorbell, LinkConfig, MsiVector, PcieLink};
 use vphi_sim_core::{CostModel, SimDuration, VirtualClock};
 use vphi_sync::{LockClass, TrackedRwLock};
@@ -17,6 +19,9 @@ pub enum BoardState {
     Offline,
     Booting,
     Online,
+    /// The card hit a fatal fault (core lockup, uOS panic) and needs a
+    /// reset; mirrors MPSS "lost"/"failed" states.
+    Failed,
 }
 
 impl BoardState {
@@ -25,8 +30,18 @@ impl BoardState {
             BoardState::Offline => "offline",
             BoardState::Booting => "booting",
             BoardState::Online => "online",
+            BoardState::Failed => "failed",
         }
     }
+}
+
+/// A fatal board-level fault observed by [`PhiBoard::poll_faults`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhiFault {
+    /// A device core stopped retiring instructions.
+    CoreLockup,
+    /// The card's embedded Linux panicked.
+    UosPanic,
 }
 
 /// One Xeon Phi card plugged into the host: spec, GDDR, DMA engine on a
@@ -47,6 +62,8 @@ pub struct PhiBoard {
     uos: Arc<UosScheduler>,
     sysfs: TrackedRwLock<SysfsInfo>,
     mic_index: u32,
+    faults: FaultHook,
+    resets: AtomicU64,
 }
 
 impl std::fmt::Debug for PhiBoard {
@@ -89,6 +106,8 @@ impl PhiBoard {
             uos,
             sysfs,
             mic_index,
+            faults: FaultHook::new(),
+            resets: AtomicU64::new(0),
         }
     }
 
@@ -145,6 +164,69 @@ impl PhiBoard {
     pub fn sysfs(&self) -> SysfsInfo {
         self.sysfs.read().clone()
     }
+
+    /// Fault-injection arming point (lockups, ECC, uOS panics).
+    pub fn fault_hook(&self) -> &FaultHook {
+        &self.faults
+    }
+
+    pub fn is_failed(&self) -> bool {
+        self.state() == BoardState::Failed
+    }
+
+    /// Mark the card failed (host-visible via sysfs), as the real MPSS
+    /// daemon does when the watchdog stops hearing from the uOS.
+    pub fn fail(&self, reason: &str) {
+        *self.state.write() = BoardState::Failed;
+        let mut sysfs = self.sysfs.write();
+        sysfs.set("state", "failed");
+        sysfs.set("fail_reason", reason);
+    }
+
+    /// Check the injection schedule for a fatal board fault.  Called from
+    /// the fabric's charge paths (every message/RMA traversal); on the
+    /// firing crossing the board transitions to `Failed`.
+    pub fn poll_faults(&self) -> Option<PhiFault> {
+        if !self.faults.armed() || self.is_failed() {
+            return None;
+        }
+        if self.faults.fire(FaultSite::PhiCoreLockup).is_some() {
+            self.fail("core lockup");
+            return Some(PhiFault::CoreLockup);
+        }
+        if self.faults.fire(FaultSite::PhiUosPanic).is_some() {
+            self.fail("uos panic");
+            return Some(PhiFault::UosPanic);
+        }
+        None
+    }
+
+    /// Check the injection schedule for an uncorrectable device-memory ECC
+    /// error on this RMA.  Unlike a lockup this is per-transfer: the board
+    /// stays online, the transfer fails fatally.
+    pub fn ecc_fault(&self) -> bool {
+        self.faults.fire(FaultSite::PhiEccError).is_some()
+    }
+
+    /// Reset a failed (or live) card: back to offline, then reboot the
+    /// uOS.  Returns the virtual reset+boot duration.  All endpoint state
+    /// referencing the card is the fabric's problem — see
+    /// `VphiHost::reset_card`, which quarantines affected endpoints.
+    pub fn reset(&self) -> SimDuration {
+        *self.state.write() = BoardState::Offline;
+        {
+            let mut sysfs = self.sysfs.write();
+            sysfs.set("state", "resetting");
+            sysfs.set("fail_reason", "");
+        }
+        self.resets.fetch_add(1, Ordering::Relaxed);
+        self.boot()
+    }
+
+    /// How many times this card has been reset.
+    pub fn reset_count(&self) -> u64 {
+        self.resets.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -195,5 +277,39 @@ mod tests {
         assert_eq!(BoardState::Offline.as_str(), "offline");
         assert_eq!(BoardState::Booting.as_str(), "booting");
         assert_eq!(BoardState::Online.as_str(), "online");
+        assert_eq!(BoardState::Failed.as_str(), "failed");
+    }
+
+    #[test]
+    fn lockup_fault_fails_the_board_until_reset() {
+        use vphi_faults::{FaultInjector, FaultPlan};
+        let b = board();
+        b.boot();
+        let inj = Arc::new(FaultInjector::new(FaultPlan::single(FaultSite::PhiCoreLockup, 2, 0)));
+        assert!(b.fault_hook().arm(inj));
+        assert_eq!(b.poll_faults(), None);
+        assert_eq!(b.poll_faults(), Some(PhiFault::CoreLockup));
+        assert!(b.is_failed());
+        assert_eq!(b.sysfs().get("state"), Some("failed"));
+        assert_eq!(b.sysfs().get("fail_reason"), Some("core lockup"));
+        // Failed boards don't double-report.
+        assert_eq!(b.poll_faults(), None);
+        let t = b.reset();
+        assert!(t > SimDuration::ZERO);
+        assert!(b.is_online());
+        assert_eq!(b.reset_count(), 1);
+        assert_eq!(b.sysfs().get("state"), Some("online"));
+    }
+
+    #[test]
+    fn ecc_fault_leaves_the_board_online() {
+        use vphi_faults::{FaultInjector, FaultPlan};
+        let b = board();
+        b.boot();
+        let inj = Arc::new(FaultInjector::new(FaultPlan::single(FaultSite::PhiEccError, 1, 0)));
+        assert!(b.fault_hook().arm(inj));
+        assert!(b.ecc_fault());
+        assert!(!b.ecc_fault());
+        assert!(b.is_online());
     }
 }

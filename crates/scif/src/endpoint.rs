@@ -407,6 +407,9 @@ impl EndpointCore {
         if let Some(p) = *self.local_port.lock() {
             self.node.release_port(p);
         }
+        // Closing the fd releases every registration (the driver unpins
+        // the window pages) — nothing may leak past a close.
+        self.windows.lock().release_all();
         self.shared.activity.bump();
     }
 }

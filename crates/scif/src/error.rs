@@ -34,6 +34,20 @@ pub enum ScifError {
     Again,
     /// Invalid listener backlog or endpoint listening misuse.
     OpNotSupported,
+    /// EIO — device I/O error (uncorrectable ECC, DMA engine fault).
+    Io,
+}
+
+/// How callers should react to a [`ScifError`].  Retry loops and tests
+/// branch on this instead of string-matching variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// Transient: the same call may succeed if reissued (possibly after
+    /// backoff or waiting for the peer).
+    Retryable,
+    /// Permanent for this endpoint/request: retrying the identical call
+    /// cannot succeed without outside intervention (reset, reconnect).
+    Fatal,
 }
 
 impl ScifError {
@@ -52,7 +66,32 @@ impl ScifError {
             ScifError::Access => 13,
             ScifError::Again => 11,
             ScifError::OpNotSupported => 95,
+            ScifError::Io => 5,
         }
+    }
+
+    /// Retryable/Fatal classification (see [`ErrorClass`]).
+    pub fn class(self) -> ErrorClass {
+        match self {
+            // Would-block and no-listener-yet are worth reissuing; the
+            // frontend's deadline/backoff loop leans on this.
+            ScifError::Again | ScifError::ConnRefused => ErrorClass::Retryable,
+            ScifError::AddrInUse
+            | ScifError::NotConn
+            | ScifError::IsConn
+            | ScifError::Inval
+            | ScifError::ConnReset
+            | ScifError::NoDev
+            | ScifError::NoMem
+            | ScifError::OutOfRange
+            | ScifError::Access
+            | ScifError::OpNotSupported
+            | ScifError::Io => ErrorClass::Fatal,
+        }
+    }
+
+    pub fn is_retryable(self) -> bool {
+        self.class() == ErrorClass::Retryable
     }
 
     /// Inverse of [`errno`](ScifError::errno) for protocol decoding.
@@ -70,6 +109,7 @@ impl ScifError {
             13 => ScifError::Access,
             11 => ScifError::Again,
             95 => ScifError::OpNotSupported,
+            5 => ScifError::Io,
             _ => return None,
         })
     }
@@ -90,6 +130,7 @@ impl std::fmt::Display for ScifError {
             ScifError::Access => ("EACCES", "window protection violation"),
             ScifError::Again => ("EAGAIN", "operation would block"),
             ScifError::OpNotSupported => ("EOPNOTSUPP", "operation not supported"),
+            ScifError::Io => ("EIO", "device I/O error"),
         };
         write!(f, "{name}: {msg}")
     }
@@ -116,11 +157,33 @@ mod tests {
             ScifError::Access,
             ScifError::Again,
             ScifError::OpNotSupported,
+            ScifError::Io,
         ] {
             assert_eq!(ScifError::from_errno(e.errno()), Some(e));
         }
         assert_eq!(ScifError::from_errno(0), None);
         assert_eq!(ScifError::from_errno(-1), None);
+    }
+
+    #[test]
+    fn classification_separates_transient_from_permanent() {
+        assert!(ScifError::Again.is_retryable());
+        assert!(ScifError::ConnRefused.is_retryable());
+        for fatal in [
+            ScifError::AddrInUse,
+            ScifError::NotConn,
+            ScifError::IsConn,
+            ScifError::Inval,
+            ScifError::ConnReset,
+            ScifError::NoDev,
+            ScifError::NoMem,
+            ScifError::OutOfRange,
+            ScifError::Access,
+            ScifError::OpNotSupported,
+            ScifError::Io,
+        ] {
+            assert_eq!(fatal.class(), ErrorClass::Fatal, "{fatal}");
+        }
     }
 
     #[test]

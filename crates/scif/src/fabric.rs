@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
+use vphi_faults::FaultSite;
 use vphi_phi::PhiBoard;
 use vphi_sim_core::{CostModel, SpanLabel, Timeline, VirtualClock};
 use vphi_sync::{LockClass, TrackedCondvar, TrackedMutex, TrackedRwLock};
@@ -193,6 +194,28 @@ impl FabricShared {
         self.next_ep_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Wake every blocked fabric waiter to re-check its condition — used
+    /// by recovery paths (card reset, endpoint quarantine) that change
+    /// state outside the normal message flow.
+    pub fn bump_activity(&self) {
+        self.activity.bump();
+    }
+
+    /// Traffic gate: a board that hits (or already hit) a fatal fault
+    /// refuses new traffic with `ENODEV` until it is reset.
+    fn check_board(&self, board: &Arc<PhiBoard>) -> ScifResult<()> {
+        if board.poll_faults().is_some() {
+            // The fault just struck: wake blocked waiters so they observe
+            // the failure instead of sleeping until their wall timeout.
+            self.activity.bump();
+            return Err(ScifError::NoDev);
+        }
+        if board.is_failed() || !board.is_online() {
+            return Err(ScifError::NoDev);
+        }
+        Ok(())
+    }
+
     /// Charge the one-way message delivery path from `from` to `to` for a
     /// `bytes` payload (everything after the caller's syscall): driver
     /// post, DMA/link, device delivery and completion write-back.
@@ -220,7 +243,17 @@ impl FabricShared {
             }
             let core = self.node(node)?;
             let board = core.board().ok_or(ScifError::NoDev)?;
+            self.check_board(board)?;
             board.link().transmit(bytes, tl);
+            // Announce the message: the driver rings the card's "work
+            // pending" doorbell (or the host's reply doorbell when the
+            // card is the sender).  Progress is driven by the activity
+            // hub, so a dropped doorbell costs latency, not delivery.
+            if node == to {
+                board.db_to_device.ring();
+            } else {
+                board.db_to_host.ring();
+            }
         }
         tl.charge(SpanLabel::DeviceDeliver, cost.device_deliver);
         tl.charge(SpanLabel::Completion, cost.completion);
@@ -252,6 +285,15 @@ impl FabricShared {
             }
             let core = self.node(node)?;
             let board = core.board().ok_or(ScifError::NoDev)?;
+            self.check_board(board)?;
+            // Per-transfer device faults: an uncorrectable ECC error is
+            // fatal for this RMA (EIO); a DMA engine hiccup is retryable.
+            if board.ecc_fault() {
+                return Err(ScifError::Io);
+            }
+            if board.link().fault_hook().fire(FaultSite::PcieDmaError).is_some() {
+                return Err(ScifError::Again);
+            }
             board.link().transmit(bytes, tl);
         }
         tl.charge(SpanLabel::Completion, cost.completion);

@@ -40,7 +40,7 @@ pub mod types;
 pub mod window;
 
 pub use api::ScifEndpoint;
-pub use error::{ScifError, ScifResult};
+pub use error::{ErrorClass, ScifError, ScifResult};
 pub use fabric::ScifFabric;
 pub use mmap::MappedRegion;
 pub use poll::{PollEvents, PollFd};

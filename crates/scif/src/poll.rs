@@ -104,10 +104,6 @@ pub fn poll(fds: &mut [PollFd], wall_timeout: Duration, tl: &mut Timeline) -> Sc
             tl.charge(SpanLabel::PollWait, shared.cost.poll_observe);
             return Ok(ready);
         }
-        let now = std::time::Instant::now();
-        if now >= deadline {
-            return Ok(0);
-        }
         tl.charge(SpanLabel::PollWait, shared.cost.poll_iteration);
         // Re-check after reading the version to close the race, then wait
         // bounded by the remaining timeout.
@@ -116,7 +112,14 @@ pub fn poll(fds: &mut [PollFd], wall_timeout: Duration, tl: &mut Timeline) -> Sc
             seen = v;
             continue;
         }
-        let (v, changed) = shared.activity.wait_change_for(seen, deadline - now);
+        // Recompute the remaining budget immediately before sleeping:
+        // every spurious wake-up re-enters here, and a stale `remaining`
+        // would let each one extend the total wait past `wall_timeout`.
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            return Ok(0);
+        }
+        let (v, changed) = shared.activity.wait_change_for(seen, remaining);
         if !changed {
             return Ok(0);
         }
@@ -201,6 +204,34 @@ mod tests {
         assert_eq!(n, 1);
         assert!(fds[0].revents.contains(PollEvents::HUP));
         assert!(!fds[0].revents.contains(PollEvents::OUT));
+    }
+
+    #[test]
+    fn spurious_wakeups_do_not_extend_the_deadline() {
+        // Fabric activity unrelated to the polled endpoint (another
+        // endpoint's traffic bumping the hub) wakes the poller spuriously.
+        // Each wake-up must shrink the remaining budget, not restart it.
+        let (_client, server) = setup();
+        let shared = Arc::clone(&server.shared);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let bumper = std::thread::spawn(move || {
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                shared.activity.bump();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let mut fds = [PollFd::new(server, PollEvents::IN)];
+        let mut tl = Timeline::new();
+        let start = std::time::Instant::now();
+        let n = poll(&mut fds, Duration::from_millis(60), &mut tl).unwrap();
+        let elapsed = start.elapsed();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        bumper.join().unwrap();
+        assert_eq!(n, 0, "nothing was ever ready");
+        // Pre-fix, ~12 bumps × a stale full-ish budget each could stretch
+        // this to many times the timeout; allow generous scheduling slack.
+        assert!(elapsed < Duration::from_millis(500), "poll overstayed: {elapsed:?}");
     }
 
     #[test]

@@ -214,6 +214,15 @@ impl WindowTable {
         }
     }
 
+    /// Drop every window — endpoint teardown.  `scif_close` releases all
+    /// of an endpoint's registrations the way the driver unpins pages when
+    /// the fd closes; returns how many windows were released.
+    pub fn release_all(&mut self) -> usize {
+        let n = self.windows.len();
+        self.windows.clear();
+        n
+    }
+
     pub fn window_count(&self) -> usize {
         self.windows.len()
     }

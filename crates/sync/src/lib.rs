@@ -137,12 +137,15 @@ pub enum LockClass {
     TestB = 41,
     /// Regression tests: an inner-layer test lock.
     TestInner = 42,
+    // --- host control plane (outermost; added for card-reset recovery) ---
+    /// `VphiHost` attached-backend registry, walked during card reset.
+    HostAttached = 43,
 }
 
 impl LockClass {
     /// Number of classes (adjacency bitmasks are `u64`, so this must stay
     /// ≤ 64).
-    pub const COUNT: usize = 43;
+    pub const COUNT: usize = 44;
 
     /// The class's layer in the documented hierarchy — smaller layers are
     /// acquired first (outermost).
@@ -191,6 +194,7 @@ impl LockClass {
             LockClass::TestA => 92,
             LockClass::TestB => 92,
             LockClass::TestInner => 94,
+            LockClass::HostAttached => 8,
         }
     }
 

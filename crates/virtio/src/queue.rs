@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use vphi_faults::{FaultHook, FaultSite};
 use vphi_pcie::Doorbell;
 use vphi_sim_core::{SpanLabel, Timeline};
 use vphi_sync::{LockClass, TrackedMutex};
@@ -83,6 +84,7 @@ pub struct VirtQueue {
     size: u16,
     state: TrackedMutex<QueueState>,
     pub notifiers: Notifiers,
+    faults: FaultHook,
 }
 
 impl std::fmt::Debug for VirtQueue {
@@ -108,11 +110,17 @@ impl VirtQueue {
                 },
             ),
             notifiers: Notifiers::default(),
+            faults: FaultHook::new(),
         })
     }
 
     pub fn size(&self) -> u16 {
         self.size
+    }
+
+    /// Fault-injection arming point (lost kicks, delayed used pushes).
+    pub fn fault_hook(&self) -> &FaultHook {
+        &self.faults
     }
 
     pub fn free_descriptors(&self) -> usize {
@@ -163,6 +171,11 @@ impl VirtQueue {
             return false;
         }
         tl.charge(SpanLabel::VmExitKick, cost_vmexit);
+        // An injected lost kick pays the vm-exit but never reaches the
+        // device; the frontend's request deadline re-kicks.
+        if self.faults.fire(FaultSite::VirtioKickLost).is_some() {
+            return true;
+        }
         self.notifiers.kick.ring();
         true
     }
@@ -253,6 +266,11 @@ impl VirtQueue {
             st.suppress_irq
         };
         tl.charge(SpanLabel::UsedPush, cost_used_push);
+        // An injected used-ring delay holds the completion for `param` µs
+        // before the interrupt path runs.
+        if let Some(delay_us) = self.faults.fire(FaultSite::VirtioUsedDelay) {
+            tl.charge(SpanLabel::UsedPush, vphi_sim_core::SimDuration::from_micros(delay_us));
+        }
         if !suppress {
             if let Some(irq) = self.notifiers.irq.lock().as_ref() {
                 irq(tl);

@@ -60,6 +60,41 @@ impl WaitQueue {
         }
     }
 
+    /// Like [`wait_until`](WaitQueue::wait_until) but bounded by `timeout`
+    /// of wall time.  On timeout the predicate gets one final check (a
+    /// wake racing the deadline must not lose its completion) and its
+    /// result — usually `None` — is returned.  The remaining budget is
+    /// recomputed after every wake-all, so spurious wake-ups cannot extend
+    /// the deadline.
+    pub fn wait_until_for<T>(
+        &self,
+        timeout: Duration,
+        mut pred: impl FnMut() -> Option<T>,
+    ) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut generation = self.generation.lock();
+        loop {
+            if let Some(v) = pred() {
+                return Some(v);
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return pred();
+            }
+            self.sleeps.fetch_add(1, Ordering::Relaxed);
+            let g = *generation;
+            while *generation == g {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    return pred();
+                }
+                if self.cond.wait_for(&mut generation, remaining).timed_out() {
+                    return pred();
+                }
+            }
+        }
+    }
+
     /// Wake every sleeper (they all re-check their predicates).
     pub fn wake_all(&self) {
         let mut generation = self.generation.lock();
@@ -144,6 +179,49 @@ mod tests {
         assert_eq!(wq.wakeup_count(), 4);
         // Spurious wakeups happened: more sleeps than threads.
         assert!(wq.sleep_count() >= 4);
+    }
+
+    #[test]
+    fn bounded_wait_times_out_with_a_final_check() {
+        let wq = Arc::new(WaitQueue::new());
+        // Nothing ever becomes ready: the bounded wait returns None at the
+        // deadline instead of hanging until the 30 s bug guard.
+        let start = std::time::Instant::now();
+        assert_eq!(wq.wait_until_for(Duration::from_millis(30), || None::<u32>), None);
+        assert!(start.elapsed() < Duration::from_secs(5));
+
+        // A completion that lands exactly as the deadline expires is still
+        // taken by the final predicate check.
+        let flag = Arc::new(AtomicBool::new(false));
+        let (wq2, flag2) = (Arc::clone(&wq), Arc::clone(&flag));
+        let setter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            flag2.store(true, Ordering::Release);
+            wq2.wake_all();
+        });
+        let got =
+            wq.wait_until_for(Duration::from_secs(5), || flag.load(Ordering::Acquire).then_some(7));
+        assert_eq!(got, Some(7));
+        setter.join().unwrap();
+    }
+
+    #[test]
+    fn spurious_wakeups_do_not_extend_bounded_wait() {
+        let wq = Arc::new(WaitQueue::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (wq2, stop2) = (Arc::clone(&wq), Arc::clone(&stop));
+        let bumper = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                wq2.wake_all();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let start = std::time::Instant::now();
+        assert_eq!(wq.wait_until_for(Duration::from_millis(60), || None::<u32>), None);
+        let elapsed = start.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        bumper.join().unwrap();
+        assert!(elapsed < Duration::from_millis(500), "overstayed: {elapsed:?}");
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Chaos: full-stack guest workloads under deterministic randomized fault
+//! plans.  Every run is reproducible from its seed — the plan is generated
+//! by the sim-core RNG and byte-identical across runs — and every failure
+//! mode must end in recovery or a clean error, never a hang or a leak.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vphi::builder::{VmConfig, VphiHost, VphiVm};
+use vphi_faults::{FaultPlan, FaultSite};
+use vphi_scif::window::WindowBacking;
+use vphi_scif::{Port, Prot, RmaFlags, ScifAddr, ScifError};
+use vphi_sim_core::Timeline;
+
+/// The fixed seeds CI sweeps (see .github/workflows/ci.yml).
+const SEEDS: [u64; 3] = [11, 47, 2026];
+
+/// Fault points per plan; every point fires at most once, so the total
+/// disruption — and with it the wall time of a run — stays bounded.
+const PLAN_POINTS: usize = 12;
+
+const ITERATIONS: usize = 12;
+const MAX_ATTEMPTS_PER_ITERATION: usize = 25;
+
+/// A fault-tolerant echo + RMA-window server on card 0: every connection
+/// gets a 4 KiB read-write window at offset 0 and its bytes echoed back.
+/// Connection-level errors (the card locking up mid-echo, the peer's
+/// guest dying) end that connection, never the server.
+fn chaos_server(host: &VphiHost, port: u16, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<()> {
+    let server = host.device_endpoint(0).unwrap();
+    let board = Arc::clone(host.board(0));
+    let mut tl = Timeline::new();
+    server.bind(Port(port), &mut tl).unwrap();
+    server.listen(8, &mut tl).unwrap();
+    std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        while !stop.load(Ordering::Relaxed) {
+            match server.try_accept(&mut tl) {
+                Ok(Some(conn)) => {
+                    if let Ok(region) = board.memory().alloc(4096) {
+                        let _ = conn.register(
+                            Some(0),
+                            4096,
+                            Prot::READ_WRITE,
+                            WindowBacking::Device(region),
+                            &mut tl,
+                        );
+                    }
+                    loop {
+                        // The protocol is fixed-size: every client message is
+                        // exactly 5 bytes (recv is SCIF_RECV_BLOCK — it waits
+                        // for a *full* buffer, short only on close).
+                        let mut buf = [0u8; 5];
+                        match conn.recv(&mut buf, &mut tl) {
+                            Ok(5) => {
+                                if conn.send(&buf, &mut tl).is_err() {
+                                    break;
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                    conn.close();
+                }
+                Ok(None) | Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    })
+}
+
+macro_rules! step {
+    ($e:expr, $name:literal) => {
+        match $e {
+            Ok(v) => v,
+            Err(er) => {
+                eprintln!("[chaos dbg] step {} -> {:?}", $name, er);
+                return Err(er);
+            }
+        }
+    };
+}
+
+/// One full guest session: open, connect, message echo, an RMA write into
+/// the server's window, register/unregister a guest window, close.
+fn one_session(host: &VphiHost, vm: &VphiVm, port: u16) -> Result<(), ScifError> {
+    let mut tl = Timeline::new();
+    let addr = ScifAddr::new(host.device_node(0), Port(port));
+    let ep = step!(vm.open_scif(&mut tl), "open");
+    step!(ep.connect(addr, &mut tl), "connect");
+    step!(ep.send(b"ping!", &mut tl), "send");
+    let mut back = [0u8; 5];
+    let mut got = 0;
+    while got < back.len() {
+        let n = step!(ep.recv(&mut back[got..], &mut tl), "recv");
+        if n == 0 {
+            return Err(ScifError::ConnReset);
+        }
+        got += n;
+    }
+    assert_eq!(&back, b"ping!");
+    let buf = step!(vm.alloc_buf(4096), "alloc");
+    step!(ep.vwriteto(&buf, 0, RmaFlags::SYNC, &mut tl), "vwriteto");
+    let off = step!(ep.register(&buf, Prot::READ_WRITE, None, &mut tl), "register");
+    step!(ep.unregister(off, 4096, &mut tl), "unregister");
+    step!(ep.close(&mut tl), "close");
+    Ok(())
+}
+
+/// Drive `ITERATIONS` sessions with classified-error recovery: retryable
+/// errors are retried, a failed card is reset (quarantining only this
+/// VM's endpoints), and a dead guest ends the workload.  Returns
+/// (completed sessions, card resets driven by this workload).
+fn run_workload(host: &VphiHost, vm: &VphiVm, port: u16) -> (usize, usize) {
+    let mut completed = 0;
+    let mut resets = 0;
+    'iterations: for _ in 0..ITERATIONS {
+        for _attempt in 0..MAX_ATTEMPTS_PER_ITERATION {
+            if vm.frontend().channel().is_shutdown() {
+                break 'iterations; // the guest is gone for good
+            }
+            match one_session(host, vm, port) {
+                Ok(()) => {
+                    completed += 1;
+                    eprintln!("[chaos dbg] iteration done ({completed}/{ITERATIONS})");
+                    continue 'iterations;
+                }
+                Err(ScifError::NoDev) if host.board(0).is_failed() => {
+                    host.reset_card(0);
+                    resets += 1;
+                    eprintln!("[chaos dbg] card reset #{resets}");
+                }
+                Err(e) if e.is_retryable() => {}
+                Err(_) => {} // fatal for this session; a fresh one may work
+            }
+        }
+    }
+    (completed, resets)
+}
+
+/// Zero-leak audit over one VM's backend.
+fn assert_no_leaks(vm: &VphiVm, label: &str) {
+    let st = &vm.backend().inner().stats;
+    eprintln!(
+        "[chaos dbg] {label}: open={} windows={} gced={} deaths={} quar={} msi_lost={}",
+        vm.backend().open_endpoints(),
+        vm.backend().inner().window_entries(),
+        st.endpoints_gced.load(Ordering::Relaxed),
+        st.guest_deaths.load(Ordering::Relaxed),
+        st.endpoints_quarantined.load(Ordering::Relaxed),
+        st.msi_lost.load(Ordering::Relaxed),
+    );
+    assert_eq!(vm.backend().open_endpoints(), 0, "{label}: leaked backend endpoints");
+    assert_eq!(vm.backend().inner().window_entries(), 0, "{label}: leaked pinned windows");
+}
+
+fn chaos_round(seed: u64) {
+    let start = Instant::now();
+    let host = VphiHost::new(1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let port = 700 + seed as u16 % 100;
+    let server = chaos_server(&host, port, Arc::clone(&stop));
+
+    // Same seed ⇒ byte-identical fault schedule, every time.
+    let plan = FaultPlan::from_seed(seed, PLAN_POINTS);
+    assert_eq!(plan.encode(), FaultPlan::from_seed(seed, PLAN_POINTS).encode());
+    let injector = host.arm_faults(plan.clone());
+    assert_eq!(injector.plan().encode(), plan.encode());
+    eprintln!("[chaos dbg] plan: {plan:?}");
+
+    // Victim phase: a VM runs its workload while the plan fires.
+    let victim = host.spawn_vm(VmConfig::default());
+    let (completed, resets) = run_workload(&host, &victim, port);
+    let victim_died = victim.frontend().channel().is_shutdown();
+    // Each fault point fires at most once, so either the workload pushed
+    // through every disruption or the guest itself was killed.
+    assert!(
+        victim_died || completed == ITERATIONS,
+        "seed {seed}: victim neither died nor finished ({completed}/{ITERATIONS})"
+    );
+    if !victim_died {
+        assert_no_leaks(&victim, "victim");
+    } else {
+        // The dead-guest GC must have drained everything it held.
+        assert_no_leaks(&victim, "dead victim");
+        let stats = &victim.backend().inner().stats;
+        assert!(stats.guest_deaths.load(Ordering::Relaxed) >= 1);
+    }
+    let _ = resets; // card resets are legal but not required by every seed
+
+    // A failed board at the end of the victim phase is recovered here so
+    // the bystander starts from a healthy card.
+    if host.board(0).is_failed() || !host.board(0).is_online() {
+        host.reset_card(0);
+    }
+
+    // Bystander phase: defuse the injector (counters keep counting, no
+    // new faults fire) and prove an unaffected VM makes full progress.
+    injector.defuse();
+    let bystander = host.spawn_vm(VmConfig::default());
+    let (b_completed, b_resets) = run_workload(&host, &bystander, port);
+    assert_eq!(b_completed, ITERATIONS, "seed {seed}: bystander VM failed to progress");
+    assert_eq!(b_resets, 0, "seed {seed}: bystander saw card failures after defuse");
+    assert_no_leaks(&bystander, "bystander");
+
+    stop.store(true, Ordering::Relaxed);
+    victim.shutdown();
+    bystander.shutdown();
+    server.join().unwrap();
+
+    // No virtual-time hang: the whole round (bounded deadline retries
+    // included) finishes in bounded wall time.
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "seed {seed}: chaos round overstayed {:?}",
+        start.elapsed()
+    );
+    assert_eq!(vphi_sync::audit::violation_count(), 0);
+}
+
+#[test]
+fn chaos_seed_11() {
+    chaos_round(SEEDS[0]);
+}
+
+#[test]
+fn chaos_seed_47() {
+    chaos_round(SEEDS[1]);
+}
+
+#[test]
+fn chaos_seed_2026() {
+    chaos_round(SEEDS[2]);
+}
+
+/// `VPHI_CHAOS_SEED` lets CI (and bug reports) replay one exact plan.
+#[test]
+fn chaos_env_seed_replay() {
+    if let Ok(s) = std::env::var("VPHI_CHAOS_SEED") {
+        let seed: u64 = s.parse().expect("VPHI_CHAOS_SEED must be a u64");
+        chaos_round(seed);
+    }
+}
+
+/// The plan generator is stable: pinned bytes for a pinned seed, so a
+/// schedule recorded in a bug report stays replayable forever.
+#[test]
+fn fault_plans_are_byte_stable() {
+    for seed in SEEDS {
+        let a = FaultPlan::from_seed(seed, PLAN_POINTS).encode();
+        let b = FaultPlan::from_seed(seed, PLAN_POINTS).encode();
+        assert_eq!(a, b, "seed {seed} produced diverging schedules");
+        assert_eq!(a.len(), 8 + PLAN_POINTS * 17, "seed {seed}: encoding size changed");
+    }
+    // Single-point plans round-trip sites and parameters too.
+    let single = FaultPlan::single(FaultSite::VirtioUsedDelay, 3, 250);
+    assert_eq!(single.encode(), FaultPlan::single(FaultSite::VirtioUsedDelay, 3, 250).encode());
+    assert_ne!(single.encode(), FaultPlan::single(FaultSite::VirtioUsedDelay, 3, 251).encode());
+}

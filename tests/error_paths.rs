@@ -3,6 +3,8 @@
 //! guest user space unchanged.
 
 use vphi::builder::{VmConfig, VphiHost};
+use vphi::VphiRequest;
+use vphi_faults::{FaultPlan, FaultSite};
 use vphi_scif::{Port, Prot, RmaFlags, ScifAddr, ScifError};
 use vphi_sim_core::Timeline;
 
@@ -169,6 +171,98 @@ fn guest_unregister_of_unknown_window_fails() {
     ep.connect(ScifAddr::new(host.device_node(0), Port(979)), &mut tl).unwrap();
     assert_eq!(ep.unregister(0x5000, 4096, &mut tl), Err(ScifError::OutOfRange));
     ep.close(&mut tl).unwrap();
+    vm.shutdown();
+    dev.join().unwrap();
+}
+
+#[test]
+fn guest_death_during_register_gcs_the_backend() {
+    let host = VphiHost::new(1);
+    // The guest's third request (open, connect, register) never returns:
+    // the QEMU process dies abruptly mid-register.
+    host.arm_faults(FaultPlan::single(FaultSite::VmmGuestDeath, 3, 0));
+
+    let server = host.device_endpoint(0).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let dev = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(Port(980), &mut tl).unwrap();
+        server.listen(2, &mut tl).unwrap();
+        tx.send(()).unwrap();
+        let conn = server.accept(&mut tl).unwrap();
+        let mut b = [0u8; 1];
+        let _ = conn.core().recv(&mut b, &mut tl);
+    });
+    rx.recv().unwrap();
+
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    ep.connect(ScifAddr::new(host.device_node(0), Port(980)), &mut tl).unwrap();
+    let buf = vm.alloc_buf(4096).unwrap();
+    // The dying guest's register observes the dead device, not a hang.
+    assert_eq!(ep.register(&buf, Prot::READ_WRITE, None, &mut tl), Err(ScifError::NoDev));
+    // Everything after fails fast on the shutdown flag.
+    assert_eq!(ep.send(b"x", &mut tl), Err(ScifError::NoDev));
+
+    // The dead-guest GC released the backend's endpoint and window state.
+    assert_eq!(vm.backend().open_endpoints(), 0);
+    assert_eq!(vm.backend().inner().window_entries(), 0);
+    let stats = &vm.backend().inner().stats;
+    assert_eq!(stats.guest_deaths.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(stats.endpoints_gced.load(std::sync::atomic::Ordering::Relaxed), 1);
+
+    vm.shutdown();
+    dev.join().unwrap();
+}
+
+#[test]
+fn double_close_after_card_reset_pins_exact_errors() {
+    let host = VphiHost::new(1);
+
+    let server = host.device_endpoint(0).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let dev = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(Port(981), &mut tl).unwrap();
+        server.listen(2, &mut tl).unwrap();
+        tx.send(()).unwrap();
+        let conn = server.accept(&mut tl).unwrap();
+        let mut b = [0u8; 1];
+        let _ = conn.core().recv(&mut b, &mut tl);
+    });
+    rx.recv().unwrap();
+
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    let epd = ep.epd();
+    ep.connect(ScifAddr::new(host.device_node(0), Port(981)), &mut tl).unwrap();
+
+    // Arm once the connection is up: the next traffic to cross the card
+    // (the send below) trips a core lockup.
+    host.arm_faults(FaultPlan::single(FaultSite::PhiCoreLockup, 1, 0));
+
+    // The lockup strikes on the send: ENODEV, and the board is failed
+    // until somebody resets it.
+    assert_eq!(ep.send(b"x", &mut tl), Err(ScifError::NoDev));
+    assert!(host.board(0).is_failed());
+
+    // Card reset quarantines this guest's endpoint but keeps its epd
+    // table entry alive for exactly one clean close.
+    host.reset_card(0);
+    assert!(host.board(0).is_online());
+    assert_eq!(host.board(0).reset_count(), 1);
+    assert_eq!(
+        vm.backend().inner().stats.endpoints_quarantined.load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+
+    // First close: the stale descriptor is still in the table → success
+    // (endpoint close is idempotent).  Second close: EINVAL, pinned.
+    assert_eq!(ep.close(&mut tl), Ok(()));
+    assert_eq!(vm.frontend().simple(VphiRequest::Close { epd }, &mut tl), Err(ScifError::Inval));
+
     vm.shutdown();
     dev.join().unwrap();
 }
