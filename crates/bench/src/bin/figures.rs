@@ -5,7 +5,7 @@
 //! figures                # everything
 //! figures --fig 4        # just Figure 4
 //! figures --fig breakdown
-//! figures --fig 6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|share
+//! figures --fig 6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|trace-breakdown|share
 //! ```
 
 use vphi_bench::abl_cache::abl_cache;
@@ -17,7 +17,9 @@ use vphi_bench::fig4::fig4_latency;
 use vphi_bench::fig5::fig5_throughput;
 use vphi_bench::sharing::sharing_scaling;
 use vphi_bench::support::render_table;
+use vphi_bench::trace_breakdown::trace_breakdown;
 use vphi_sim_core::units::{format_bytes, format_throughput};
+use vphi_trace::Stage;
 
 fn fig4() {
     let rows = fig4_latency();
@@ -337,6 +339,117 @@ fn abl_faults_json(report: &vphi_bench::FaultsReport) -> String {
     )
 }
 
+fn trace_breakdown_fig() {
+    let report = trace_breakdown();
+
+    let mut anchor_table: Vec<Vec<String>> = Stage::ALL
+        .iter()
+        .map(|s| {
+            let t = report.anchor_stages[s.index()];
+            let share = 100.0 * t.as_nanos() as f64 / report.anchor_total.as_nanos() as f64;
+            vec![s.name().to_string(), t.to_string(), format!("{share:.1}%")]
+        })
+        .collect();
+    anchor_table.push(vec![
+        "end-to-end".to_string(),
+        report.anchor_total.to_string(),
+        "100.0%".to_string(),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            "TRACE — 1-byte send decomposed by stage (Fig. 4 anchor)",
+            &["stage", "time", "share"],
+            &anchor_table,
+        )
+    );
+
+    let sweep_table: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![format_bytes(r.bytes), r.native.to_string(), r.vphi.to_string()];
+            row.extend(Stage::ALL.iter().map(|s| r.stages[s.index()].to_string()));
+            row.push(format!("{:.2}%", r.reconcile_err_pct()));
+            row
+        })
+        .collect();
+    let mut headers = vec!["size", "native", "vPHI"];
+    headers.extend(Stage::ALL.iter().map(|s| s.name()));
+    headers.push("recon err");
+    println!(
+        "{}",
+        render_table(
+            "TRACE — Fig. 5 sweep decomposed by stage (where the 28% goes)",
+            &headers,
+            &sweep_table,
+        )
+    );
+    println!(
+        "disarmed probe: {:.1} ns; {} probes/send over {:.0} ns wall = {:.4}% (budget <1%)\n",
+        report.disarmed_probe_ns,
+        report.spans_per_send + report.roots_per_send,
+        report.send_wall_ns,
+        report.trace_overhead_pct,
+    );
+    assert!(
+        report.trace_overhead_pct < 1.0,
+        "disarmed tracer overhead {:.4}% breaches the 1% budget",
+        report.trace_overhead_pct
+    );
+
+    // Machine-readable companion for plotting scripts.
+    let json = trace_breakdown_json(&report);
+    let path = "BENCH_trace.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON (the build environment has no serde).
+fn trace_breakdown_json(report: &vphi_bench::TraceBreakdownReport) -> String {
+    let stage_series = |f: &dyn Fn(&vphi_bench::TraceStageRow, Stage) -> u64| -> String {
+        Stage::ALL
+            .iter()
+            .map(|&s| {
+                let vals: Vec<String> = report.rows.iter().map(|r| f(r, s).to_string()).collect();
+                format!("    \"{}\": [{}]", s.name(), vals.join(", "))
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let sizes: Vec<String> = report.rows.iter().map(|r| r.bytes.to_string()).collect();
+    let native: Vec<String> = report.rows.iter().map(|r| r.native.as_nanos().to_string()).collect();
+    let vphi: Vec<String> = report.rows.iter().map(|r| r.vphi.as_nanos().to_string()).collect();
+    let anchor: Vec<String> = Stage::ALL
+        .iter()
+        .map(|s| format!("    \"{}\": {}", s.name(), report.anchor_stages[s.index()].as_nanos()))
+        .collect();
+    format!(
+        "{{\n  \"figure\": \"trace-breakdown\",\n  \"unit\": \"nanoseconds_virtual_time\",\n\
+         \x20 \"anchor_total_ns\": {},\n  \"anchor_stages_ns\": {{\n{}\n  }},\n\
+         \x20 \"sizes_bytes\": [{}],\n  \"native_ns\": [{}],\n  \"vphi_ns\": [{}],\n\
+         \x20 \"stages_ns\": {{\n{}\n  }},\n\
+         \x20 \"max_reconcile_err_pct\": {:.4},\n\
+         \x20 \"spans_per_send\": {},\n  \"roots_per_send\": {},\n\
+         \x20 \"disarmed_probe_ns\": {:.2},\n  \"send_wall_ns\": {:.0},\n\
+         \x20 \"trace_overhead_pct\": {:.4}\n}}\n",
+        report.anchor_total.as_nanos(),
+        anchor.join(",\n"),
+        sizes.join(", "),
+        native.join(", "),
+        vphi.join(", "),
+        stage_series(&|r, s| r.stages[s.index()].as_nanos()),
+        report.rows.iter().map(vphi_bench::TraceStageRow::reconcile_err_pct).fold(0.0f64, f64::max),
+        report.spans_per_send,
+        report.roots_per_send,
+        report.disarmed_probe_ns,
+        report.send_wall_ns,
+        report.trace_overhead_pct,
+    )
+}
+
 fn share_fig() {
     let rows = sharing_scaling(&[1, 2, 4, 8]);
     let table: Vec<Vec<String>> = rows
@@ -384,6 +497,7 @@ fn main() {
         "abl-block" => abl_block_fig(),
         "abl-cache" => abl_cache_fig(),
         "abl-faults" => abl_faults_fig(),
+        "trace-breakdown" => trace_breakdown_fig(),
         "share" => share_fig(),
         "all" => {
             fig4();
@@ -397,11 +511,12 @@ fn main() {
             abl_block_fig();
             abl_cache_fig();
             abl_faults_fig();
+            trace_breakdown_fig();
             share_fig();
         }
         other => {
             eprintln!(
-                "unknown figure '{other}': use 4|breakdown|5|6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|share|all"
+                "unknown figure '{other}': use 4|breakdown|5|6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|trace-breakdown|share|all"
             );
             std::process::exit(2);
         }

@@ -8,6 +8,7 @@ pub mod faults;
 pub mod fig4;
 pub mod fig5;
 pub mod sharing;
+pub mod trace_breakdown;
 
 pub use abl_cache::{abl_cache, abl_cache_sizes, AblCacheReport, AblCacheRow};
 pub use ablations::{abl_block, abl_chunk, abl_wait, BlockRow, ChunkRow, WaitRow};
@@ -17,3 +18,4 @@ pub use faults::{abl_faults, FaultsReport};
 pub use fig4::{fig4_latency, Fig4Row};
 pub use fig5::{fig5_throughput, Fig5Row};
 pub use sharing::{sharing_scaling, ShareRow};
+pub use trace_breakdown::{trace_breakdown, TraceBreakdownReport, TraceStageRow};

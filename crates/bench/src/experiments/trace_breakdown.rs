@@ -1,0 +1,315 @@
+//! **TRACE-BREAKDOWN** — decompose the Fig. 5 virtualized-vs-native gap
+//! by pipeline stage, using the end-to-end request tracer.
+//!
+//! Fig. 5 shows *that* vPHI remote reads reach only 72% of native
+//! throughput; this experiment shows *where* the other 28% goes.  With
+//! tracing armed, every guest `vreadfrom` produces a per-stage
+//! decomposition (guest syscall / virtio ring / backend replay / host
+//! SCIF / DMA / completion) whose sum reconciles with the end-to-end
+//! virtual latency exactly — every `Timeline` charge carries a
+//! [`SpanLabel`](vphi_sim_core::SpanLabel) and [`Stage::of`] is
+//! exhaustive over them.
+//!
+//! The experiment also pins the tracer's own budget: a *disarmed* probe
+//! (the production state) is one `OnceLock` fast-path load plus a branch
+//! on `None`, and the probes a 1-byte send crosses must cost under 1% of
+//! the send's wall time.  The 1-byte virtual latency itself must stay at
+//! the Fig. 4 anchor (382 µs) with tracing armed — spans observe the
+//! timeline, they never charge it.
+
+use std::time::Instant;
+
+use vphi::builder::{VmConfig, VphiHost, VphiVm};
+use vphi_scif::{Port, RmaFlags, ScifAddr};
+use vphi_sim_core::units::MIB;
+use vphi_sim_core::{SimDuration, Timeline};
+use vphi_trace::{HistRow, OpCtx, Stage, TraceConfig, TraceCtx, TraceHook, STAGE_COUNT};
+
+use crate::fig5::fig5_sizes;
+use crate::support::{
+    spawn_device_sink_on, spawn_device_window, wait_for_guest_window, wait_for_native_window,
+};
+
+/// Calls per disarmed-probe microbenchmark loop.
+const PROBE_LOOPS: u64 = 2_000_000;
+/// 1-byte sends timed for the wall-clock overhead estimate.
+const SEND_SAMPLES: u32 = 256;
+
+/// One payload size of the sweep: native total vs the traced vPHI
+/// per-stage decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStageRow {
+    pub bytes: u64,
+    /// End-to-end virtual latency of the native `vreadfrom`.
+    pub native: SimDuration,
+    /// End-to-end virtual latency of the guest `vreadfrom` (trace root).
+    pub vphi: SimDuration,
+    /// Per-stage sums, indexed by [`Stage::index`].
+    pub stages: [SimDuration; STAGE_COUNT],
+}
+
+impl TraceStageRow {
+    /// Sum of the stage decomposition; must reconcile with `vphi`.
+    pub fn stage_sum(&self) -> SimDuration {
+        self.stages.iter().copied().sum()
+    }
+
+    /// |stage_sum − vphi| as a percentage of the end-to-end latency.
+    pub fn reconcile_err_pct(&self) -> f64 {
+        let total = self.vphi.as_nanos() as f64;
+        let sum = self.stage_sum().as_nanos() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            100.0 * (sum - total).abs() / total
+        }
+    }
+
+    /// The virtualization gap this row decomposes, in nanoseconds.
+    pub fn gap_ns(&self) -> u64 {
+        self.vphi.as_nanos().saturating_sub(self.native.as_nanos())
+    }
+}
+
+/// The experiment result (`BENCH_trace.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceBreakdownReport {
+    /// Virtual latency of the traced 1-byte send (the Fig. 4 anchor).
+    pub anchor_total: SimDuration,
+    /// Its per-stage decomposition, indexed by [`Stage::index`].
+    pub anchor_stages: [SimDuration; STAGE_COUNT],
+    /// The Fig. 5 payload sweep, decomposed per stage.
+    pub rows: Vec<TraceStageRow>,
+    /// Per-stage latency histograms accumulated over the sweep.
+    pub hist: Vec<HistRow>,
+    /// Child spans one traced 1-byte send records.
+    pub spans_per_send: u64,
+    /// Trace roots one traced 1-byte send starts (1: nested adoptions
+    /// self-disarm, so the outermost guest op owns the trace).
+    pub roots_per_send: u64,
+    /// Wall ns per *disarmed* probe site (hook load + span branch).
+    pub disarmed_probe_ns: f64,
+    /// Mean wall ns of a 1-byte guest send with tracing disarmed.
+    pub send_wall_ns: f64,
+    /// Disarmed probes' share of the send wall time, in percent.
+    pub trace_overhead_pct: f64,
+}
+
+/// Time one disarmed probe site: the `TraceHook` fast-path load an
+/// `adopt_root` performs, plus a begin/end pair on an untraced context
+/// (each a branch on `None`).  This is what every production call path
+/// pays when nobody armed the tracer.
+fn ns_per_disarmed_probe() -> f64 {
+    let hook = TraceHook::new();
+    let mut tl = Timeline::new();
+    let mut ctx = OpCtx::new(&mut tl, TraceCtx::default());
+    // One warmup pass keeps the first-touch cost out of the measurement.
+    for _ in 0..PROBE_LOOPS / 10 {
+        std::hint::black_box(hook.get());
+        let span = ctx.begin(std::hint::black_box("probe"), Stage::GuestSyscall);
+        ctx.end(span);
+    }
+    let start = Instant::now();
+    for _ in 0..PROBE_LOOPS {
+        std::hint::black_box(hook.get());
+        let span = ctx.begin(std::hint::black_box("probe"), Stage::GuestSyscall);
+        ctx.end(span);
+    }
+    start.elapsed().as_nanos() as f64 / PROBE_LOOPS as f64
+}
+
+/// One connected 1-byte sender with tracing disarmed; returns the mean
+/// wall ns per send (the denominator of the overhead budget).
+fn one_byte_wall_ns(host: &VphiHost, port: Port) -> (f64, VphiVm) {
+    let sink = spawn_device_sink_on(host, 0, port);
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let guest = vm.open_scif(&mut tl).expect("open");
+    guest.connect(ScifAddr::new(host.device_node(0), port), &mut tl).expect("connect");
+
+    let mut first_tl = Timeline::new();
+    guest.send(&[0x5A], &mut first_tl).expect("send");
+    let start = Instant::now();
+    for _ in 0..SEND_SAMPLES {
+        let mut tl = Timeline::new();
+        guest.send(&[0x5A], &mut tl).expect("send");
+    }
+    let wall_ns = start.elapsed().as_nanos() as f64 / f64::from(SEND_SAMPLES);
+
+    let mut tlc = Timeline::new();
+    let _ = guest.close(&mut tlc);
+    let _ = sink.join();
+    (wall_ns, vm)
+}
+
+/// Run the experiment.
+pub fn trace_breakdown() -> TraceBreakdownReport {
+    // --- Disarmed probe microbenchmark (the production fast path). ---
+    let disarmed_probe_ns = ns_per_disarmed_probe();
+
+    // --- Baseline: 1-byte send wall time with tracing disarmed. ---
+    let host_plain = VphiHost::new(1);
+    let (send_wall_ns, vm_plain) = one_byte_wall_ns(&host_plain, Port(870));
+    vm_plain.shutdown();
+
+    // --- Armed anchor run: same send, tracer on, count the probes. ---
+    let host = VphiHost::new(1);
+    let tracer = host.arm_tracing(TraceConfig::default());
+    let sink = spawn_device_sink_on(&host, 0, Port(871));
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let guest = vm.open_scif(&mut tl).expect("open");
+    guest.connect(ScifAddr::new(host.device_node(0), Port(871)), &mut tl).expect("connect");
+    let mut anchor_tl = Timeline::new();
+    guest.send(&[0x5A], &mut anchor_tl).expect("send");
+
+    let before = tracer.counters();
+    for _ in 0..SEND_SAMPLES {
+        let mut tl = Timeline::new();
+        guest.send(&[0x5A], &mut tl).expect("send");
+    }
+    let after = tracer.counters();
+    let spans_per_send = (after.spans_recorded - before.spans_recorded) / u64::from(SEND_SAMPLES);
+    let roots_per_send = (after.traces_started - before.traces_started) / u64::from(SEND_SAMPLES);
+
+    let vm_id = vm.vm().id();
+    let anchor = tracer
+        .summaries(vm_id)
+        .into_iter()
+        .rev()
+        .find(|s| s.op == "send")
+        .expect("traced send summary");
+    let anchor_total = anchor.total;
+    let anchor_stages = anchor.stages;
+
+    let mut tlc = Timeline::new();
+    let _ = guest.close(&mut tlc);
+    vm.shutdown();
+    let _ = sink.join();
+
+    // Every recorded span is one begin/end probe site crossed; every root
+    // is one hook load.  Cost them all at the (conservative) disarmed
+    // probe price to get the production overhead of leaving the probes
+    // compiled in.
+    let probes_per_send = spans_per_send + roots_per_send;
+    let trace_overhead_pct = 100.0 * (probes_per_send as f64 * disarmed_probe_ns) / send_wall_ns;
+
+    // --- The Fig. 5 sweep, traced: decompose the gap per stage. ---
+    let host2 = VphiHost::new(1);
+    let tracer2 = host2.arm_tracing(TraceConfig::default());
+    let max = *fig5_sizes().last().expect("nonempty sizes");
+
+    let server = spawn_device_window(&host2, Port(872), max);
+    let native = host2.native_endpoint().expect("native endpoint");
+    let mut tl = Timeline::new();
+    native.connect(ScifAddr::new(host2.device_node(0), Port(872)), &mut tl).expect("connect");
+    wait_for_native_window(&native);
+
+    let server2 = spawn_device_window(&host2, Port(873), max);
+    let vm2 = host2.spawn_vm(VmConfig { mem_size: max + 64 * MIB, ..VmConfig::default() });
+    let guest2 = vm2.open_scif(&mut tl).expect("guest open");
+    guest2.connect(ScifAddr::new(host2.device_node(0), Port(873)), &mut tl).expect("guest connect");
+    wait_for_guest_window(&guest2, &vm2);
+    let vm2_id = vm2.vm().id();
+
+    let mut rows = Vec::new();
+    let mut native_buf = vec![0u8; max as usize];
+    for bytes in fig5_sizes() {
+        let mut host_tl = Timeline::new();
+        native
+            .vreadfrom(&mut native_buf[..bytes as usize], 0, RmaFlags::SYNC, &mut host_tl)
+            .expect("native vread");
+
+        let gbuf = vm2.alloc_buf(bytes).expect("guest buf");
+        let mut vphi_tl = Timeline::new();
+        guest2.vreadfrom(&gbuf, 0, RmaFlags::SYNC, &mut vphi_tl).expect("vphi vread");
+        drop(gbuf);
+
+        let summary = tracer2.last_summary(vm2_id).expect("traced vread summary");
+        assert_eq!(summary.op, "vreadfrom", "unexpected last trace: {}", summary.op);
+        assert_eq!(summary.total, vphi_tl.total(), "trace root != end-to-end timeline");
+        rows.push(TraceStageRow {
+            bytes,
+            native: host_tl.total(),
+            vphi: summary.total,
+            stages: summary.stages,
+        });
+    }
+    let hist = tracer2.hist_rows();
+
+    native.close();
+    let mut tl_close = Timeline::new();
+    let _ = guest2.close(&mut tl_close);
+    vm2.shutdown();
+    let _ = server.join();
+    let _ = server2.join();
+
+    TraceBreakdownReport {
+        anchor_total,
+        anchor_stages,
+        rows,
+        hist,
+        spans_per_send,
+        roots_per_send,
+        disarmed_probe_ns,
+        send_wall_ns,
+        trace_overhead_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_sums_reconcile_and_disarmed_probes_are_free() {
+        let report = trace_breakdown();
+
+        // Tracing observes, it never charges: the 1-byte anchor survives
+        // an armed tracer exactly, and its stages account for all of it.
+        assert_eq!(report.anchor_total, SimDuration::from_micros(382), "{report:?}");
+        assert_eq!(
+            report.anchor_stages.iter().copied().sum::<SimDuration>(),
+            report.anchor_total,
+            "{report:?}"
+        );
+        // The dominant anchor stage is completion (the paper attributes
+        // 93% of the 1-byte overhead to the waiting scheme).
+        let completion = report.anchor_stages[Stage::Completion.index()];
+        assert!(
+            completion.as_nanos() * 2 > report.anchor_total.as_nanos(),
+            "completion {completion} of {}",
+            report.anchor_total
+        );
+
+        // The sweep covers the Fig. 5 sizes and reconciles within the 1%
+        // budget (exactly, by construction) at every point.
+        assert_eq!(report.rows.len(), fig5_sizes().len());
+        for row in &report.rows {
+            assert!(row.reconcile_err_pct() < 1.0, "{row:?}");
+            assert_eq!(row.stage_sum(), row.vphi, "{row:?}");
+            assert!(row.vphi > row.native, "{row:?}");
+            // Large transfers are DMA-dominated on both sides; the gap
+            // itself lives in the virtualization stages.
+            let dma = row.stages[Stage::Dma.index()];
+            assert!(!dma.is_zero(), "{row:?}");
+        }
+
+        // Histograms exist for the swept op and carry stage rows.
+        assert!(report.hist.iter().any(|h| h.op == "vreadfrom" && h.stage.is_none()));
+        assert!(report.hist.iter().any(|h| h.op == "vreadfrom" && h.stage.is_some()));
+
+        // A send crosses a bounded set of probe sites, each a single
+        // fast-path load when disarmed — far under the 1% budget.
+        assert_eq!(report.roots_per_send, 1, "{report:?}");
+        assert!(report.spans_per_send >= 4, "{report:?}");
+        assert!(report.spans_per_send < 64, "{report:?}");
+        assert!(report.disarmed_probe_ns < 200.0, "{report:?}");
+        // The <1% budget is a property of the optimized build (the CI
+        // trace-breakdown figure asserts it); an unoptimized probe costs
+        // ~25x more and sits right at the line, so don't pin it in debug.
+        if !cfg!(debug_assertions) {
+            assert!(report.trace_overhead_pct < 1.0, "{report:?}");
+        }
+    }
+}

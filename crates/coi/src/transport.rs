@@ -145,8 +145,8 @@ impl CoiEnv for NativeEnv {
 
     fn listen(&self, port: Port, tl: &mut Timeline) -> ScifResult<Box<dyn CoiListener>> {
         let ep = ScifEndpoint::open(&self.fabric, vphi_scif::HOST_NODE)?;
-        ep.bind(port, tl)?;
-        ep.listen(16, tl)?;
+        ep.bind(port, &mut *tl)?;
+        ep.listen(16, &mut *tl)?;
         Ok(Box::new(ep))
     }
 
@@ -185,15 +185,15 @@ impl CoiEnv for GuestEnv {
         port: Port,
         tl: &mut Timeline,
     ) -> ScifResult<Box<dyn CoiTransport>> {
-        let ep = GuestScif::open(&self.driver, tl)?;
-        ep.connect(ScifAddr::new(node, port), tl)?;
+        let ep = GuestScif::open(&self.driver, &mut *tl)?;
+        ep.connect(ScifAddr::new(node, port), &mut *tl)?;
         Ok(Box::new(ep))
     }
 
     fn listen(&self, port: Port, tl: &mut Timeline) -> ScifResult<Box<dyn CoiListener>> {
-        let ep = GuestScif::open(&self.driver, tl)?;
-        ep.bind(port, tl)?;
-        ep.listen(16, tl)?;
+        let ep = GuestScif::open(&self.driver, &mut *tl)?;
+        ep.bind(port, &mut *tl)?;
+        ep.listen(16, &mut *tl)?;
         Ok(Box::new(ep))
     }
 

@@ -29,6 +29,7 @@ use vphi_scif::{
 };
 use vphi_sim_core::{SpanLabel, Timeline};
 use vphi_sync::{LockClass, TrackedMutex};
+use vphi_trace::{OpCtx, Stage, TraceCtx, Tracer};
 use vphi_virtio::{DescChain, Descriptor, UsedElem, VirtQueue};
 use vphi_vmm::vm::VirtualPciDevice;
 use vphi_vmm::{Gpa, GuestMemory, IrqChip, KvmModule, QemuEventLoop, VmaFlags};
@@ -249,17 +250,21 @@ impl BackendInner {
     /// burst's last completion will interrupt the guest once for all of
     /// them (notification coalescing).
     fn process(self: &Arc<Self>, chain: DescChain, more_pending: bool) {
-        let (token, mut tl) = self.channel.claim(chain.head);
+        let (token, mut tl, trace) = self.channel.claim(chain.head);
         if self.faults.fire(FaultSite::VmmGuestDeath).is_some() {
             // The guest died mid-request: its QEMU process tears down, so
             // no response is ever written.  Waiters observe the shutdown
-            // flag; the GC releases everything the guest held.
+            // flag; the GC releases everything the guest held.  (No
+            // backend span was opened yet, so the trace fork dies clean:
+            // the frontend's root still finishes on the ENODEV path.)
             self.guest_died();
             return;
         }
         let cost = self.cost();
-        tl.charge(SpanLabel::BackendDecode, cost.backend_decode);
-        tl.charge(SpanLabel::GuestBufMap, cost.guest_buf_map);
+        let mut ctx = OpCtx::new(&mut tl, trace);
+        let replay = ctx.begin("backend-replay", Stage::BackendReplay);
+        ctx.tl.charge(SpanLabel::BackendDecode, cost.backend_decode);
+        ctx.tl.charge(SpanLabel::GuestBufMap, cost.guest_buf_map);
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
 
         // Decode the request header from the first readable descriptor
@@ -273,8 +278,21 @@ impl BackendInner {
 
         let coalesce_irq = more_pending && self.coalesce;
 
+        // The replay span brackets decode + execute; its trace context
+        // (parent = the replay span) is what the host SCIF calls inherit.
+        let trace = ctx.trace.clone();
+        drop(ctx);
+
         let Some(req) = req else {
-            self.finish(token, &chain, VphiResponse::err(ScifError::Inval), tl, coalesce_irq);
+            OpCtx::new(&mut tl, trace.clone()).end(replay);
+            self.finish(
+                token,
+                &chain,
+                VphiResponse::err(ScifError::Inval),
+                tl,
+                trace,
+                coalesce_irq,
+            );
             return;
         };
 
@@ -282,9 +300,10 @@ impl BackendInner {
             Dispatch::Blocking => {
                 let el = Arc::clone(&self.event_loop);
                 let resp = el.run(vphi_vmm::event_loop::Dispatch::Blocking, &mut tl, |tl| {
-                    self.execute(&req, &chain, tl)
+                    self.execute(&req, &chain, &mut OpCtx::new(tl, trace.clone()))
                 });
-                self.finish(token, &chain, resp, tl, coalesce_irq);
+                OpCtx::new(&mut tl, trace.clone()).end(replay);
+                self.finish(token, &chain, resp, tl, trace, coalesce_irq);
             }
             Dispatch::Worker => {
                 // `scif_accept` may wait forever for a connect; freezing
@@ -297,9 +316,10 @@ impl BackendInner {
                     let mut tl = tl;
                     let el = Arc::clone(&inner.event_loop);
                     let resp = el.run(vphi_vmm::event_loop::Dispatch::Worker, &mut tl, |tl| {
-                        inner.execute(&req, &chain, tl)
+                        inner.execute(&req, &chain, &mut OpCtx::new(tl, trace.clone()))
                     });
-                    inner.finish(token, &chain, resp, tl, false);
+                    OpCtx::new(&mut tl, trace.clone()).end(replay);
+                    inner.finish(token, &chain, resp, tl, trace, false);
                 });
             }
         }
@@ -314,14 +334,19 @@ impl BackendInner {
         chain: &DescChain,
         resp: VphiResponse,
         mut tl: Timeline,
+        trace: TraceCtx,
         coalesce_irq: bool,
     ) {
         let resp_desc = chain.descriptors.last().expect("chain has a response descriptor");
         let _ = self.guest_mem.write(Gpa(resp_desc.addr), &resp.encode());
+        // Completion delivery is a sibling of the replay subtree, not a
+        // child of it.
+        let mut ctx = OpCtx::new(&mut tl, trace.at_root());
+        let span = ctx.begin("complete", Stage::Completion);
         self.channel.queue.push_used(
             UsedElem { id: chain.head, len: resp_desc.len },
             self.cost().used_push,
-            &mut tl,
+            ctx.tl,
         );
         if coalesce_irq {
             self.stats.irqs_coalesced.fetch_add(1, Ordering::Relaxed);
@@ -330,11 +355,15 @@ impl BackendInner {
             // ring but nobody is woken.  The requester's deadline expires,
             // it re-checks the ring and takes the reply then.
             self.stats.msi_lost.fetch_add(1, Ordering::Relaxed);
+            ctx.end(span);
+            drop(ctx);
             self.channel.complete_quiet(token, tl);
             return;
         } else {
-            self.guest_irq.inject(VPHI_IRQ_VECTOR, &mut tl);
+            self.guest_irq.inject(VPHI_IRQ_VECTOR, ctx.tl);
         }
+        ctx.end(span);
+        drop(ctx);
         self.channel.complete(token, tl);
     }
 
@@ -363,27 +392,28 @@ impl BackendInner {
     }
 
     /// Execute one decoded request against the host SCIF driver.
-    fn execute(&self, req: &VphiRequest, chain: &DescChain, tl: &mut Timeline) -> VphiResponse {
+    fn execute(&self, req: &VphiRequest, chain: &DescChain, ctx: &mut OpCtx<'_>) -> VphiResponse {
         let r: ScifResult<(u64, u64)> = (|| match *req {
             VphiRequest::Open => {
-                tl.charge(SpanLabel::HostSyscall, self.cost().host_syscall);
+                ctx.tl.charge(SpanLabel::HostSyscall, self.cost().host_syscall);
                 let ep = ScifEndpoint::open(&self.fabric, HOST_NODE)?;
                 Ok((self.insert_ep(ep), 0))
             }
             VphiRequest::Bind { epd, port } => {
-                let p = self.ep(epd)?.bind(Port(port), tl)?;
+                let p = self.ep(epd)?.bind(Port(port), &mut *ctx)?;
                 Ok((p.0 as u64, 0))
             }
             VphiRequest::Listen { epd, backlog } => {
-                self.ep(epd)?.listen(backlog as usize, tl)?;
+                self.ep(epd)?.listen(backlog as usize, &mut *ctx)?;
                 Ok((0, 0))
             }
             VphiRequest::Connect { epd, node, port } => {
-                let peer = self.ep(epd)?.connect(ScifAddr::new(NodeId(node), Port(port)), tl)?;
+                let peer =
+                    self.ep(epd)?.connect(ScifAddr::new(NodeId(node), Port(port)), &mut *ctx)?;
                 Ok((peer.node.0 as u64, peer.port.0 as u64))
             }
             VphiRequest::Accept { epd } => {
-                let conn = self.ep(epd)?.accept(tl)?;
+                let conn = self.ep(epd)?.accept(&mut *ctx)?;
                 let peer = conn.peer_addr().ok_or(ScifError::NotConn)?;
                 let new_epd = self.insert_ep(conn);
                 Ok((new_epd, ((peer.node.0 as u64) << 32) | peer.port.0 as u64))
@@ -400,7 +430,7 @@ impl BackendInner {
                         .guest_mem
                         .with_slice(Gpa(d.addr), take as u64, |s| s.to_vec())
                         .map_err(|_| ScifError::Inval)?;
-                    sent += ep.send(&data, tl)? as u64;
+                    sent += ep.send(&data, &mut *ctx)? as u64;
                 }
                 Ok((sent, 0))
             }
@@ -413,7 +443,7 @@ impl BackendInner {
                         break;
                     }
                     let mut buf = vec![0u8; want];
-                    let n = ep.recv(&mut buf, tl)?;
+                    let n = ep.recv(&mut buf, &mut *ctx)?;
                     self.guest_mem.write(Gpa(d.addr), &buf[..n]).map_err(|_| ScifError::Inval)?;
                     got += n as u64;
                     if n < want {
@@ -432,7 +462,7 @@ impl BackendInner {
                     len,
                     prot,
                     WindowBacking::External(Arc::new(backing)),
-                    tl,
+                    &mut *ctx,
                 )?;
                 // Remember which guest range backs the window so that
                 // unregistering it can drop stale cached translations.
@@ -441,7 +471,7 @@ impl BackendInner {
                 // dead-guest GC must not leave a pinned window behind.
                 if self.channel.is_shutdown() {
                     if self.windows.lock().remove(&(epd, off)).is_some() {
-                        let _ = ep.unregister(off, len, tl);
+                        let _ = ep.unregister(off, len, &mut *ctx);
                         self.reg_cache.invalidate_range(epd, d.addr, len);
                         self.stats.windows_gced.fetch_add(1, Ordering::Relaxed);
                     }
@@ -450,7 +480,7 @@ impl BackendInner {
                 Ok((off, 0))
             }
             VphiRequest::Unregister { epd, offset, len } => {
-                self.ep(epd)?.unregister(offset, len, tl)?;
+                self.ep(epd)?.unregister(offset, len, &mut *ctx)?;
                 // The window's pages are no longer pinned: drop every
                 // cached translation backed by an overlapping window.
                 let mut windows = self.windows.lock();
@@ -470,35 +500,47 @@ impl BackendInner {
             VphiRequest::VreadFrom { epd, roffset, len, flags } => {
                 let ep = self.ep(epd)?;
                 let d = self.payload(chain).first().copied().ok_or(ScifError::Inval)?;
-                self.charge_translate(epd, d.addr, len, tl);
+                self.charge_translate(epd, d.addr, len, ctx.tl);
                 let mut buf = vec![0u8; len as usize];
-                ep.vreadfrom(&mut buf, roffset, rma_flags_from_wire(flags), tl)?;
+                ep.vreadfrom(&mut buf, roffset, rma_flags_from_wire(flags), &mut *ctx)?;
                 self.guest_mem.write(Gpa(d.addr), &buf).map_err(|_| ScifError::Inval)?;
                 Ok((len, 0))
             }
             VphiRequest::VwriteTo { epd, roffset, len, flags } => {
                 let ep = self.ep(epd)?;
                 let d = self.payload(chain).first().copied().ok_or(ScifError::Inval)?;
-                self.charge_translate(epd, d.addr, len, tl);
+                self.charge_translate(epd, d.addr, len, ctx.tl);
                 let buf = self
                     .guest_mem
                     .with_slice(Gpa(d.addr), len, |s| s.to_vec())
                     .map_err(|_| ScifError::Inval)?;
-                ep.vwriteto(&buf, roffset, rma_flags_from_wire(flags), tl)?;
+                ep.vwriteto(&buf, roffset, rma_flags_from_wire(flags), &mut *ctx)?;
                 Ok((len, 0))
             }
             VphiRequest::ReadFrom { epd, loffset, len, roffset, flags } => {
-                self.ep(epd)?.readfrom(loffset, len, roffset, rma_flags_from_wire(flags), tl)?;
+                self.ep(epd)?.readfrom(
+                    loffset,
+                    len,
+                    roffset,
+                    rma_flags_from_wire(flags),
+                    &mut *ctx,
+                )?;
                 Ok((len, 0))
             }
             VphiRequest::WriteTo { epd, loffset, len, roffset, flags } => {
-                self.ep(epd)?.writeto(loffset, len, roffset, rma_flags_from_wire(flags), tl)?;
+                self.ep(epd)?.writeto(
+                    loffset,
+                    len,
+                    roffset,
+                    rma_flags_from_wire(flags),
+                    &mut *ctx,
+                )?;
                 Ok((len, 0))
             }
             VphiRequest::Mmap { epd, offset, len, prot } => {
                 let ep = self.ep(epd)?;
                 let prot_flags = wire_prot(prot);
-                let region = ep.mmap(offset, len, prot_flags, tl)?;
+                let region = ep.mmap(offset, len, prot_flags, &mut *ctx)?;
                 let base_pfn = region.device_pfn(0);
                 let backing = Arc::new(MappedRegionBacking::new(region.clone()));
                 let vaddr = self
@@ -531,15 +573,15 @@ impl BackendInner {
                 Ok((0, 0))
             }
             VphiRequest::FenceMark { epd } => {
-                let m = self.ep(epd)?.fence_mark(tl)?;
+                let m = self.ep(epd)?.fence_mark(&mut *ctx)?;
                 Ok((m, 0))
             }
             VphiRequest::FenceWait { epd, marker } => {
-                self.ep(epd)?.fence_wait(marker, tl)?;
+                self.ep(epd)?.fence_wait(marker, &mut *ctx)?;
                 Ok((0, 0))
             }
             VphiRequest::FenceSignal { epd, loff, lval, roff, rval } => {
-                self.ep(epd)?.fence_signal(loff, lval, roff, rval, tl)?;
+                self.ep(epd)?.fence_signal(loff, lval, roff, rval, &mut *ctx)?;
                 Ok((0, 0))
             }
             VphiRequest::Close { epd } => {
@@ -577,18 +619,21 @@ impl BackendInner {
                 Ok((ids.len() as u64, ids.iter().map(|n| n.0 as u64).max().unwrap_or(0)))
             }
             VphiRequest::SendTimed { epd, len } => {
-                let n = self.ep(epd)?.send_timed(len, tl)?;
+                let n = self.ep(epd)?.send_timed(len, &mut *ctx)?;
                 Ok((n, 0))
             }
             VphiRequest::RecvTimed { epd, len } => {
-                let n = self.ep(epd)?.recv_timed(len, tl)?;
+                let n = self.ep(epd)?.recv_timed(len, &mut *ctx)?;
                 Ok((n, 0))
             }
             VphiRequest::Poll { epd, events, timeout_ms } => {
                 let ep = self.ep(epd)?;
                 let interest = crate::protocol::poll_events_from_wire(events);
-                let revents =
-                    ep.poll(interest, std::time::Duration::from_millis(timeout_ms as u64), tl)?;
+                let revents = ep.poll(
+                    interest,
+                    std::time::Duration::from_millis(timeout_ms as u64),
+                    &mut *ctx,
+                )?;
                 Ok((crate::protocol::poll_events_to_wire(revents) as u64, 0))
             }
         })();
@@ -723,6 +768,14 @@ impl BackendDevice {
     pub fn arm_faults(&self, injector: &Arc<vphi_faults::FaultInjector>) {
         self.inner.faults.arm(Arc::clone(injector));
         self.inner.channel.queue.fault_hook().arm(Arc::clone(injector));
+    }
+
+    /// Arm end-to-end request tracing on this device's channel.  Every
+    /// subsequent `transact` on the channel adopts a trace root and the
+    /// backend's replay/completion spans land in `tracer`'s per-VM ring.
+    /// One-shot, like [`BackendDevice::arm_faults`].
+    pub fn arm_tracing(&self, tracer: Arc<Tracer>, vm: u32) {
+        self.inner.channel.trace.arm(tracer, vm);
     }
 }
 

@@ -15,6 +15,7 @@ use vphi_scif::{NodeId, ScifEndpoint, ScifFabric, ScifResult, HOST_NODE};
 use vphi_sim_core::units::MIB;
 use vphi_sim_core::{CostModel, SimDuration, Timeline, VirtualClock};
 use vphi_sync::{LockClass, TrackedMutex};
+use vphi_trace::{OpCtx, TraceConfig, TraceSlot, Tracer};
 use vphi_vmm::kvm::KvmPatch;
 use vphi_vmm::Vm;
 
@@ -87,12 +88,16 @@ pub struct VphiHost {
     clock: Arc<VirtualClock>,
     fabric: Arc<ScifFabric>,
     boards: Vec<Arc<PhiBoard>>,
-    /// Every backend device spawned on this host — walked by card-reset
-    /// recovery to quarantine the affected endpoints.
-    attached: TrackedMutex<Vec<Arc<BackendDevice>>>,
+    /// Every backend device spawned on this host, keyed by VM id — walked
+    /// by card-reset recovery to quarantine the affected endpoints and by
+    /// trace arming to tag spans with their VM.
+    attached: TrackedMutex<Vec<(u32, Arc<BackendDevice>)>>,
     /// Host-wide fault-injection arming point; propagated to boards,
     /// links, doorbells and every (existing and future) backend.
     faults: FaultHook,
+    /// Host-wide tracer slot; propagated to every (existing and future)
+    /// backend channel by [`VphiHost::arm_tracing`].
+    trace: TraceSlot,
 }
 
 impl std::fmt::Debug for VphiHost {
@@ -131,6 +136,7 @@ impl VphiHost {
             boards,
             attached: TrackedMutex::new(LockClass::HostAttached, Vec::new()),
             faults: FaultHook::new(),
+            trace: TraceSlot::new(),
         }
     }
 
@@ -151,7 +157,7 @@ impl VphiHost {
             board.db_to_device.fault_hook().arm(Arc::clone(&injector));
             board.db_to_host.fault_hook().arm(Arc::clone(&injector));
         }
-        for backend in self.attached.lock().iter() {
+        for (_, backend) in self.attached.lock().iter() {
             backend.arm_faults(&injector);
         }
         injector
@@ -160,6 +166,24 @@ impl VphiHost {
     /// The armed injector, if [`arm_faults`](VphiHost::arm_faults) ran.
     pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
         self.faults.injector()
+    }
+
+    /// Arm end-to-end request tracing on every attached backend channel.
+    /// VMs spawned later inherit the tracer.  First arm wins; returns the
+    /// tracer either way so callers can read rings and histograms.
+    pub fn arm_tracing(&self, config: TraceConfig) -> Arc<Tracer> {
+        let tracer = Arc::new(Tracer::with_clock(config, Arc::clone(&self.clock)));
+        self.trace.arm(Arc::clone(&tracer));
+        let tracer = Arc::clone(self.trace.get().expect("arm_tracing: slot armed just above"));
+        for (vm, backend) in self.attached.lock().iter() {
+            backend.arm_tracing(Arc::clone(&tracer), *vm);
+        }
+        tracer
+    }
+
+    /// The armed tracer, if [`arm_tracing`](VphiHost::arm_tracing) ran.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.trace.get()
     }
 
     /// Recover a failed card: reset and reboot the board, advance the
@@ -171,7 +195,7 @@ impl VphiHost {
         let dur = board.reset();
         self.clock.advance(dur);
         let node = self.device_node(i);
-        for backend in self.attached.lock().iter() {
+        for (_, backend) in self.attached.lock().iter() {
             backend.inner().quarantine_node(node);
         }
         // Wake blocked fabric waiters so they observe the recovered state.
@@ -241,9 +265,12 @@ impl VphiHost {
             },
         );
         vm.attach(Arc::clone(&backend) as Arc<dyn vphi_vmm::vm::VirtualPciDevice>);
-        self.attached.lock().push(Arc::clone(&backend));
+        self.attached.lock().push((vm.id(), Arc::clone(&backend)));
         if let Some(injector) = self.faults.injector() {
             backend.arm_faults(injector);
+        }
+        if let Some(tracer) = self.trace.get() {
+            backend.arm_tracing(Arc::clone(tracer), vm.id());
         }
         VphiVm { vm, frontend, backend }
     }
@@ -276,8 +303,8 @@ impl VphiVm {
     }
 
     /// `scif_open` from guest user space.
-    pub fn open_scif(&self, tl: &mut Timeline) -> ScifResult<GuestScif> {
-        GuestScif::open(&self.frontend, tl)
+    pub fn open_scif<'a>(&self, ctx: impl Into<OpCtx<'a>>) -> ScifResult<GuestScif> {
+        GuestScif::open(&self.frontend, ctx)
     }
 
     /// Allocate a guest user buffer (for RMA registration).

@@ -9,6 +9,7 @@
 use std::sync::atomic::Ordering;
 
 use vphi_sim_core::SimDuration;
+use vphi_trace::TraceCounters;
 
 use crate::builder::VphiVm;
 
@@ -51,6 +52,8 @@ pub struct VphiDebugReport {
     pub windows_gced: u64,
     pub endpoints_quarantined: u64,
     pub faults_fired: u64,
+    // request tracing (zero when the channel's tracer is disarmed)
+    pub trace: TraceCounters,
     // lock-order audit (process-wide, not per-VM; see vphi-sync)
     pub sync_acquisitions: u64,
     pub sync_max_hold_depth: u64,
@@ -66,6 +69,8 @@ impl VphiDebugReport {
         let el = vm.vm().event_loop();
         let cache = be.reg_cache.snapshot();
         let sync = vphi_sync::audit::stats();
+        let trace =
+            vm.frontend().channel().trace.tracer().map(|t| t.counters()).unwrap_or_default();
         VphiDebugReport {
             vm_id: vm.vm().id(),
             requests: fe.requests,
@@ -97,6 +102,7 @@ impl VphiDebugReport {
             windows_gced: be.stats.windows_gced.load(Ordering::Relaxed),
             endpoints_quarantined: be.stats.endpoints_quarantined.load(Ordering::Relaxed),
             faults_fired: be.fault_hook().injector().map(|inj| inj.fired_total()).unwrap_or(0),
+            trace,
             sync_acquisitions: sync.acquisitions,
             sync_max_hold_depth: sync.max_hold_depth,
             sync_order_edges: sync.order_edges,
@@ -104,69 +110,102 @@ impl VphiDebugReport {
         }
     }
 
-    /// Render as the debugfs file would print.
+    /// Render as the debugfs file would print: counters grouped by layer,
+    /// every value in a single left-aligned column.  The format is pinned
+    /// by a snapshot test — tools parse it, so keep it byte-stable.
     pub fn render(&self) -> String {
-        format!(
-            "vphi{id}:\n\
-             \x20 requests            {req}\n\
-             \x20 waits (irq/poll)    {iw}/{pw}\n\
-             \x20 staging chunks      {chunks}\n\
-             \x20 waitq wake/sleep    {wk}/{sl}\n\
-             \x20 kicks (sent/nonotf) {kd}/{ks}\n\
-             \x20 irqs coalesced      {ic}\n\
-             \x20 backend requests    {breq}\n\
-             \x20 worker dispatches   {wd}\n\
-             \x20 pages translated    {pt}\n\
-             \x20 open endpoints      {oe}\n\
-             \x20 regcache hit/miss   {rch}/{rcm}\n\
-             \x20 regcache evict/inv  {rce}/{rci}\n\
-             \x20 vm paused           {paused}\n\
-             \x20 events (block/work) {bev}/{wev}\n\
-             \x20 irq injections      {irq}\n\
-             \x20 mmap faults         {flt}\n\
-             \x20 deadline retries    {dr}\n\
-             \x20 msi lost            {ml}\n\
-             \x20 guest deaths        {gd}\n\
-             \x20 gc eps/windows      {ge}/{gw}\n\
-             \x20 eps quarantined     {eq}\n\
-             \x20 faults fired        {ff}\n\
-             \x20 lock acq/depth      {sacq}/{sdep}\n\
-             \x20 lock edges/checks   {sedg}/{schk}\n",
-            id = self.vm_id,
-            req = self.requests,
-            iw = self.interrupt_waits,
-            pw = self.polling_waits,
-            chunks = self.chunks_staged,
-            wk = self.wait_queue_wakeups,
-            sl = self.wait_queue_sleeps,
-            kd = self.kicks_delivered,
-            ks = self.kicks_suppressed,
-            ic = self.irqs_coalesced,
-            breq = self.backend_requests,
-            wd = self.worker_dispatches,
-            pt = self.pages_translated,
-            oe = self.open_endpoints,
-            rch = self.reg_cache_hits,
-            rcm = self.reg_cache_misses,
-            rce = self.reg_cache_evictions,
-            rci = self.reg_cache_invalidations,
-            paused = self.vm_paused,
-            bev = self.blocking_events,
-            wev = self.worker_events,
-            irq = self.irq_injections,
-            flt = self.mmap_faults,
-            dr = self.deadline_retries,
-            ml = self.msi_lost,
-            gd = self.guest_deaths,
-            ge = self.endpoints_gced,
-            gw = self.windows_gced,
-            eq = self.endpoints_quarantined,
-            ff = self.faults_fired,
-            sacq = self.sync_acquisitions,
-            sdep = self.sync_max_hold_depth,
-            sedg = self.sync_order_edges,
-            schk = self.sync_cycle_checks,
-        )
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!("vphi{}:\n", self.vm_id));
+        let mut group = |title: &str, rows: &[(&str, String)]| {
+            out.push_str(&format!("  {title}:\n"));
+            for (label, value) in rows {
+                out.push_str(&format!("    {label:<24}{value}\n"));
+            }
+        };
+        group(
+            "frontend",
+            &[
+                ("requests", self.requests.to_string()),
+                ("waits irq/poll", format!("{}/{}", self.interrupt_waits, self.polling_waits)),
+                ("staging chunks", self.chunks_staged.to_string()),
+                (
+                    "waitq wake/sleep",
+                    format!("{}/{}", self.wait_queue_wakeups, self.wait_queue_sleeps),
+                ),
+                ("deadline retries", self.deadline_retries.to_string()),
+            ],
+        );
+        group(
+            "virtio",
+            &[
+                (
+                    "kicks sent/suppressed",
+                    format!("{}/{}", self.kicks_delivered, self.kicks_suppressed),
+                ),
+                ("irqs coalesced", self.irqs_coalesced.to_string()),
+                ("irq injections", self.irq_injections.to_string()),
+            ],
+        );
+        group(
+            "backend",
+            &[
+                ("requests", self.backend_requests.to_string()),
+                ("worker dispatches", self.worker_dispatches.to_string()),
+                ("pages translated", self.pages_translated.to_string()),
+                ("open endpoints", self.open_endpoints.to_string()),
+                ("regcache hit/miss", format!("{}/{}", self.reg_cache_hits, self.reg_cache_misses)),
+                (
+                    "regcache evict/inval",
+                    format!("{}/{}", self.reg_cache_evictions, self.reg_cache_invalidations),
+                ),
+            ],
+        );
+        group(
+            "vmm",
+            &[
+                ("vm paused", self.vm_paused.to_string()),
+                ("events block/worker", format!("{}/{}", self.blocking_events, self.worker_events)),
+                ("mmap faults", self.mmap_faults.to_string()),
+            ],
+        );
+        group(
+            "faults",
+            &[
+                ("fired", self.faults_fired.to_string()),
+                ("msi lost", self.msi_lost.to_string()),
+                ("guest deaths", self.guest_deaths.to_string()),
+                ("gc eps/windows", format!("{}/{}", self.endpoints_gced, self.windows_gced)),
+                ("eps quarantined", self.endpoints_quarantined.to_string()),
+            ],
+        );
+        group(
+            "trace",
+            &[
+                (
+                    "traces start/finish",
+                    format!("{}/{}", self.trace.traces_started, self.trace.traces_finished),
+                ),
+                (
+                    "spans recorded/dropped",
+                    format!("{}/{}", self.trace.spans_recorded, self.trace.spans_dropped),
+                ),
+                ("spans open", self.trace.open_spans.to_string()),
+            ],
+        );
+        group(
+            "sync",
+            &[
+                (
+                    "lock acq/depth",
+                    format!("{}/{}", self.sync_acquisitions, self.sync_max_hold_depth),
+                ),
+                (
+                    "lock edges/checks",
+                    format!("{}/{}", self.sync_order_edges, self.sync_cycle_checks),
+                ),
+            ],
+        );
+        out
     }
 }
 
@@ -199,6 +238,8 @@ mod tests {
         assert_eq!(after_open.irqs_coalesced, 0);
         // No RMA yet → the registration cache was never probed.
         assert_eq!(after_open.reg_cache_hits + after_open.reg_cache_misses, 0);
+        // Tracing was never armed on this host.
+        assert_eq!(after_open.trace, vphi_trace::TraceCounters::default());
 
         ep.close(&mut tl).unwrap();
         let after_close = VphiDebugReport::collect(&vm);
@@ -220,9 +261,112 @@ mod tests {
         }
 
         let text = after_close.render();
-        assert!(text.contains("requests            2"));
+        assert!(text.contains("requests                2"));
         assert!(text.contains("vm paused"));
         assert!(text.contains("lock acq/depth"));
         vm.shutdown();
+    }
+
+    #[test]
+    fn armed_tracer_counters_reach_the_report() {
+        let host = VphiHost::new(1);
+        host.arm_tracing(vphi_trace::TraceConfig::default());
+        let vm = host.spawn_vm(VmConfig::default());
+        let mut tl = Timeline::new();
+        let ep = vm.open_scif(&mut tl).unwrap();
+        ep.close(&mut tl).unwrap();
+        let report = VphiDebugReport::collect(&vm);
+        assert_eq!(report.trace.traces_started, 2); // open + close
+        assert_eq!(report.trace.traces_finished, 2);
+        assert_eq!(report.trace.open_spans, 0);
+        assert!(report.trace.spans_recorded > 0);
+        vm.shutdown();
+    }
+
+    /// Snapshot of the full rendered format.  Every row is exercised with
+    /// a distinct value so a column swap or alignment change fails loudly.
+    #[test]
+    fn render_format_is_stable() {
+        let report = VphiDebugReport {
+            vm_id: 7,
+            requests: 1,
+            interrupt_waits: 2,
+            polling_waits: 3,
+            chunks_staged: 4,
+            wait_queue_wakeups: 5,
+            wait_queue_sleeps: 6,
+            kicks_delivered: 7,
+            kicks_suppressed: 8,
+            irqs_coalesced: 9,
+            backend_requests: 10,
+            worker_dispatches: 11,
+            pages_translated: 12,
+            open_endpoints: 13,
+            reg_cache_hits: 14,
+            reg_cache_misses: 15,
+            reg_cache_evictions: 16,
+            reg_cache_invalidations: 17,
+            vm_paused: SimDuration::from_micros(18),
+            blocking_events: 19,
+            worker_events: 20,
+            irq_injections: 21,
+            mmap_faults: 22,
+            deadline_retries: 23,
+            msi_lost: 24,
+            guest_deaths: 25,
+            endpoints_gced: 26,
+            windows_gced: 27,
+            endpoints_quarantined: 28,
+            faults_fired: 29,
+            trace: TraceCounters {
+                traces_started: 30,
+                traces_finished: 31,
+                spans_recorded: 32,
+                spans_dropped: 33,
+                open_spans: 34,
+            },
+            sync_acquisitions: 35,
+            sync_max_hold_depth: 36,
+            sync_order_edges: 37,
+            sync_cycle_checks: 38,
+        };
+        let expected = "\
+vphi7:
+  frontend:
+    requests                1
+    waits irq/poll          2/3
+    staging chunks          4
+    waitq wake/sleep        5/6
+    deadline retries        23
+  virtio:
+    kicks sent/suppressed   7/8
+    irqs coalesced          9
+    irq injections          21
+  backend:
+    requests                10
+    worker dispatches       11
+    pages translated        12
+    open endpoints          13
+    regcache hit/miss       14/15
+    regcache evict/inval    16/17
+  vmm:
+    vm paused               18.00us
+    events block/worker     19/20
+    mmap faults             22
+  faults:
+    fired                   29
+    msi lost                24
+    guest deaths            25
+    gc eps/windows          26/27
+    eps quarantined         28
+  trace:
+    traces start/finish     30/31
+    spans recorded/dropped  32/33
+    spans open              34
+  sync:
+    lock acq/depth          35/36
+    lock edges/checks       37/38
+";
+        assert_eq!(report.render(), expected);
     }
 }

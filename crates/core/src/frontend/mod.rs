@@ -27,6 +27,7 @@ use vphi_scif::{ScifError, ScifResult};
 use vphi_sim_core::cost::KMALLOC_MAX_SIZE;
 use vphi_sim_core::{SpanLabel, Timeline};
 use vphi_sync::{LockClass, TrackedMutex};
+use vphi_trace::{OpCtx, Stage, TraceCtx, TraceHook};
 use vphi_virtio::{Descriptor, VirtQueue};
 use vphi_vmm::kernel::KmallocBuf;
 use vphi_vmm::{GuestKernel, WaitQueue};
@@ -57,8 +58,9 @@ pub type ReqToken = u64;
 /// queue plus the request-routing tables.
 pub struct VphiChannel {
     pub queue: Arc<VirtQueue>,
-    /// head → (token, request timeline), travelling frontend → backend.
-    inflight: TrackedMutex<HashMap<u16, (ReqToken, Timeline)>>,
+    /// head → (token, request timeline, trace fork), travelling
+    /// frontend → backend.
+    inflight: TrackedMutex<HashMap<u16, (ReqToken, Timeline, TraceCtx)>>,
     /// token → completed timeline, travelling backend → frontend.
     completed: TrackedMutex<HashMap<ReqToken, Timeline>>,
     next_token: std::sync::atomic::AtomicU64,
@@ -67,6 +69,10 @@ pub struct VphiChannel {
     shutdown: std::sync::atomic::AtomicBool,
     /// The frontend's sleeping requesters.
     pub waitq: Arc<WaitQueue>,
+    /// Tracing hook shared by both halves of the split driver: armed once
+    /// by `VphiHost::arm_tracing`, disarmed (a single `OnceLock` load) in
+    /// production.
+    pub trace: TraceHook,
 }
 
 impl VphiChannel {
@@ -78,6 +84,7 @@ impl VphiChannel {
             next_token: std::sync::atomic::AtomicU64::new(1),
             shutdown: std::sync::atomic::AtomicBool::new(false),
             waitq: Arc::new(WaitQueue::new()),
+            trace: TraceHook::new(),
         })
     }
 
@@ -99,17 +106,19 @@ impl VphiChannel {
         self.shutdown.load(std::sync::atomic::Ordering::Acquire)
     }
 
-    /// Frontend: stash the request timeline before kicking; returns the
-    /// token the requester waits on.
-    pub fn submit(&self, head: u16, tl: Timeline) -> ReqToken {
+    /// Frontend: stash the request timeline (and the trace fork the
+    /// backend's spans attach to) before kicking; returns the token the
+    /// requester waits on.
+    pub fn submit(&self, head: u16, tl: Timeline, trace: TraceCtx) -> ReqToken {
         let token = self.next_token.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.inflight.lock().insert(head, (token, tl));
+        self.inflight.lock().insert(head, (token, tl, trace));
         token
     }
 
-    /// Backend: claim the request's token and timeline after popping.
-    pub fn claim(&self, head: u16) -> (ReqToken, Timeline) {
-        self.inflight.lock().remove(&head).unwrap_or((0, Timeline::new()))
+    /// Backend: claim the request's token, timeline, and trace fork after
+    /// popping.
+    pub fn claim(&self, head: u16) -> (ReqToken, Timeline, TraceCtx) {
+        self.inflight.lock().remove(&head).unwrap_or((0, Timeline::new(), TraceCtx::default()))
     }
 
     /// Backend: deliver the finished timeline and wake the sleepers.
@@ -285,25 +294,54 @@ impl FrontendDriver {
     /// `extra` descriptors sit between the request header and the response
     /// header (payload staging buffers, pinned guest pages).
     /// `payload_bytes` drives the hybrid scheme's threshold choice.
-    pub fn transact(
+    ///
+    /// If the channel's trace hook is armed and the caller's context is
+    /// not already inside a trace (multi-chunk ops root at the `GuestScif`
+    /// layer), this request becomes a trace root, with child spans for the
+    /// guest-syscall, virtio-ring, and completion-wait phases and a forked
+    /// context riding the inflight table to the backend.
+    pub fn transact<'a>(
         &self,
         req: &VphiRequest,
         extra: &[Descriptor],
         payload_bytes: u64,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
+    ) -> ScifResult<VphiResponse> {
+        let mut ctx = ctx.into();
+        let root = ctx.adopt_root(&self.channel.trace, req.name());
+        let r = self.transact_inner(req, extra, payload_bytes, &mut ctx);
+        ctx.finish_root(root, payload_bytes);
+        r
+    }
+
+    fn transact_inner(
+        &self,
+        req: &VphiRequest,
+        extra: &[Descriptor],
+        payload_bytes: u64,
+        ctx: &mut OpCtx<'_>,
     ) -> ScifResult<VphiResponse> {
         if self.channel.is_shutdown() {
             return Err(ScifError::NoDev);
         }
         let cost = self.kernel.cost();
-        self.kernel.charge_syscall(tl);
 
         // Marshal the request header into a preallocated slot.
-        let (req_buf, resp_buf, pooled) = self.take_slot(tl)?;
+        let marshal = ctx.begin("guest-syscall", Stage::GuestSyscall);
+        self.kernel.charge_syscall(ctx.tl);
+        let (req_buf, resp_buf, pooled) = match self.take_slot(ctx.tl) {
+            Ok(slot) => slot,
+            Err(e) => {
+                ctx.end(marshal);
+                return Err(e);
+            }
+        };
         if self.kernel.mem().write(req_buf.gpa, &req.encode()).is_err() {
+            ctx.end(marshal);
             self.return_slot(req_buf, resp_buf, pooled);
             return Err(ScifError::Inval);
         }
+        ctx.end(marshal);
 
         // Build the chain: header, payload descriptors, response header.
         let mut chain = Vec::with_capacity(extra.len() + 2);
@@ -312,15 +350,32 @@ impl FrontendDriver {
         chain.push(Descriptor::writable(resp_buf.gpa.0, RESP_SIZE as u32));
 
         // Post, stash the cross-boundary timeline, and kick.
-        let head = match self.channel.queue.add_chain(&chain, cost.ring_push, tl) {
+        let ring = ctx.begin("virtio-ring", Stage::VirtioRing);
+        let head = match self.channel.queue.prepare_chain(&chain) {
             Ok(h) => h,
             Err(_) => {
+                ctx.end(ring);
                 self.return_slot(req_buf, resp_buf, pooled);
                 return Err(ScifError::NoMem);
             }
         };
-        let token = self.channel.submit(head, Timeline::with_capacity(16));
-        let delivered = self.channel.queue.kick(cost.vmexit_kick, tl);
+        // The inflight entry must exist before the head is visible on the
+        // avail ring: the backend may pop and claim the chain the instant
+        // it is published (another requester's kick can have woken it),
+        // and a claim that finds no entry falls back to the token-0
+        // sentinel — completing to nobody and stranding this requester
+        // until its deadline retries exhaust.
+        let token = self.channel.submit(head, Timeline::with_capacity(16), ctx.fork());
+        self.channel.queue.publish_avail(head, cost.ring_push, ctx.tl);
+        ctx.end(ring);
+
+        // Kick inside the wait span, not before it: the kick is what wakes
+        // the backend thread, so allocating the wait span's id first keeps
+        // span numbering single-threaded — and traces byte-stable.  The
+        // span then covers the handoff vmexit plus the scheme's wait, and
+        // in a trace view brackets the backend subtree it waited on.
+        let wait = ctx.begin("wait-complete", Stage::Completion);
+        let delivered = self.channel.queue.kick(cost.vmexit_kick, ctx.tl);
         {
             let mut stats = self.stats.lock();
             stats.requests += 1;
@@ -330,16 +385,16 @@ impl FrontendDriver {
                 stats.kicks_suppressed += 1;
             }
         }
-
-        // Wait per scheme, then absorb the backend's charges.
-        let backend_tl = match self.wait_for(token, payload_bytes, tl) {
+        let backend_tl = match self.wait_for(token, payload_bytes, ctx.tl) {
             Ok(b) => b,
             Err(e) => {
+                ctx.end(wait);
                 self.return_slot(req_buf, resp_buf, pooled);
                 return Err(e);
             }
         };
-        tl.absorb(&backend_tl);
+        ctx.tl.absorb(&backend_tl);
+        ctx.end(wait);
         // Release our descriptors (and any other finished chains).
         self.channel.queue.take_used();
 
@@ -476,8 +531,12 @@ impl FrontendDriver {
     }
 
     /// Convenience wrappers used by [`crate::guest::GuestScif`].
-    pub fn simple(&self, req: VphiRequest, tl: &mut Timeline) -> ScifResult<(u64, u64)> {
-        self.transact(&req, &[], 0, tl)?.into_result()
+    pub fn simple<'a>(
+        &self,
+        req: VphiRequest,
+        ctx: impl Into<OpCtx<'a>>,
+    ) -> ScifResult<(u64, u64)> {
+        self.transact(&req, &[], 0, ctx)?.into_result()
     }
 }
 
@@ -507,7 +566,7 @@ mod tests {
         std::thread::spawn(move || {
             while channel.queue.wait_kick() {
                 while let Ok(Some(chain)) = channel.queue.pop_avail() {
-                    let (token, mut tl) = channel.claim(chain.head);
+                    let (token, mut tl, _trace) = channel.claim(chain.head);
                     let resp_desc = *chain.descriptors.last().unwrap();
                     kernel
                         .mem()

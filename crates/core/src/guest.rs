@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use vphi_scif::{NodeId, Port, RmaFlags, ScifAddr, ScifError, ScifResult};
 use vphi_sim_core::Timeline;
+use vphi_trace::OpCtx;
 use vphi_virtio::Descriptor;
 use vphi_vmm::{Gpa, GuestMemory, KvmModule};
 
@@ -145,8 +146,8 @@ impl std::fmt::Debug for GuestScif {
 
 impl GuestScif {
     /// `scif_open` through the paravirtual path.
-    pub fn open(driver: &Arc<FrontendDriver>, tl: &mut Timeline) -> ScifResult<Self> {
-        let (epd, _) = driver.simple(VphiRequest::Open, tl)?;
+    pub fn open<'a>(driver: &Arc<FrontendDriver>, ctx: impl Into<OpCtx<'a>>) -> ScifResult<Self> {
+        let (epd, _) = driver.simple(VphiRequest::Open, ctx)?;
         Ok(GuestScif { driver: Arc::clone(driver), epd, closed: AtomicBool::new(false) })
     }
 
@@ -159,29 +160,29 @@ impl GuestScif {
     }
 
     /// `scif_bind`.
-    pub fn bind(&self, port: Port, tl: &mut Timeline) -> ScifResult<Port> {
-        let (p, _) = self.driver.simple(VphiRequest::Bind { epd: self.epd, port: port.0 }, tl)?;
+    pub fn bind<'a>(&self, port: Port, ctx: impl Into<OpCtx<'a>>) -> ScifResult<Port> {
+        let (p, _) = self.driver.simple(VphiRequest::Bind { epd: self.epd, port: port.0 }, ctx)?;
         Ok(Port(p as u16))
     }
 
     /// `scif_listen`.
-    pub fn listen(&self, backlog: u32, tl: &mut Timeline) -> ScifResult<()> {
-        self.driver.simple(VphiRequest::Listen { epd: self.epd, backlog }, tl)?;
+    pub fn listen<'a>(&self, backlog: u32, ctx: impl Into<OpCtx<'a>>) -> ScifResult<()> {
+        self.driver.simple(VphiRequest::Listen { epd: self.epd, backlog }, ctx)?;
         Ok(())
     }
 
     /// `scif_connect`.
-    pub fn connect(&self, dst: ScifAddr, tl: &mut Timeline) -> ScifResult<ScifAddr> {
+    pub fn connect<'a>(&self, dst: ScifAddr, ctx: impl Into<OpCtx<'a>>) -> ScifResult<ScifAddr> {
         let (node, port) = self.driver.simple(
             VphiRequest::Connect { epd: self.epd, node: dst.node.0, port: dst.port.0 },
-            tl,
+            ctx,
         )?;
         Ok(ScifAddr::new(NodeId(node as u16), Port(port as u16)))
     }
 
     /// `scif_accept` (blocking).
-    pub fn accept(&self, tl: &mut Timeline) -> ScifResult<(GuestScif, ScifAddr)> {
-        let (epd, packed) = self.driver.simple(VphiRequest::Accept { epd: self.epd }, tl)?;
+    pub fn accept<'a>(&self, ctx: impl Into<OpCtx<'a>>) -> ScifResult<(GuestScif, ScifAddr)> {
+        let (epd, packed) = self.driver.simple(VphiRequest::Accept { epd: self.epd }, ctx)?;
         let peer = ScifAddr::new(NodeId((packed >> 32) as u16), Port(packed as u16));
         Ok((
             GuestScif { driver: Arc::clone(&self.driver), epd, closed: AtomicBool::new(false) },
@@ -191,105 +192,134 @@ impl GuestScif {
 
     /// `scif_send` — staged through kmalloc chunks, one ring transaction
     /// per chunk (paper §III).
-    pub fn send(&self, data: &[u8], tl: &mut Timeline) -> ScifResult<usize> {
-        let mut sent = 0usize;
-        for chunk in data.chunks(self.driver.chunk_size() as usize) {
-            let (bufs, descs) = self.driver.stage_out(chunk, tl)?;
-            let resp = self.driver.transact(
-                &VphiRequest::Send { epd: self.epd, len: chunk.len() as u32 },
-                &descs,
-                chunk.len() as u64,
-                tl,
-            )?;
-            self.driver.free_staging(bufs);
-            let (n, _) = resp.into_result()?;
-            sent += n as usize;
-        }
-        Ok(sent)
+    pub fn send<'a>(&self, data: &[u8], ctx: impl Into<OpCtx<'a>>) -> ScifResult<usize> {
+        // A multi-chunk send is one logical request: adopt the trace root
+        // here so every per-chunk transaction lands under a single trace.
+        let mut ctx = ctx.into();
+        let root = ctx.adopt_root(&self.driver.channel().trace, "send");
+        let r = (|ctx: &mut OpCtx<'_>| {
+            let mut sent = 0usize;
+            for chunk in data.chunks(self.driver.chunk_size() as usize) {
+                let (bufs, descs) = self.driver.stage_out(chunk, ctx.tl)?;
+                let resp = self.driver.transact(
+                    &VphiRequest::Send { epd: self.epd, len: chunk.len() as u32 },
+                    &descs,
+                    chunk.len() as u64,
+                    &mut *ctx,
+                )?;
+                self.driver.free_staging(bufs);
+                let (n, _) = resp.into_result()?;
+                sent += n as usize;
+            }
+            Ok(sent)
+        })(&mut ctx);
+        ctx.finish_root(root, data.len() as u64);
+        r
     }
 
     /// `scif_recv` (blocking until `out` is full or the peer closed).
-    pub fn recv(&self, out: &mut [u8], tl: &mut Timeline) -> ScifResult<usize> {
-        let mut got = 0usize;
-        while got < out.len() {
-            let want = (out.len() - got).min(self.driver.chunk_size() as usize);
-            let (bufs, descs) = self.driver.stage_in(want as u64, tl)?;
-            let resp = self.driver.transact(
-                &VphiRequest::Recv { epd: self.epd, len: want as u32 },
-                &descs,
-                want as u64,
-                tl,
-            )?;
-            let (n, _) = resp.into_result()?;
-            self.driver.unstage(bufs, &mut out[got..got + n as usize], tl)?;
-            got += n as usize;
-            if (n as usize) < want {
-                break; // peer closed
+    pub fn recv<'a>(&self, out: &mut [u8], ctx: impl Into<OpCtx<'a>>) -> ScifResult<usize> {
+        let mut ctx = ctx.into();
+        let root = ctx.adopt_root(&self.driver.channel().trace, "recv");
+        let len = out.len() as u64;
+        let r = (|ctx: &mut OpCtx<'_>| {
+            let mut got = 0usize;
+            while got < out.len() {
+                let want = (out.len() - got).min(self.driver.chunk_size() as usize);
+                let (bufs, descs) = self.driver.stage_in(want as u64, ctx.tl)?;
+                let resp = self.driver.transact(
+                    &VphiRequest::Recv { epd: self.epd, len: want as u32 },
+                    &descs,
+                    want as u64,
+                    &mut *ctx,
+                )?;
+                let (n, _) = resp.into_result()?;
+                self.driver.unstage(bufs, &mut out[got..got + n as usize], ctx.tl)?;
+                got += n as usize;
+                if (n as usize) < want {
+                    break; // peer closed
+                }
             }
-        }
-        Ok(got)
+            Ok(got)
+        })(&mut ctx);
+        ctx.finish_root(root, len);
+        r
     }
 
     /// Timed-bulk-lane send: the same per-chunk staging costs as a real
     /// send of `len` bytes (kmalloc + copy + one ring transaction per
     /// `KMALLOC_MAX_SIZE`), with no payload bytes moved.
-    pub fn send_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64> {
+    pub fn send_timed<'a>(&self, len: u64, ctx: impl Into<OpCtx<'a>>) -> ScifResult<u64> {
         if len == 0 {
             return Ok(0);
         }
-        let cost = Arc::clone(self.driver.kernel().cost());
-        let mut sent = 0u64;
-        let mut remaining = len;
-        while remaining > 0 {
-            let chunk = remaining.min(self.driver.chunk_size());
-            // Staging: one kmalloc'd chunk plus the user→kernel copy.
-            let buf = self.driver.kernel().kmalloc(chunk, tl).map_err(|_| ScifError::NoMem)?;
-            tl.charge(vphi_sim_core::SpanLabel::GuestCopy, cost.cpu_copy(chunk));
-            let resp = self.driver.transact(
-                &VphiRequest::SendTimed { epd: self.epd, len: chunk },
-                &[],
-                chunk,
-                tl,
-            );
-            let _ = self.driver.kernel().kfree(buf);
-            let (n, _) = resp?.into_result()?;
-            sent += n;
-            remaining -= chunk;
-        }
-        Ok(sent)
+        let mut ctx = ctx.into();
+        let root = ctx.adopt_root(&self.driver.channel().trace, "send_timed");
+        let r = (|ctx: &mut OpCtx<'_>| {
+            let cost = Arc::clone(self.driver.kernel().cost());
+            let mut sent = 0u64;
+            let mut remaining = len;
+            while remaining > 0 {
+                let chunk = remaining.min(self.driver.chunk_size());
+                // Staging: one kmalloc'd chunk plus the user→kernel copy.
+                let buf =
+                    self.driver.kernel().kmalloc(chunk, ctx.tl).map_err(|_| ScifError::NoMem)?;
+                ctx.tl.charge(vphi_sim_core::SpanLabel::GuestCopy, cost.cpu_copy(chunk));
+                let resp = self.driver.transact(
+                    &VphiRequest::SendTimed { epd: self.epd, len: chunk },
+                    &[],
+                    chunk,
+                    &mut *ctx,
+                );
+                let _ = self.driver.kernel().kfree(buf);
+                let (n, _) = resp?.into_result()?;
+                sent += n;
+                remaining -= chunk;
+            }
+            Ok(sent)
+        })(&mut ctx);
+        ctx.finish_root(root, len);
+        r
     }
 
     /// Timed-bulk-lane receive.
-    pub fn recv_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64> {
-        let cost = Arc::clone(self.driver.kernel().cost());
-        let mut got = 0u64;
-        let mut remaining = len;
-        while remaining > 0 {
-            let chunk = remaining.min(self.driver.chunk_size());
-            let buf = self.driver.kernel().kmalloc(chunk, tl).map_err(|_| ScifError::NoMem)?;
-            let resp = self.driver.transact(
-                &VphiRequest::RecvTimed { epd: self.epd, len: chunk },
-                &[],
-                chunk,
-                tl,
-            );
-            tl.charge(vphi_sim_core::SpanLabel::GuestCopy, cost.cpu_copy(chunk));
-            let _ = self.driver.kernel().kfree(buf);
-            let (n, _) = resp?.into_result()?;
-            got += n;
-            remaining -= chunk;
-        }
-        Ok(got)
+    pub fn recv_timed<'a>(&self, len: u64, ctx: impl Into<OpCtx<'a>>) -> ScifResult<u64> {
+        let mut ctx = ctx.into();
+        let root = ctx.adopt_root(&self.driver.channel().trace, "recv_timed");
+        let r = (|ctx: &mut OpCtx<'_>| {
+            let cost = Arc::clone(self.driver.kernel().cost());
+            let mut got = 0u64;
+            let mut remaining = len;
+            while remaining > 0 {
+                let chunk = remaining.min(self.driver.chunk_size());
+                let buf =
+                    self.driver.kernel().kmalloc(chunk, ctx.tl).map_err(|_| ScifError::NoMem)?;
+                let resp = self.driver.transact(
+                    &VphiRequest::RecvTimed { epd: self.epd, len: chunk },
+                    &[],
+                    chunk,
+                    &mut *ctx,
+                );
+                ctx.tl.charge(vphi_sim_core::SpanLabel::GuestCopy, cost.cpu_copy(chunk));
+                let _ = self.driver.kernel().kfree(buf);
+                let (n, _) = resp?.into_result()?;
+                got += n;
+                remaining -= chunk;
+            }
+            Ok(got)
+        })(&mut ctx);
+        ctx.finish_root(root, len);
+        r
     }
 
     /// `scif_register` of a guest buffer (the buffer's pages are pinned in
     /// the guest, then re-pinned/translated by the backend).
-    pub fn register(
+    pub fn register<'a>(
         &self,
         buf: &GuestBuf,
         prot: vphi_scif::Prot,
         fixed_offset: Option<u64>,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<u64> {
         let resp = self.driver.transact(
             &VphiRequest::Register {
@@ -301,25 +331,30 @@ impl GuestScif {
             },
             &[buf.read_desc()],
             0,
-            tl,
+            ctx,
         )?;
         let (off, _) = resp.into_result()?;
         Ok(off)
     }
 
     /// `scif_unregister`.
-    pub fn unregister(&self, offset: u64, len: u64, tl: &mut Timeline) -> ScifResult<()> {
-        self.driver.simple(VphiRequest::Unregister { epd: self.epd, offset, len }, tl)?;
+    pub fn unregister<'a>(
+        &self,
+        offset: u64,
+        len: u64,
+        ctx: impl Into<OpCtx<'a>>,
+    ) -> ScifResult<()> {
+        self.driver.simple(VphiRequest::Unregister { epd: self.epd, offset, len }, ctx)?;
         Ok(())
     }
 
     /// `scif_vreadfrom`: remote window → guest buffer.
-    pub fn vreadfrom(
+    pub fn vreadfrom<'a>(
         &self,
         buf: &GuestBuf,
         roffset: u64,
         flags: RmaFlags,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<()> {
         let resp = self.driver.transact(
             &VphiRequest::VreadFrom {
@@ -330,19 +365,19 @@ impl GuestScif {
             },
             &[buf.write_desc()],
             buf.len(),
-            tl,
+            ctx,
         )?;
         resp.into_result()?;
         Ok(())
     }
 
     /// `scif_vwriteto`: guest buffer → remote window.
-    pub fn vwriteto(
+    pub fn vwriteto<'a>(
         &self,
         buf: &GuestBuf,
         roffset: u64,
         flags: RmaFlags,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<()> {
         let resp = self.driver.transact(
             &VphiRequest::VwriteTo {
@@ -353,20 +388,20 @@ impl GuestScif {
             },
             &[buf.read_desc()],
             buf.len(),
-            tl,
+            ctx,
         )?;
         resp.into_result()?;
         Ok(())
     }
 
     /// `scif_readfrom` (window-to-window).
-    pub fn readfrom(
+    pub fn readfrom<'a>(
         &self,
         loffset: u64,
         len: u64,
         roffset: u64,
         flags: RmaFlags,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<()> {
         self.driver.simple(
             VphiRequest::ReadFrom {
@@ -376,19 +411,19 @@ impl GuestScif {
                 roffset,
                 flags: rma_flags_to_wire(flags),
             },
-            tl,
+            ctx,
         )?;
         Ok(())
     }
 
     /// `scif_writeto` (window-to-window).
-    pub fn writeto(
+    pub fn writeto<'a>(
         &self,
         loffset: u64,
         len: u64,
         roffset: u64,
         flags: RmaFlags,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<()> {
         self.driver.simple(
             VphiRequest::WriteTo {
@@ -398,23 +433,23 @@ impl GuestScif {
                 roffset,
                 flags: rma_flags_to_wire(flags),
             },
-            tl,
+            ctx,
         )?;
         Ok(())
     }
 
     /// `scif_mmap`: returns a dereferenceable guest mapping.
-    pub fn mmap(
+    pub fn mmap<'a>(
         &self,
         kvm: &Arc<KvmModule>,
         offset: u64,
         len: u64,
         prot: vphi_scif::Prot,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<GuestMapped> {
         let (vaddr, _) = self
             .driver
-            .simple(VphiRequest::Mmap { epd: self.epd, offset, len, prot: prot_wire(prot) }, tl)?;
+            .simple(VphiRequest::Mmap { epd: self.epd, offset, len, prot: prot_wire(prot) }, ctx)?;
         Ok(GuestMapped {
             kvm: Arc::clone(kvm),
             driver: Arc::clone(&self.driver),
@@ -425,39 +460,39 @@ impl GuestScif {
     }
 
     /// `scif_fence_mark`.
-    pub fn fence_mark(&self, tl: &mut Timeline) -> ScifResult<u64> {
-        let (m, _) = self.driver.simple(VphiRequest::FenceMark { epd: self.epd }, tl)?;
+    pub fn fence_mark<'a>(&self, ctx: impl Into<OpCtx<'a>>) -> ScifResult<u64> {
+        let (m, _) = self.driver.simple(VphiRequest::FenceMark { epd: self.epd }, ctx)?;
         Ok(m)
     }
 
     /// `scif_fence_wait`.
-    pub fn fence_wait(&self, marker: u64, tl: &mut Timeline) -> ScifResult<()> {
-        self.driver.simple(VphiRequest::FenceWait { epd: self.epd, marker }, tl)?;
+    pub fn fence_wait<'a>(&self, marker: u64, ctx: impl Into<OpCtx<'a>>) -> ScifResult<()> {
+        self.driver.simple(VphiRequest::FenceWait { epd: self.epd, marker }, ctx)?;
         Ok(())
     }
 
     /// `scif_fence_signal`.
-    pub fn fence_signal(
+    pub fn fence_signal<'a>(
         &self,
         loff: u64,
         lval: u64,
         roff: u64,
         rval: u64,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<()> {
         self.driver
-            .simple(VphiRequest::FenceSignal { epd: self.epd, loff, lval, roff, rval }, tl)?;
+            .simple(VphiRequest::FenceSignal { epd: self.epd, loff, lval, roff, rval }, ctx)?;
         Ok(())
     }
 
     /// `scif_poll` on this endpoint: returns the ready events, waiting up
     /// to `timeout_ms` of wall time.  A nonzero timeout is dispatched on a
     /// backend worker so the VM is not frozen while the poll parks.
-    pub fn poll(
+    pub fn poll<'a>(
         &self,
         events: vphi_scif::PollEvents,
         timeout_ms: u32,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<vphi_scif::PollEvents> {
         let (re, _) = self.driver.simple(
             VphiRequest::Poll {
@@ -465,23 +500,23 @@ impl GuestScif {
                 events: crate::protocol::poll_events_to_wire(events),
                 timeout_ms,
             },
-            tl,
+            ctx,
         )?;
         Ok(crate::protocol::poll_events_from_wire(re as u8))
     }
 
     /// `scif_get_node_ids` — number of SCIF nodes visible to the guest.
-    pub fn node_count(&self, tl: &mut Timeline) -> ScifResult<u64> {
-        let (count, _) = self.driver.simple(VphiRequest::GetNodeIds, tl)?;
+    pub fn node_count<'a>(&self, ctx: impl Into<OpCtx<'a>>) -> ScifResult<u64> {
+        let (count, _) = self.driver.simple(VphiRequest::GetNodeIds, ctx)?;
         Ok(count)
     }
 
     /// `scif_close`.
-    pub fn close(&self, tl: &mut Timeline) -> ScifResult<()> {
+    pub fn close<'a>(&self, ctx: impl Into<OpCtx<'a>>) -> ScifResult<()> {
         if self.closed.swap(true, Ordering::AcqRel) {
             return Ok(());
         }
-        self.driver.simple(VphiRequest::Close { epd: self.epd }, tl)?;
+        self.driver.simple(VphiRequest::Close { epd: self.epd }, ctx)?;
         Ok(())
     }
 }

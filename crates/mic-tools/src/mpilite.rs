@@ -248,8 +248,8 @@ mod tests {
 
         fn listen(&self, port: Port, tl: &mut Timeline) -> ScifResult<Box<dyn CoiListener>> {
             let ep = vphi_scif::ScifEndpoint::open(&self.fabric, self.node)?;
-            ep.bind(port, tl)?;
-            ep.listen(16, tl)?;
+            ep.bind(port, &mut *tl)?;
+            ep.listen(16, &mut *tl)?;
             Ok(Box::new(ep))
         }
 

@@ -7,11 +7,20 @@
 //! [`EndpointCore`].  The native microbenchmarks in the paper measure this
 //! exact surface; vPHI's guest shim re-implements it over the virtio ring
 //! (`vphi::guest`), and its backend replays onto this one.
+//!
+//! Every method takes an [`OpCtx`] — the timeline it charges virtual time
+//! into plus the trace context linking its span to the request that caused
+//! it.  Callers without a trace pass a bare `&mut Timeline`, which converts
+//! implicitly; the vPHI backend passes `&mut ctx` so the replayed host op
+//! shows up as a `host-scif` span under the guest request's root.  New
+//! methods must take `OpCtx`, not a raw `&mut Timeline` — `cargo run -p
+//! xtask -- lint` (rule `opctx-api`) enforces this.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use vphi_sim_core::{SpanLabel, Timeline};
+use vphi_sim_core::SpanLabel;
+use vphi_trace::{OpCtx, Stage};
 
 use crate::endpoint::{EndpointCore, EpState};
 use crate::error::ScifResult;
@@ -21,6 +30,10 @@ use crate::types::{NodeId, Port, Prot, RmaFlags, ScifAddr};
 use crate::window::WindowBacking;
 
 /// A user-space SCIF endpoint descriptor.
+///
+/// Dropping the descriptor closes it (libscif closes on fd release);
+/// [`close`](Self::close) stays available for explicit teardown and is
+/// idempotent with the `Drop` path.
 pub struct ScifEndpoint {
     core: Arc<EndpointCore>,
 }
@@ -47,8 +60,8 @@ impl ScifEndpoint {
         &self.core
     }
 
-    fn syscall(&self, tl: &mut Timeline) {
-        tl.charge(SpanLabel::HostSyscall, self.core.shared.cost.host_syscall);
+    fn syscall(&self, ctx: &mut OpCtx<'_>) {
+        ctx.tl.charge(SpanLabel::HostSyscall, self.core.shared.cost.host_syscall);
     }
 
     pub fn state(&self) -> EpState {
@@ -64,187 +77,255 @@ impl ScifEndpoint {
     }
 
     /// `scif_bind`.
-    pub fn bind(&self, port: Port, tl: &mut Timeline) -> ScifResult<Port> {
-        self.syscall(tl);
-        self.core.bind(port)
+    pub fn bind<'a>(&self, port: Port, ctx: impl Into<OpCtx<'a>>) -> ScifResult<Port> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_bind", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.bind(port)
+        })
     }
 
     /// `scif_listen`.
-    pub fn listen(&self, backlog: usize, tl: &mut Timeline) -> ScifResult<()> {
-        self.syscall(tl);
-        self.core.listen(backlog)
+    pub fn listen<'a>(&self, backlog: usize, ctx: impl Into<OpCtx<'a>>) -> ScifResult<()> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_listen", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.listen(backlog)
+        })
     }
 
     /// `scif_connect` (blocking).
-    pub fn connect(&self, dst: ScifAddr, tl: &mut Timeline) -> ScifResult<ScifAddr> {
-        self.syscall(tl);
-        self.core.connect(dst, tl)
+    pub fn connect<'a>(&self, dst: ScifAddr, ctx: impl Into<OpCtx<'a>>) -> ScifResult<ScifAddr> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_connect", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.connect(dst, c.tl)
+        })
     }
 
     /// `scif_accept` (`SCIF_ACCEPT_SYNC`).
-    pub fn accept(&self, tl: &mut Timeline) -> ScifResult<ScifEndpoint> {
-        self.syscall(tl);
-        Ok(ScifEndpoint { core: self.core.accept(tl)? })
+    pub fn accept<'a>(&self, ctx: impl Into<OpCtx<'a>>) -> ScifResult<ScifEndpoint> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_accept", Stage::HostScif, |c| {
+            self.syscall(c);
+            Ok(ScifEndpoint { core: self.core.accept(c.tl)? })
+        })
     }
 
     /// `scif_accept` (`SCIF_ACCEPT_ASYNC`): `None` if nothing is pending.
-    pub fn try_accept(&self, tl: &mut Timeline) -> ScifResult<Option<ScifEndpoint>> {
-        self.syscall(tl);
-        Ok(self.core.try_accept(tl)?.map(|core| ScifEndpoint { core }))
+    pub fn try_accept<'a>(&self, ctx: impl Into<OpCtx<'a>>) -> ScifResult<Option<ScifEndpoint>> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_try_accept", Stage::HostScif, |c| {
+            self.syscall(c);
+            Ok(self.core.try_accept(c.tl)?.map(|core| ScifEndpoint { core }))
+        })
     }
 
     /// `scif_send` with `SCIF_SEND_BLOCK`.
-    pub fn send(&self, data: &[u8], tl: &mut Timeline) -> ScifResult<usize> {
-        self.syscall(tl);
-        self.core.send(data, tl)
+    pub fn send<'a>(&self, data: &[u8], ctx: impl Into<OpCtx<'a>>) -> ScifResult<usize> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_send", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.send(data, c.tl)
+        })
     }
 
     /// `scif_recv` with `SCIF_RECV_BLOCK`.
-    pub fn recv(&self, out: &mut [u8], tl: &mut Timeline) -> ScifResult<usize> {
-        self.syscall(tl);
-        self.core.recv(out, tl)
+    pub fn recv<'a>(&self, out: &mut [u8], ctx: impl Into<OpCtx<'a>>) -> ScifResult<usize> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_recv", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.recv(out, c.tl)
+        })
     }
 
     /// Non-blocking `scif_recv`.
-    pub fn try_recv(&self, out: &mut [u8], tl: &mut Timeline) -> ScifResult<usize> {
-        self.syscall(tl);
-        self.core.try_recv(out, tl)
+    pub fn try_recv<'a>(&self, out: &mut [u8], ctx: impl Into<OpCtx<'a>>) -> ScifResult<usize> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_try_recv", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.try_recv(out, c.tl)
+        })
     }
 
     /// Timed-bulk-lane send (see [`EndpointCore::send_timed`]).
-    pub fn send_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64> {
-        self.syscall(tl);
-        self.core.send_timed(len, tl)
+    pub fn send_timed<'a>(&self, len: u64, ctx: impl Into<OpCtx<'a>>) -> ScifResult<u64> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_send_timed", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.send_timed(len, c.tl)
+        })
     }
 
     /// Timed-bulk-lane receive.
-    pub fn recv_timed(&self, len: u64, tl: &mut Timeline) -> ScifResult<u64> {
-        self.syscall(tl);
-        self.core.recv_timed(len, tl)
+    pub fn recv_timed<'a>(&self, len: u64, ctx: impl Into<OpCtx<'a>>) -> ScifResult<u64> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_recv_timed", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.recv_timed(len, c.tl)
+        })
     }
 
     /// `scif_register`.
-    pub fn register(
+    pub fn register<'a>(
         &self,
         fixed_offset: Option<u64>,
         len: u64,
         prot: Prot,
         backing: WindowBacking,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<u64> {
-        self.syscall(tl);
-        // Pinning cost: the driver walks and pins each page.
-        tl.charge(SpanLabel::RmaSetup, self.core.shared.cost.translate_pages(len));
-        self.core.register(fixed_offset, len, prot, backing)
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_register", Stage::HostScif, |c| {
+            self.syscall(c);
+            // Pinning cost: the driver walks and pins each page.
+            c.tl.charge(SpanLabel::RmaSetup, self.core.shared.cost.translate_pages(len));
+            self.core.register(fixed_offset, len, prot, backing)
+        })
     }
 
     /// `scif_unregister`.
-    pub fn unregister(&self, offset: u64, len: u64, tl: &mut Timeline) -> ScifResult<()> {
-        self.syscall(tl);
-        self.core.unregister(offset, len)
+    pub fn unregister<'a>(
+        &self,
+        offset: u64,
+        len: u64,
+        ctx: impl Into<OpCtx<'a>>,
+    ) -> ScifResult<()> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_unregister", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.unregister(offset, len)
+        })
     }
 
     /// `scif_vreadfrom`.
-    pub fn vreadfrom(
+    pub fn vreadfrom<'a>(
         &self,
         buf: &mut [u8],
         roffset: u64,
         flags: RmaFlags,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<()> {
-        self.syscall(tl);
-        self.core.vreadfrom(buf, roffset, flags, tl)
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_vreadfrom", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.vreadfrom(buf, roffset, flags, c.tl)
+        })
     }
 
     /// `scif_vwriteto`.
-    pub fn vwriteto(
+    pub fn vwriteto<'a>(
         &self,
         buf: &[u8],
         roffset: u64,
         flags: RmaFlags,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<()> {
-        self.syscall(tl);
-        self.core.vwriteto(buf, roffset, flags, tl)
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_vwriteto", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.vwriteto(buf, roffset, flags, c.tl)
+        })
     }
 
     /// `scif_readfrom`.
-    pub fn readfrom(
+    pub fn readfrom<'a>(
         &self,
         loffset: u64,
         len: u64,
         roffset: u64,
         flags: RmaFlags,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<()> {
-        self.syscall(tl);
-        self.core.readfrom(loffset, len, roffset, flags, tl)
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_readfrom", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.readfrom(loffset, len, roffset, flags, c.tl)
+        })
     }
 
     /// `scif_writeto`.
-    pub fn writeto(
+    pub fn writeto<'a>(
         &self,
         loffset: u64,
         len: u64,
         roffset: u64,
         flags: RmaFlags,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<()> {
-        self.syscall(tl);
-        self.core.writeto(loffset, len, roffset, flags, tl)
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_writeto", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.writeto(loffset, len, roffset, flags, c.tl)
+        })
     }
 
     /// `scif_mmap`.
-    pub fn mmap(
+    pub fn mmap<'a>(
         &self,
         offset: u64,
         len: u64,
         prot: Prot,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<MappedRegion> {
-        self.syscall(tl);
-        self.core.mmap(offset, len, prot)
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_mmap", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.mmap(offset, len, prot)
+        })
     }
 
     /// `scif_fence_mark`.
-    pub fn fence_mark(&self, tl: &mut Timeline) -> ScifResult<u64> {
-        self.syscall(tl);
-        self.core.fence_mark()
+    pub fn fence_mark<'a>(&self, ctx: impl Into<OpCtx<'a>>) -> ScifResult<u64> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_fence_mark", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.fence_mark()
+        })
     }
 
     /// `scif_fence_wait`.
-    pub fn fence_wait(&self, marker: u64, tl: &mut Timeline) -> ScifResult<()> {
-        self.syscall(tl);
-        self.core.fence_wait(marker, tl)
+    pub fn fence_wait<'a>(&self, marker: u64, ctx: impl Into<OpCtx<'a>>) -> ScifResult<()> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_fence_wait", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.fence_wait(marker, c.tl)
+        })
     }
 
     /// `scif_fence_signal`.
-    pub fn fence_signal(
+    pub fn fence_signal<'a>(
         &self,
         loff: u64,
         lval: u64,
         roff: u64,
         rval: u64,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<()> {
-        self.syscall(tl);
-        self.core.fence_signal(loff, lval, roff, rval, tl)
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_fence_signal", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.fence_signal(loff, lval, roff, rval, c.tl)
+        })
     }
 
     /// `scif_poll` over this single endpoint (convenience).
-    pub fn poll(
+    pub fn poll<'a>(
         &self,
         events: crate::poll::PollEvents,
         wall_timeout: Duration,
-        tl: &mut Timeline,
+        ctx: impl Into<OpCtx<'a>>,
     ) -> ScifResult<crate::poll::PollEvents> {
-        self.syscall(tl);
-        let mut fds = [crate::poll::PollFd::new(Arc::clone(&self.core), events)];
-        crate::poll::poll(&mut fds, wall_timeout, tl)?;
-        Ok(fds[0].revents)
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_poll", Stage::HostScif, |c| {
+            self.syscall(c);
+            let mut fds = [crate::poll::PollFd::new(Arc::clone(&self.core), events)];
+            crate::poll::poll(&mut fds, wall_timeout, c.tl)?;
+            Ok(fds[0].revents)
+        })
     }
 
-    /// `scif_close`.
+    /// `scif_close`.  Idempotent, and implied by `Drop`.
     pub fn close(&self) {
         self.core.close();
     }
@@ -261,7 +342,7 @@ impl Drop for ScifEndpoint {
 mod tests {
     use super::*;
     use vphi_phi::{PhiBoard, PhiSpec};
-    use vphi_sim_core::{CostModel, SimDuration, VirtualClock};
+    use vphi_sim_core::{CostModel, SimDuration, Timeline, VirtualClock};
 
     use crate::types::HOST_NODE;
 
@@ -311,6 +392,30 @@ mod tests {
     }
 
     #[test]
+    fn traced_call_records_a_host_scif_span() {
+        use vphi_trace::{TraceConfig, TraceHook, Tracer};
+        let (fabric, _) = setup();
+        let ep = ScifEndpoint::open(&fabric, HOST_NODE).unwrap();
+
+        let tracer = Arc::new(Tracer::new(TraceConfig::default()));
+        let hook = TraceHook::new();
+        hook.arm(Arc::clone(&tracer), 0);
+
+        let mut tl = Timeline::new();
+        let mut ctx = OpCtx::from(&mut tl);
+        let root = ctx.adopt_root(&hook, "bind");
+        ep.bind(Port::ANY, &mut ctx).unwrap();
+        ctx.finish_root(root, 0);
+
+        let spans = tracer.spans(0);
+        let bind = spans.iter().find(|s| s.name == "scif_bind").unwrap();
+        assert_eq!(bind.stage, Stage::HostScif);
+        assert_eq!(bind.dur, CostModel::paper_calibrated().host_syscall);
+        let sum = tracer.last_summary(0).unwrap();
+        assert_eq!(sum.stages[Stage::HostScif.index()], sum.total);
+    }
+
+    #[test]
     fn drop_closes_the_endpoint() {
         let (fabric, _) = setup();
         let core = {
@@ -318,6 +423,16 @@ mod tests {
             Arc::clone(ep.core())
         };
         assert_eq!(core.state(), EpState::Closed);
+    }
+
+    #[test]
+    fn explicit_close_then_drop_is_idempotent() {
+        let (fabric, _) = setup();
+        let ep = ScifEndpoint::open(&fabric, HOST_NODE).unwrap();
+        ep.close();
+        assert_eq!(ep.state(), EpState::Closed);
+        ep.close(); // second explicit close: no-op
+        drop(ep); // Drop after close: no-op
     }
 
     #[test]

@@ -45,3 +45,4 @@ pub use fabric::ScifFabric;
 pub use mmap::MappedRegion;
 pub use poll::{PollEvents, PollFd};
 pub use types::{NodeId, Port, Prot, RmaFlags, ScifAddr, HOST_NODE};
+pub use vphi_trace::{OpCtx, Stage, TraceCtx};

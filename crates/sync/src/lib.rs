@@ -140,12 +140,18 @@ pub enum LockClass {
     // --- host control plane (outermost; added for card-reset recovery) ---
     /// `VphiHost` attached-backend registry, walked during card reset.
     HostAttached = 43,
+    // --- tracing leaves (vphi-trace; taken with arbitrary locks held
+    // *released*, never while inside another tracked section) ---
+    /// Tracer span rings + request summaries.
+    TraceRings = 44,
+    /// Tracer latency histograms.
+    TraceHists = 45,
 }
 
 impl LockClass {
     /// Number of classes (adjacency bitmasks are `u64`, so this must stay
     /// ≤ 64).
-    pub const COUNT: usize = 44;
+    pub const COUNT: usize = 46;
 
     /// The class's layer in the documented hierarchy — smaller layers are
     /// acquired first (outermost).
@@ -195,6 +201,8 @@ impl LockClass {
             LockClass::TestB => 92,
             LockClass::TestInner => 94,
             LockClass::HostAttached => 8,
+            LockClass::TraceRings => 87,
+            LockClass::TraceHists => 88,
         }
     }
 

@@ -138,6 +138,20 @@ impl VirtQueue {
         cost_ring_push: vphi_sim_core::SimDuration,
         tl: &mut Timeline,
     ) -> Result<u16, QueueError> {
+        let head = self.prepare_chain(descriptors)?;
+        self.publish_avail(head, cost_ring_push, tl);
+        Ok(head)
+    }
+
+    /// Write a chain into the descriptor table *without* exposing it on
+    /// the avail ring; returns the head index.  Real virtio drivers order
+    /// their stores the same way — descriptor table first, avail-ring
+    /// entry last — because the device may consume a published head
+    /// instantly.  A driver that must register per-request bookkeeping
+    /// keyed by the head (the vPHI channel's inflight table) does so
+    /// between this call and [`publish_avail`](VirtQueue::publish_avail);
+    /// publishing first races a device woken by *another* thread's kick.
+    pub fn prepare_chain(&self, descriptors: &[Descriptor]) -> Result<u16, QueueError> {
         if descriptors.is_empty() {
             return Err(QueueError::EmptyChain);
         }
@@ -157,10 +171,19 @@ impl VirtQueue {
             }
             st.table[idx as usize] = Some(d);
         }
-        let head = indices[0];
-        st.avail.push_back(head);
+        Ok(indices[0])
+    }
+
+    /// Expose a prepared chain on the avail ring and charge the
+    /// `RingPush` cost.  From this point the device side can pop it.
+    pub fn publish_avail(
+        &self,
+        head: u16,
+        cost_ring_push: vphi_sim_core::SimDuration,
+        tl: &mut Timeline,
+    ) {
+        self.state.lock().avail.push_back(head);
         tl.charge(SpanLabel::RingPush, cost_ring_push);
-        Ok(head)
     }
 
     /// Notify the device (one vm-exit unless suppressed).  Returns whether
@@ -392,6 +415,22 @@ mod tests {
         let mut tl = Timeline::new();
         assert!(!q.kick(KICK, &mut tl));
         assert_eq!(tl.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn prepared_chain_is_invisible_until_published() {
+        let q = VirtQueue::new(4);
+        let mut tl = Timeline::new();
+        let head = q.prepare_chain(&[Descriptor::readable(0, 8)]).unwrap();
+        // Descriptors are allocated but the device side sees nothing —
+        // the window where the driver registers head-keyed bookkeeping.
+        assert_eq!(q.free_descriptors(), 3);
+        assert!(!q.avail_pending());
+        assert!(q.pop_avail().unwrap().is_none());
+        assert_eq!(tl.total(), SimDuration::ZERO);
+        q.publish_avail(head, PUSH, &mut tl);
+        assert_eq!(q.pop_avail().unwrap().unwrap().head, head);
+        assert_eq!(tl.total(), PUSH);
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!    only to the right of `=>` there.)
 //! 4. `event-loop-blocking` — no `.lock()` / `.read()` / `.write()` /
 //!    `.wait*()` method calls in `vmm/src/event_loop.rs`.
+//! 5. `opctx-api` — in `scif/src/api.rs`, no `fn` may take a raw
+//!    `&mut Timeline` parameter: the endpoint API's calling convention is
+//!    `ctx: impl Into<OpCtx<'_>>` (DESIGN.md #14), which accepts a bare
+//!    timeline from untraced callers and propagates trace context from
+//!    traced ones.  `#[deprecated]` shims are exempt.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -86,7 +91,8 @@ pub fn lint_source(rel: &Path, src: &str) -> Result<Vec<Violation>, String> {
     let mut v = Vec::new();
     let is_protocol = rel.ends_with("core/src/protocol.rs");
     let is_event_loop = rel.ends_with("vmm/src/event_loop.rs");
-    walk(&file.tokens, rel, is_protocol, is_event_loop, &mut v);
+    let is_scif_api = rel.ends_with("scif/src/api.rs");
+    walk(&file.tokens, rel, is_protocol, is_event_loop, is_scif_api, &mut v);
     Ok(v)
 }
 
@@ -95,15 +101,19 @@ fn walk(
     rel: &Path,
     is_protocol: bool,
     is_event_loop: bool,
+    is_scif_api: bool,
     out: &mut Vec<Violation>,
 ) {
     scan_sequences(tokens, rel, is_event_loop, out);
     if is_protocol {
         scan_protocol_matches(tokens, rel, out);
     }
+    if is_scif_api {
+        scan_opctx_api(tokens, rel, out);
+    }
     for t in tokens {
         if let TokenTree::Group(g) = t {
-            walk(&g.tokens, rel, is_protocol, is_event_loop, out);
+            walk(&g.tokens, rel, is_protocol, is_event_loop, is_scif_api, out);
         }
     }
 }
@@ -203,6 +213,77 @@ fn scan_sequences(tokens: &[TokenTree], rel: &Path, is_event_loop: bool, out: &m
             }
         }
     }
+}
+
+/// Rule 5: the endpoint API must take `OpCtx`, not a raw timeline.
+/// Flags any `fn` in `scif/src/api.rs` whose parameter list mentions the
+/// `Timeline` ident, unless a `#[deprecated]` attribute precedes it.
+fn scan_opctx_api(tokens: &[TokenTree], rel: &Path, out: &mut Vec<Violation>) {
+    for i in 0..tokens.len() {
+        if tokens[i].ident() != Some("fn") {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).and_then(TokenTree::ident) else { continue };
+        // The parameter list is the first parenthesis group after the fn
+        // name (generic params contain no parenthesis groups in this API).
+        let Some(params) = tokens[i + 2..].iter().find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter == Delimiter::Parenthesis => Some(g),
+            _ => None,
+        }) else {
+            continue;
+        };
+        if !group_mentions(params, "Timeline") || fn_is_deprecated(tokens, i) {
+            continue;
+        }
+        out.push(Violation {
+            file: rel.to_path_buf(),
+            line: tokens[i + 1].line(),
+            rule: "opctx-api",
+            message: format!(
+                "fn {name} takes a raw &mut Timeline; scif::api methods take `ctx: impl Into<OpCtx<'_>>` so traces propagate (DESIGN.md #14)"
+            ),
+        });
+    }
+}
+
+/// Whether `group`'s token tree (at any depth) mentions ident `what`.
+fn group_mentions(group: &syn::Group, what: &str) -> bool {
+    fn scan(tokens: &[TokenTree], what: &str) -> bool {
+        tokens.iter().any(|t| match t {
+            TokenTree::Ident(id) => id.text == what,
+            TokenTree::Group(g) => scan(&g.tokens, what),
+            _ => false,
+        })
+    }
+    scan(&group.tokens, what)
+}
+
+/// Whether the `fn` keyword at `at` is preceded by a `#[deprecated ..]`
+/// attribute (scanning back over visibility/qualifier tokens).
+fn fn_is_deprecated(tokens: &[TokenTree], at: usize) -> bool {
+    let mut j = at;
+    while j > 0 {
+        j -= 1;
+        match &tokens[j] {
+            TokenTree::Ident(id)
+                if matches!(id.text.as_str(), "pub" | "const" | "unsafe" | "async" | "crate") => {}
+            // `pub(crate)` visibility group.
+            TokenTree::Group(g) if g.delimiter == Delimiter::Parenthesis => {}
+            // `#[ ... ]`: an attribute — deprecated anywhere inside counts.
+            TokenTree::Group(g)
+                if g.delimiter == Delimiter::Bracket
+                    && j > 0
+                    && tokens[j - 1].punct() == Some('#') =>
+            {
+                if g.tokens.iter().any(|t| t.ident() == Some("deprecated")) {
+                    return true;
+                }
+                j -= 1; // keep scanning past this attribute
+            }
+            _ => return false,
+        }
+    }
+    false
 }
 
 /// Rule 3: exhaustive matches over the wire-protocol request enum.
@@ -378,6 +459,29 @@ mod tests {
         assert_eq!(rules, ["event-loop-blocking", "event-loop-blocking"]);
         // The same calls elsewhere are the runtime detector's job, not lint's.
         assert!(lint("crates/vmm/src/kvm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn scif_api_timeline_param_is_flagged() {
+        let src = "impl ScifEndpoint {\n  pub fn send(&self, data: &[u8], tl: &mut Timeline) -> ScifResult<usize> { todo!() }\n}";
+        let v = lint("crates/scif/src/api.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "opctx-api");
+        assert_eq!(v[0].line, 2);
+        // The same signature elsewhere is fine (guest/backend mirrors are
+        // converted by review, not lint).
+        assert!(lint("crates/core/src/guest.rs", src).is_empty());
+    }
+
+    #[test]
+    fn scif_api_opctx_params_pass_and_deprecated_is_exempt() {
+        let ok = "impl ScifEndpoint {\n  pub fn send<'a>(&self, data: &[u8], ctx: impl Into<OpCtx<'a>>) -> ScifResult<usize> { todo!() }\n  fn syscall(&self, ctx: &mut OpCtx<'_>) {}\n}";
+        assert!(lint("crates/scif/src/api.rs", ok).is_empty());
+        let shim = "#[deprecated(note = \"use OpCtx\")]\npub fn send_old(tl: &mut Timeline) {}";
+        assert!(lint("crates/scif/src/api.rs", shim).is_empty());
+        // Timeline in the return type or body is not a violation.
+        let ret = "fn spans(&self) -> &Timeline { &self.tl }";
+        assert!(lint("crates/scif/src/api.rs", ret).is_empty());
     }
 
     #[test]

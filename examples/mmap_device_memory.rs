@@ -52,7 +52,7 @@ fn main() {
         vm.vm().kvm().fault_count()
     );
     map.munmap(&mut tl).expect("munmap");
-    ep.close(&mut tl).expect("close");
+    drop(ep); // RAII close
     vm.shutdown();
     let _ = server.join();
 
@@ -78,7 +78,7 @@ fn main() {
         ),
         Ok(_) => unreachable!("unpatched KVM must not resolve device faults"),
     }
-    ep.close(&mut tl).expect("close");
+    drop(ep); // RAII close
     vm.shutdown();
     let _ = server.join();
 }

@@ -46,7 +46,8 @@ fn main() {
     // 6. Where did the time go?  The timeline knows.
     println!("\nbreakdown of the round trip:\n{ping_tl}");
 
-    ep.close(&mut tl).expect("close");
+    // Dropping `ep` closes the endpoint (RAII) — no explicit close needed.
+    drop(ep);
     vm.shutdown();
     let _ = echo.join();
     println!("done.");

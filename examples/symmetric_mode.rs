@@ -37,8 +37,8 @@ impl CoiEnv for DeviceSideEnv {
 
     fn listen(&self, port: Port, tl: &mut Timeline) -> ScifResult<Box<dyn CoiListener>> {
         let ep = vphi_scif::ScifEndpoint::open(&self.fabric, self.node)?;
-        ep.bind(port, tl)?;
-        ep.listen(16, tl)?;
+        ep.bind(port, &mut *tl)?;
+        ep.listen(16, &mut *tl)?;
         Ok(Box::new(ep))
     }
 

@@ -266,3 +266,44 @@ fn double_close_after_card_reset_pins_exact_errors() {
     vm.shutdown();
     dev.join().unwrap();
 }
+
+/// The RAII variant of the double-close-after-reset test: dropping the
+/// guest endpoint must behave exactly like the explicit `close()` — it
+/// consumes the one live epd-table entry the card reset left behind, and
+/// a second close on the stale descriptor pins EINVAL.
+#[test]
+fn drop_after_card_reset_closes_exactly_once() {
+    let host = VphiHost::new(1);
+
+    let server = host.device_endpoint(0).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let dev = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(Port(982), &mut tl).unwrap();
+        server.listen(2, &mut tl).unwrap();
+        tx.send(()).unwrap();
+        let conn = server.accept(&mut tl).unwrap();
+        let mut b = [0u8; 1];
+        let _ = conn.core().recv(&mut b, &mut tl);
+    });
+    rx.recv().unwrap();
+
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    let epd = ep.epd();
+    ep.connect(ScifAddr::new(host.device_node(0), Port(982)), &mut tl).unwrap();
+
+    host.arm_faults(FaultPlan::single(FaultSite::PhiCoreLockup, 1, 0));
+    assert_eq!(ep.send(b"x", &mut tl), Err(ScifError::NoDev));
+    host.reset_card(0);
+    assert!(host.board(0).is_online());
+
+    // RAII close via Drop takes the place of the first explicit close.
+    drop(ep);
+    assert_eq!(vm.backend().open_endpoints(), 0);
+    assert_eq!(vm.frontend().simple(VphiRequest::Close { epd }, &mut tl), Err(ScifError::Inval));
+
+    vm.shutdown();
+    dev.join().unwrap();
+}

@@ -1,0 +1,249 @@
+//! End-to-end request tracing: span-graph integrity across send/recv and
+//! RMA, byte-stable encoding on a fixed virtual-clock schedule, and no
+//! orphan spans when a chaos fault plan fires mid-request.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use vphi::builder::{VmConfig, VphiHost, VphiVm};
+use vphi_faults::FaultPlan;
+use vphi_scif::window::WindowBacking;
+use vphi_scif::{Port, Prot, RmaFlags, ScifAddr, ScifError};
+use vphi_sim_core::Timeline;
+use vphi_trace::{SpanRec, Stage, TraceConfig};
+
+/// A device-side echo server that registers a 4 KiB window per
+/// connection (so RMA ops land) and echoes fixed 5-byte messages.
+fn echo_window_server(
+    host: &VphiHost,
+    port: u16,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    let server = host.device_endpoint(0).unwrap();
+    let board = Arc::clone(host.board(0));
+    let mut tl = Timeline::new();
+    server.bind(Port(port), &mut tl).unwrap();
+    server.listen(8, &mut tl).unwrap();
+    std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        while !stop.load(Ordering::Relaxed) {
+            match server.try_accept(&mut tl) {
+                Ok(Some(conn)) => {
+                    if let Ok(region) = board.memory().alloc(4096) {
+                        let _ = conn.register(
+                            Some(0),
+                            4096,
+                            Prot::READ_WRITE,
+                            WindowBacking::Device(region),
+                            &mut tl,
+                        );
+                    }
+                    loop {
+                        let mut buf = [0u8; 5];
+                        match conn.recv(&mut buf, &mut tl) {
+                            Ok(5) => {
+                                if conn.send(&buf, &mut tl).is_err() {
+                                    break;
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                    conn.close();
+                }
+                Ok(None) | Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    })
+}
+
+/// One traced guest session: open, connect, 5-byte echo, a 4 KiB RMA
+/// write into the server window, close.
+fn one_session(host: &VphiHost, vm: &VphiVm, port: u16) -> Result<(), ScifError> {
+    let mut tl = Timeline::new();
+    let addr = ScifAddr::new(host.device_node(0), Port(port));
+    let ep = vm.open_scif(&mut tl)?;
+    ep.connect(addr, &mut tl)?;
+    ep.send(b"ping!", &mut tl)?;
+    let mut back = [0u8; 5];
+    let mut got = 0;
+    while got < back.len() {
+        let n = ep.recv(&mut back[got..], &mut tl)?;
+        if n == 0 {
+            return Err(ScifError::ConnReset);
+        }
+        got += n;
+    }
+    assert_eq!(&back, b"ping!");
+    let buf = vm.alloc_buf(4096)?;
+    ep.vwriteto(&buf, 0, RmaFlags::SYNC, &mut tl)?;
+    ep.close(&mut tl)?;
+    Ok(())
+}
+
+/// Check every retained span graph: per trace, exactly one root (id 1,
+/// parent 0), unique ids, and every parent resolving to a span of the
+/// same trace.
+fn assert_well_formed(spans: &[SpanRec]) {
+    let mut by_trace: BTreeMap<u64, Vec<&SpanRec>> = BTreeMap::new();
+    for s in spans {
+        by_trace.entry(s.trace_id).or_default().push(s);
+    }
+    assert!(!by_trace.is_empty(), "no traces recorded");
+    for (trace_id, spans) in by_trace {
+        let ids: BTreeSet<u32> = spans.iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), spans.len(), "trace {trace_id}: duplicate span ids");
+        let roots: Vec<_> = spans.iter().filter(|s| s.parent == 0).collect();
+        assert_eq!(roots.len(), 1, "trace {trace_id}: expected exactly one root");
+        assert_eq!(roots[0].id, 1, "trace {trace_id}: root id");
+        for s in &spans {
+            assert!(
+                s.parent == 0 || ids.contains(&s.parent),
+                "trace {trace_id}: span {} ({}) has unresolved parent {}",
+                s.id,
+                s.name,
+                s.parent
+            );
+        }
+    }
+}
+
+#[test]
+fn span_graph_covers_every_layer_and_is_well_formed() {
+    let host = VphiHost::new(1);
+    let tracer = host.arm_tracing(TraceConfig { ring_capacity: 1 << 16, summary_capacity: 1024 });
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = echo_window_server(&host, 930, Arc::clone(&stop));
+    let vm = host.spawn_vm(VmConfig::default());
+
+    one_session(&host, &vm, 930).expect("traced session");
+
+    let vm_id = vm.vm().id();
+    let spans = tracer.spans(vm_id);
+    assert_well_formed(&spans);
+
+    // The trace follows the request through every layer of the stack.
+    let names: BTreeSet<&str> = spans.iter().map(|s| s.name).collect();
+    for expected in [
+        "guest-syscall",  // frontend marshalling
+        "virtio-ring",    // descriptor + kick
+        "backend-replay", // backend decode + execute
+        "scif_send",      // host SCIF replay of the guest's send
+        "scif_recv",
+        "scif_vwriteto",
+        "complete",      // used-ring write-back + interrupt
+        "wait-complete", // frontend waiting scheme
+    ] {
+        assert!(names.contains(expected), "missing span {expected:?} in {names:?}");
+    }
+
+    // Child spans nest under the op roots: a scif_* replay span's parent
+    // chain reaches the backend-replay span.
+    let by_id: BTreeMap<(u64, u32), &SpanRec> =
+        spans.iter().map(|s| ((s.trace_id, s.id), s)).collect();
+    let scif_send = spans.iter().find(|s| s.name == "scif_send").unwrap();
+    let parent = by_id[&(scif_send.trace_id, scif_send.parent)];
+    assert_eq!(parent.name, "backend-replay");
+
+    // Summaries cover the ops the session issued, and the RMA write's
+    // decomposition has real DMA time.
+    let ops: BTreeSet<&str> = tracer.summaries(vm_id).iter().map(|s| s.op).collect();
+    for op in ["open", "connect", "send", "recv", "vwriteto", "close"] {
+        assert!(ops.contains(op), "missing summary for {op:?} in {ops:?}");
+    }
+    let vwrite =
+        tracer.summaries(vm_id).into_iter().find(|s| s.op == "vwriteto").expect("vwriteto summary");
+    assert!(!vwrite.stages[Stage::Dma.index()].is_zero(), "{vwrite:?}");
+    assert_eq!(vwrite.stages.iter().copied().sum::<vphi_sim_core::SimDuration>(), vwrite.total);
+
+    // Everything opened was closed.
+    let c = tracer.counters();
+    assert_eq!(c.open_spans, 0, "{c:?}");
+    assert_eq!(c.traces_started, c.traces_finished, "{c:?}");
+    assert_eq!(c.spans_dropped, 0, "{c:?}");
+
+    // The chrome://tracing export carries the same spans.
+    let chrome = tracer.chrome_trace_json();
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("backend-replay"));
+
+    stop.store(true, Ordering::Relaxed);
+    vm.shutdown();
+    server.join().unwrap();
+}
+
+/// One deterministic traced workload; returns the canonical encoding,
+/// with the VM id (a process-global counter, so it differs between test
+/// runs in the same process) normalized out.
+fn encoded_run() -> String {
+    let host = VphiHost::new(1);
+    let tracer = host.arm_tracing(TraceConfig::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = echo_window_server(&host, 931, Arc::clone(&stop));
+    let vm = host.spawn_vm(VmConfig::default());
+    one_session(&host, &vm, 931).expect("traced session");
+    let encoded = tracer.encode().replace(&format!("vm={}", vm.vm().id()), "vm=#");
+    stop.store(true, Ordering::Relaxed);
+    vm.shutdown();
+    server.join().unwrap();
+    encoded
+}
+
+#[test]
+fn trace_encoding_is_byte_stable() {
+    let a = encoded_run();
+    let b = encoded_run();
+    assert!(a.starts_with("vphi-trace v1\n"), "{a:?}");
+    assert!(a.contains("span vm="), "no spans encoded: {a:?}");
+    assert!(a.contains("summary vm="), "no summaries encoded: {a:?}");
+    // Virtual time is the only clock in the encoding, so two identical
+    // schedules encode identically — byte for byte.
+    assert_eq!(a, b);
+}
+
+#[test]
+fn chaos_faults_leave_no_orphan_spans() {
+    let host = VphiHost::new(1);
+    let tracer = host.arm_tracing(TraceConfig::default());
+    let _injector = host.arm_faults(FaultPlan::from_seed(47, 12));
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = echo_window_server(&host, 932, Arc::clone(&stop));
+    let vm = host.spawn_vm(VmConfig::default());
+
+    // Drive sessions through the fault plan with chaos-style recovery:
+    // retry retryable errors, reset a failed card, stop if the guest dies.
+    let mut completed = 0;
+    'sessions: for _ in 0..8 {
+        for _attempt in 0..25 {
+            if vm.frontend().channel().is_shutdown() {
+                break 'sessions;
+            }
+            match one_session(&host, &vm, 932) {
+                Ok(()) => {
+                    completed += 1;
+                    continue 'sessions;
+                }
+                Err(ScifError::NoDev) if host.board(0).is_failed() => {
+                    host.reset_card(0);
+                }
+                Err(_) => {}
+            }
+        }
+    }
+    let died = vm.frontend().channel().is_shutdown();
+    assert!(died || completed == 8, "neither died nor finished ({completed}/8)");
+
+    // Quiesce, then audit: every begun span ended and every adopted root
+    // finished — errors, deadline retries, card resets and guest death
+    // all travel the same finish paths as success.
+    stop.store(true, Ordering::Relaxed);
+    vm.shutdown();
+    server.join().unwrap();
+
+    let c = tracer.counters();
+    assert!(c.traces_started > 0, "{c:?}");
+    assert_eq!(c.traces_started, c.traces_finished, "orphan roots: {c:?}");
+    assert_eq!(c.open_spans, 0, "orphan spans: {c:?}");
+}
