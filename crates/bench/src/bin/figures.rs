@@ -5,7 +5,7 @@
 //! figures                # everything
 //! figures --fig 4        # just Figure 4
 //! figures --fig breakdown
-//! figures --fig 6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|trace-breakdown|share
+//! figures --fig 6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|trace-breakdown|share|mq-scale
 //! ```
 
 use vphi_bench::abl_cache::abl_cache;
@@ -15,6 +15,7 @@ use vphi_bench::dgemm::{dgemm_figure, dgemm_sizes};
 use vphi_bench::faults::abl_faults;
 use vphi_bench::fig4::fig4_latency;
 use vphi_bench::fig5::fig5_throughput;
+use vphi_bench::mq_scale::mq_scale;
 use vphi_bench::sharing::sharing_scaling;
 use vphi_bench::support::render_table;
 use vphi_bench::trace_breakdown::trace_breakdown;
@@ -475,6 +476,83 @@ fn share_fig() {
     );
 }
 
+fn mq_scale_fig() {
+    let report = mq_scale();
+    let table: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.queues.to_string(),
+                r.vms.to_string(),
+                r.requests.to_string(),
+                format_bytes(r.bytes_each),
+                format!("{:.0}%", 100.0 * r.busiest_lane_share),
+                r.makespan.to_string(),
+                format_throughput(r.aggregate_bw),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "MQ-SCALE — aggregate throughput vs virtqueue lanes × VMs",
+            &["queues", "VMs", "requests", "bytes/req", "busiest lane", "makespan", "aggregate BW"],
+            &table,
+        )
+    );
+    println!("4-VM speedup at 4 queues vs 1: {:.2}x (floor 2.5x)", report.mq_speedup());
+    println!(
+        "1-queue 1B anchor: {} (seed: 382us); default config: {}",
+        report.anchor_single_queue, report.anchor_default
+    );
+    println!(
+        "pipelined {} read: {} vs monolithic {} ({:.1}% better, floor 20%)\n",
+        format_bytes(report.rma_bytes),
+        report.rma_pipelined,
+        report.rma_monolithic,
+        report.rma_improvement_pct()
+    );
+
+    // Machine-readable companion for plotting scripts.
+    let json = mq_scale_json(&report);
+    let path = "BENCH_mq.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON (the build environment has no serde).
+fn mq_scale_json(report: &vphi_bench::MqScaleReport) -> String {
+    let series = |f: &dyn Fn(&vphi_bench::MqScaleRow) -> String| -> String {
+        report.rows.iter().map(f).collect::<Vec<_>>().join(", ")
+    };
+    format!(
+        "{{\n  \"figure\": \"mq-scale\",\n  \"unit\": \"bytes_per_second_virtual_time\",\n\
+         \x20 \"queues\": [{}],\n  \"vms\": [{}],\n  \"requests\": [{}],\n\
+         \x20 \"busiest_lane_share\": [{}],\n  \"makespan_ns\": [{}],\n\
+         \x20 \"aggregate_bw\": [{}],\n\
+         \x20 \"mq_speedup_4vm_4q_vs_1q\": {:.4},\n\
+         \x20 \"anchor_single_queue_ns\": {},\n  \"anchor_default_ns\": {},\n\
+         \x20 \"rma_bytes\": {},\n  \"rma_monolithic_ns\": {},\n\
+         \x20 \"rma_pipelined_ns\": {},\n  \"rma_improvement_pct\": {:.2}\n}}\n",
+        series(&|r| r.queues.to_string()),
+        series(&|r| r.vms.to_string()),
+        series(&|r| r.requests.to_string()),
+        series(&|r| format!("{:.4}", r.busiest_lane_share)),
+        series(&|r| r.makespan.as_nanos().to_string()),
+        series(&|r| format!("{:.1}", r.aggregate_bw)),
+        report.mq_speedup(),
+        report.anchor_single_queue.as_nanos(),
+        report.anchor_default.as_nanos(),
+        report.rma_bytes,
+        report.rma_monolithic.as_nanos(),
+        report.rma_pipelined.as_nanos(),
+        report.rma_improvement_pct(),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args
@@ -499,6 +577,7 @@ fn main() {
         "abl-faults" => abl_faults_fig(),
         "trace-breakdown" => trace_breakdown_fig(),
         "share" => share_fig(),
+        "mq-scale" => mq_scale_fig(),
         "all" => {
             fig4();
             breakdown();
@@ -513,10 +592,11 @@ fn main() {
             abl_faults_fig();
             trace_breakdown_fig();
             share_fig();
+            mq_scale_fig();
         }
         other => {
             eprintln!(
-                "unknown figure '{other}': use 4|breakdown|5|6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|trace-breakdown|share|all"
+                "unknown figure '{other}': use 4|breakdown|5|6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|trace-breakdown|share|mq-scale|all"
             );
             std::process::exit(2);
         }

@@ -7,6 +7,7 @@ pub mod dgemm;
 pub mod faults;
 pub mod fig4;
 pub mod fig5;
+pub mod mq_scale;
 pub mod sharing;
 pub mod trace_breakdown;
 
@@ -17,5 +18,6 @@ pub use dgemm::{dgemm_figure, DgemmRow, PAPER_THREAD_COUNTS};
 pub use faults::{abl_faults, FaultsReport};
 pub use fig4::{fig4_latency, Fig4Row};
 pub use fig5::{fig5_throughput, Fig5Row};
+pub use mq_scale::{mq_scale, MqScaleReport, MqScaleRow, MQ_QUEUE_COUNTS, MQ_VM_COUNTS};
 pub use sharing::{sharing_scaling, ShareRow};
 pub use trace_breakdown::{trace_breakdown, TraceBreakdownReport, TraceStageRow};

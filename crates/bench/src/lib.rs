@@ -14,6 +14,7 @@
 //! | ABL-WAIT / ABL-CHUNK / ABL-BLOCK    | [`experiments::ablations`] |
 //! | ABL-CACHE (registration cache)      | [`experiments::abl_cache`] |
 //! | SHARE (multi-VM sharing)            | [`experiments::sharing`] |
+//! | MQ-SCALE (multi-queue transport)    | [`experiments::mq_scale`] |
 //! | TRACE (per-stage gap decomposition) | [`experiments::trace_breakdown`] |
 
 pub mod experiments;

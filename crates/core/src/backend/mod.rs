@@ -103,11 +103,20 @@ pub struct BackendOptions {
     /// service loop is draining and elide all but the last interrupt of
     /// a burst.  A burst of one behaves exactly like the seed.
     pub coalesce_notifications: bool,
+    /// Pipeline large RMA staging: split cold-path pin/translate into
+    /// `KMALLOC_MAX_SIZE` chunks double-buffered against the DMA channels,
+    /// so only the exposed remainder of staging lands on the critical
+    /// path.  Off by default to keep the calibrated figures byte-stable.
+    pub pipeline_rma: bool,
 }
 
 impl Default for BackendOptions {
     fn default() -> Self {
-        BackendOptions { reg_cache: RegCacheConfig::default(), coalesce_notifications: true }
+        BackendOptions {
+            reg_cache: RegCacheConfig::default(),
+            coalesce_notifications: true,
+            pipeline_rma: false,
+        }
     }
 }
 
@@ -136,6 +145,10 @@ pub struct BackendInner {
     policy: DispatchPolicy,
     running: AtomicBool,
     coalesce: bool,
+    pipeline_rma: bool,
+    /// Worker dispatches per queue lane — the shard-level counterpart of
+    /// `stats.worker_dispatches`, surfaced in the debug report.
+    queue_worker_dispatches: Vec<AtomicU64>,
     /// Registered windows, (epd, window offset) → (backing gpa, len).
     /// Only consulted to invalidate the cache on `scif_unregister`.
     windows: TrackedMutex<HashMap<(u64, u64), (u64, u64)>>,
@@ -162,6 +175,11 @@ impl BackendInner {
     /// Windows the backend believes are still pinned (leak detector).
     pub fn window_entries(&self) -> usize {
         self.windows.lock().len()
+    }
+
+    /// Worker dispatches attributed to queue lane `q`.
+    pub fn queue_worker_dispatches(&self, q: usize) -> u64 {
+        self.queue_worker_dispatches[q].load(Ordering::Relaxed)
     }
 
     /// Tear down everything a dead guest left behind: close (and thereby
@@ -244,13 +262,13 @@ impl BackendInner {
         epd
     }
 
-    /// Service one popped chain end-to-end.  `more_pending` is true when
-    /// the service loop already holds further chains of the same burst:
-    /// the completion then skips its interrupt injection, because the
-    /// burst's last completion will interrupt the guest once for all of
-    /// them (notification coalescing).
-    fn process(self: &Arc<Self>, chain: DescChain, more_pending: bool) {
-        let (token, mut tl, trace) = self.channel.claim(chain.head);
+    /// Service one chain popped from queue lane `q` end-to-end.
+    /// `more_pending` is true when the shard's service loop already holds
+    /// further chains of the same burst: the completion then skips its
+    /// interrupt injection, because the burst's last completion will
+    /// interrupt the guest once for all of them (notification coalescing).
+    fn process(self: &Arc<Self>, q: usize, chain: DescChain, more_pending: bool) {
+        let (token, mut tl, trace) = self.channel.claim(q, chain.head);
         if self.faults.fire(FaultSite::VmmGuestDeath).is_some() {
             // The guest died mid-request: its QEMU process tears down, so
             // no response is ever written.  Waiters observe the shutdown
@@ -286,6 +304,7 @@ impl BackendInner {
         let Some(req) = req else {
             OpCtx::new(&mut tl, trace.clone()).end(replay);
             self.finish(
+                q,
                 token,
                 &chain,
                 VphiResponse::err(ScifError::Inval),
@@ -303,7 +322,7 @@ impl BackendInner {
                     self.execute(&req, &chain, &mut OpCtx::new(tl, trace.clone()))
                 });
                 OpCtx::new(&mut tl, trace.clone()).end(replay);
-                self.finish(token, &chain, resp, tl, trace, coalesce_irq);
+                self.finish(q, token, &chain, resp, tl, trace, coalesce_irq);
             }
             Dispatch::Worker => {
                 // `scif_accept` may wait forever for a connect; freezing
@@ -311,6 +330,7 @@ impl BackendInner {
                 // on a QEMU worker thread.  A worker completes at its own
                 // pace, so its interrupt is never coalesced.
                 self.stats.worker_dispatches.fetch_add(1, Ordering::Relaxed);
+                self.queue_worker_dispatches[q].fetch_add(1, Ordering::Relaxed);
                 let inner = Arc::clone(self);
                 self.event_loop.spawn_worker(req.name(), move || {
                     let mut tl = tl;
@@ -319,17 +339,19 @@ impl BackendInner {
                         inner.execute(&req, &chain, &mut OpCtx::new(tl, trace.clone()))
                     });
                     OpCtx::new(&mut tl, trace.clone()).end(replay);
-                    inner.finish(token, &chain, resp, tl, trace, false);
+                    inner.finish(q, token, &chain, resp, tl, trace, false);
                 });
             }
         }
     }
 
-    /// Write the response header, push used, inject the virtual interrupt
-    /// (unless this completion rides an imminent later one) and hand the
-    /// timeline back to the frontend.
+    /// Write the response header, push used on lane `q`, inject the
+    /// lane's virtual interrupt (unless this completion rides an imminent
+    /// later one) and hand the timeline back to the frontend.
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
+        q: usize,
         token: crate::frontend::ReqToken,
         chain: &DescChain,
         resp: VphiResponse,
@@ -343,7 +365,7 @@ impl BackendInner {
         // child of it.
         let mut ctx = OpCtx::new(&mut tl, trace.at_root());
         let span = ctx.begin("complete", Stage::Completion);
-        self.channel.queue.push_used(
+        self.channel.lane_queue(q).push_used(
             UsedElem { id: chain.head, len: resp_desc.len },
             self.cost().used_push,
             ctx.tl,
@@ -360,7 +382,7 @@ impl BackendInner {
             self.channel.complete_quiet(token, tl);
             return;
         } else {
-            self.guest_irq.inject(VPHI_IRQ_VECTOR, ctx.tl);
+            self.guest_irq.inject(VPHI_IRQ_VECTOR + q as u32, ctx.tl);
         }
         ctx.end(span);
         drop(ctx);
@@ -388,7 +410,17 @@ impl BackendInner {
         }
         let pages = bytes.div_ceil(vphi_sim_core::cost::PAGE_SIZE).max(1);
         self.stats.pages_translated.fetch_add(pages, Ordering::Relaxed);
-        tl.charge(SpanLabel::PageTranslate, self.cost().page_translate * pages);
+        let chunk = vphi_sim_core::cost::KMALLOC_MAX_SIZE;
+        if self.pipeline_rma && bytes > chunk {
+            // Double-buffered staging pipeline: the transfer's own DMA
+            // charge (inside the SCIF replay) covers the wire; here we
+            // charge only the staging the pipeline could not hide behind
+            // earlier chunks' DMA.
+            let exposed = self.fabric.shared().rma_pipeline_exposure(bytes, chunk);
+            tl.charge(SpanLabel::PageTranslate, exposed);
+        } else {
+            tl.charge(SpanLabel::PageTranslate, self.cost().page_translate * pages);
+        }
     }
 
     /// Execute one decoded request against the host SCIF driver.
@@ -653,7 +685,10 @@ fn wire_prot(p: u8) -> Prot {
 /// The virtual PCI device QEMU exposes to the guest.
 pub struct BackendDevice {
     inner: Arc<BackendInner>,
-    thread: TrackedMutex<Option<std::thread::JoinHandle<()>>>,
+    /// The sharded executor's service threads, one per queue lane.  They
+    /// share the endpoint table, registration cache and dead-guest GC
+    /// through [`BackendInner`]; only the ring they drain is private.
+    shards: TrackedMutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for BackendDevice {
@@ -726,6 +761,8 @@ impl BackendDevice {
         policy: DispatchPolicy,
         options: BackendOptions,
     ) -> Arc<Self> {
+        let queue_worker_dispatches =
+            (0..channel.queue_count()).map(|_| AtomicU64::new(0)).collect();
         Arc::new(BackendDevice {
             inner: Arc::new(BackendInner {
                 name: name.into(),
@@ -747,12 +784,14 @@ impl BackendDevice {
                 policy,
                 running: AtomicBool::new(false),
                 coalesce: options.coalesce_notifications,
+                pipeline_rma: options.pipeline_rma,
+                queue_worker_dispatches,
                 windows: TrackedMutex::new(LockClass::BackendWindows, HashMap::new()),
                 reg_cache: RegistrationCache::new(options.reg_cache),
                 stats: BackendStats::default(),
                 faults: FaultHook::new(),
             }),
-            thread: TrackedMutex::new(LockClass::BackendWorker, None),
+            shards: TrackedMutex::new(LockClass::BackendShards, Vec::new()),
         })
     }
 
@@ -764,10 +803,13 @@ impl BackendDevice {
         self.inner.eps.lock().endpoints.len()
     }
 
-    /// Arm every backend-side fault site on this device with `injector`.
+    /// Arm every backend-side fault site on this device with `injector` —
+    /// the device's own sites plus every queue lane's transport sites.
     pub fn arm_faults(&self, injector: &Arc<vphi_faults::FaultInjector>) {
         self.inner.faults.arm(Arc::clone(injector));
-        self.inner.channel.queue.fault_hook().arm(Arc::clone(injector));
+        for lane in self.inner.channel.lanes() {
+            lane.queue.fault_hook().arm(Arc::clone(injector));
+        }
     }
 
     /// Arm end-to-end request tracing on this device's channel.  Every
@@ -788,51 +830,61 @@ impl VirtualPciDevice for BackendDevice {
         Arc::clone(&self.inner.channel.queue)
     }
 
+    fn queues(&self) -> Vec<Arc<VirtQueue>> {
+        self.inner.channel.lanes().iter().map(|l| Arc::clone(&l.queue)).collect()
+    }
+
     fn start(&self) {
         if self.inner.running.swap(true, Ordering::AcqRel) {
             return;
         }
-        let inner = Arc::clone(&self.inner);
-        let handle = std::thread::Builder::new()
-            .name(format!("vphi-backend-{}", inner.name))
-            .spawn(move || {
-                while inner.running.load(Ordering::Acquire) && inner.channel.queue.wait_kick() {
-                    loop {
-                        let queue = &inner.channel.queue;
-                        // While the loop is draining a burst, further guest
-                        // kicks are redundant — VRING_USED_F_NO_NOTIFY
-                        // spares the guest those vm-exits.  Suppression is
-                        // lifted *before* the burst's last completion is
-                        // delivered, so a synchronous requester's next kick
-                        // behaves exactly as without coalescing.
-                        if inner.coalesce {
-                            queue.set_suppress_kick(true);
-                        }
-                        let mut batch = Vec::new();
-                        while let Ok(Some(chain)) = queue.pop_avail() {
-                            batch.push(chain);
-                        }
-                        let burst = batch.len();
-                        if inner.coalesce && burst <= 1 {
-                            queue.set_suppress_kick(false);
-                        }
-                        for (i, chain) in batch.into_iter().enumerate() {
-                            let last = i + 1 == burst;
-                            if inner.coalesce && last && burst > 1 {
+        // The sharded executor: one service thread per queue lane, all
+        // sharing the endpoint table, registration cache and dead-guest
+        // GC through `BackendInner`.
+        let mut shards = self.shards.lock();
+        for q in 0..self.inner.channel.queue_count() {
+            let inner = Arc::clone(&self.inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("vphi-backend-{}-q{q}", inner.name))
+                .spawn(move || {
+                    let queue = Arc::clone(inner.channel.lane_queue(q));
+                    while inner.running.load(Ordering::Acquire) && queue.wait_kick() {
+                        loop {
+                            // While the loop is draining a burst, further guest
+                            // kicks are redundant — VRING_USED_F_NO_NOTIFY
+                            // spares the guest those vm-exits.  Suppression is
+                            // lifted *before* the burst's last completion is
+                            // delivered, so a synchronous requester's next kick
+                            // behaves exactly as without coalescing.
+                            if inner.coalesce {
+                                queue.set_suppress_kick(true);
+                            }
+                            let mut batch = Vec::new();
+                            while let Ok(Some(chain)) = queue.pop_avail() {
+                                batch.push(chain);
+                            }
+                            let burst = batch.len();
+                            if inner.coalesce && burst <= 1 {
                                 queue.set_suppress_kick(false);
                             }
-                            inner.process(chain, !last);
-                        }
-                        // A chain posted while kicks were suppressed never
-                        // delivered its kick; pick it up before blocking.
-                        if !queue.avail_pending() {
-                            break;
+                            for (i, chain) in batch.into_iter().enumerate() {
+                                let last = i + 1 == burst;
+                                if inner.coalesce && last && burst > 1 {
+                                    queue.set_suppress_kick(false);
+                                }
+                                inner.process(q, chain, !last);
+                            }
+                            // A chain posted while kicks were suppressed never
+                            // delivered its kick; pick it up before blocking.
+                            if !queue.avail_pending() {
+                                break;
+                            }
                         }
                     }
-                }
-            })
-            .expect("spawn vphi backend");
-        *self.thread.lock() = Some(handle);
+                })
+                .expect("spawn vphi backend shard");
+            shards.push(handle);
+        }
     }
 
     fn stop(&self) {
@@ -840,8 +892,10 @@ impl VirtualPciDevice for BackendDevice {
             return;
         }
         self.inner.channel.mark_shutdown();
-        self.inner.channel.queue.shutdown();
-        if let Some(h) = self.thread.lock().take() {
+        for lane in self.inner.channel.lanes() {
+            lane.queue.shutdown();
+        }
+        for h in self.shards.lock().drain(..) {
             let _ = h.join();
         }
         // Close any endpoints the guest leaked.

@@ -32,8 +32,12 @@ pub struct VmConfig {
     pub mem_size: u64,
     /// The frontend's waiting scheme.
     pub scheme: WaitScheme,
-    /// Virtqueue size.
+    /// Virtqueue size (descriptors per queue).
     pub queue_size: u16,
+    /// Number of virtqueue lanes.  The frontend hashes each request's
+    /// endpoint onto a lane (per-endpoint FIFO preserved) and the backend
+    /// runs one service thread per lane — the MQ-SCALE axis.
+    pub num_queues: u16,
     /// Host kernel patch state (`Unpatched` reproduces the mmap failure
     /// the paper's KVM patch fixes).
     pub patch: KvmPatch,
@@ -49,6 +53,10 @@ pub struct VmConfig {
     /// Coalesce used-ring notifications (kick suppression + burst-level
     /// interrupt elision).  A burst of one behaves exactly like the seed.
     pub coalesce_notifications: bool,
+    /// Pipeline large cold-path RMA staging through double-buffered
+    /// chunks overlapped with device DMA.  Off by default so the
+    /// calibrated figures stay byte-stable; MQ-SCALE turns it on.
+    pub pipeline_rma: bool,
 }
 
 impl Default for VmConfig {
@@ -57,11 +65,13 @@ impl Default for VmConfig {
             mem_size: 256 * MIB,
             scheme: WaitScheme::Interrupt,
             queue_size: 256,
+            num_queues: 4,
             patch: KvmPatch::PfnPhi,
             chunk_size: vphi_sim_core::cost::KMALLOC_MAX_SIZE,
             dispatch: crate::backend::DispatchPolicy::PAPER,
             reg_cache: crate::backend::RegCacheConfig::default(),
             coalesce_notifications: true,
+            pipeline_rma: false,
         }
     }
 }
@@ -242,7 +252,7 @@ impl VphiHost {
     /// Boot a VM with a vPHI device attached.
     pub fn spawn_vm(&self, config: VmConfig) -> VphiVm {
         let vm = Vm::new(config.mem_size, Arc::clone(&self.cost), config.patch);
-        let channel = VphiChannel::new(config.queue_size);
+        let channel = VphiChannel::with_queues(config.queue_size, config.num_queues);
         let frontend = FrontendDriver::insert_with_chunk(
             Arc::clone(vm.kernel()),
             Arc::clone(&channel),
@@ -262,6 +272,7 @@ impl VphiHost {
             crate::backend::BackendOptions {
                 reg_cache: config.reg_cache,
                 coalesce_notifications: config.coalesce_notifications,
+                pipeline_rma: config.pipeline_rma,
             },
         );
         vm.attach(Arc::clone(&backend) as Arc<dyn vphi_vmm::vm::VirtualPciDevice>);

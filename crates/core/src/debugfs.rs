@@ -13,6 +13,20 @@ use vphi_trace::TraceCounters;
 
 use crate::builder::VphiVm;
 
+/// Per-lane transport counters — one entry per virtqueue, index = lane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueReport {
+    /// Kicks delivered through this lane's doorbell.
+    pub kicks: u64,
+    /// Descriptor chains the backend shard popped from this lane.
+    pub chains_popped: u64,
+    /// Requests this lane's shard handed to a QEMU worker thread.
+    pub worker_dispatches: u64,
+    /// Kick-suppression windows (`VRING_USED_F_NO_NOTIFY`) this lane
+    /// opened while its shard drained a burst.
+    pub suppress_windows: u64,
+}
+
 /// A point-in-time snapshot of one VM's vPHI counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VphiDebugReport {
@@ -28,6 +42,8 @@ pub struct VphiDebugReport {
     pub kicks_delivered: u64,
     pub kicks_suppressed: u64,
     pub irqs_coalesced: u64,
+    /// Per-lane transport counters, one entry per virtqueue.
+    pub queues: Vec<QueueReport>,
     // backend
     pub backend_requests: u64,
     pub worker_dispatches: u64,
@@ -71,6 +87,25 @@ impl VphiDebugReport {
         let sync = vphi_sync::audit::stats();
         let trace =
             vm.frontend().channel().trace.tracer().map(|t| t.counters()).unwrap_or_default();
+        let channel = vm.frontend().channel();
+        let queues: Vec<QueueReport> = channel
+            .lanes()
+            .iter()
+            .enumerate()
+            .map(|(q, lane)| {
+                let c = lane.queue.counters();
+                QueueReport {
+                    kicks: c.kicks,
+                    chains_popped: c.chains_popped,
+                    worker_dispatches: be.queue_worker_dispatches(q),
+                    suppress_windows: c.suppress_windows,
+                }
+            })
+            .collect();
+        // Completion MSIs spread across one vector per lane.
+        let irq_injections = (0..channel.queue_count() as u32)
+            .map(|q| vm.vm().kernel().irq().inject_count(crate::frontend::VPHI_IRQ_VECTOR + q))
+            .sum();
         VphiDebugReport {
             vm_id: vm.vm().id(),
             requests: fe.requests,
@@ -82,6 +117,7 @@ impl VphiDebugReport {
             kicks_delivered: fe.kicks_delivered,
             kicks_suppressed: fe.kicks_suppressed,
             irqs_coalesced: be.stats.irqs_coalesced.load(Ordering::Relaxed),
+            queues,
             backend_requests: be.stats.requests.load(Ordering::Relaxed),
             worker_dispatches: be.stats.worker_dispatches.load(Ordering::Relaxed),
             pages_translated: be.stats.pages_translated.load(Ordering::Relaxed),
@@ -93,7 +129,7 @@ impl VphiDebugReport {
             vm_paused: el.vm_paused_total(),
             blocking_events: el.blocking_event_count(),
             worker_events: el.worker_event_count(),
-            irq_injections: vm.vm().kernel().irq().inject_count(crate::frontend::VPHI_IRQ_VECTOR),
+            irq_injections,
             mmap_faults: vm.vm().kvm().fault_count(),
             deadline_retries: fe.deadline_retries,
             msi_lost: be.stats.msi_lost.load(Ordering::Relaxed),
@@ -146,6 +182,23 @@ impl VphiDebugReport {
                 ("irq injections", self.irq_injections.to_string()),
             ],
         );
+        let queue_rows: Vec<(String, String)> = self
+            .queues
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                (
+                    format!("q{i} kick/pop/disp/sup"),
+                    format!(
+                        "{}/{}/{}/{}",
+                        q.kicks, q.chains_popped, q.worker_dispatches, q.suppress_windows
+                    ),
+                )
+            })
+            .collect();
+        let queue_rows: Vec<(&str, String)> =
+            queue_rows.iter().map(|(l, v)| (l.as_str(), v.clone())).collect();
+        group("queues", &queue_rows);
         group(
             "backend",
             &[
@@ -236,6 +289,14 @@ mod tests {
         assert_eq!(after_open.kicks_delivered, 1);
         assert_eq!(after_open.kicks_suppressed, 0);
         assert_eq!(after_open.irqs_coalesced, 0);
+        // `scif_open` carries no endpoint, so it rides lane 0: exactly one
+        // kick and one popped chain there, nothing on the other lanes.
+        assert_eq!(after_open.queues.len(), 4);
+        assert_eq!(after_open.queues[0].kicks, 1);
+        assert_eq!(after_open.queues[0].chains_popped, 1);
+        for q in &after_open.queues[1..] {
+            assert_eq!((q.kicks, q.chains_popped), (0, 0));
+        }
         // No RMA yet → the registration cache was never probed.
         assert_eq!(after_open.reg_cache_hits + after_open.reg_cache_misses, 0);
         // Tracing was never armed on this host.
@@ -298,6 +359,20 @@ mod tests {
             kicks_delivered: 7,
             kicks_suppressed: 8,
             irqs_coalesced: 9,
+            queues: vec![
+                QueueReport {
+                    kicks: 39,
+                    chains_popped: 40,
+                    worker_dispatches: 41,
+                    suppress_windows: 42,
+                },
+                QueueReport {
+                    kicks: 43,
+                    chains_popped: 44,
+                    worker_dispatches: 45,
+                    suppress_windows: 46,
+                },
+            ],
             backend_requests: 10,
             worker_dispatches: 11,
             pages_translated: 12,
@@ -342,6 +417,9 @@ vphi7:
     kicks sent/suppressed   7/8
     irqs coalesced          9
     irq injections          21
+  queues:
+    q0 kick/pop/disp/sup    39/40/41/42
+    q1 kick/pop/disp/sup    43/44/45/46
   backend:
     requests                10
     worker dispatches       11

@@ -34,13 +34,25 @@ use vphi_vmm::{GuestKernel, WaitQueue};
 
 use crate::protocol::{GuestEpd, VphiRequest, VphiResponse, REQ_SIZE, RESP_SIZE};
 
-/// The vPHI interrupt vector on the guest's IRQ chip.
+/// The vPHI interrupt vector of queue 0 on the guest's IRQ chip.  Queue
+/// `q` injects on `VPHI_IRQ_VECTOR + q` — one MSI vector per virtqueue,
+/// all registered to the same wake-all ISR.
 pub const VPHI_IRQ_VECTOR: u32 = 11;
 
-/// Wall-clock budget per completion-wait attempt.  When it expires without
-/// a completion or a shutdown, the frontend re-kicks the device: a lost
-/// kick or lost completion interrupt only costs one deadline, not a hang.
-const REQUEST_DEADLINE: std::time::Duration = std::time::Duration::from_millis(200);
+/// First completion-wait deadline.  When it expires without a completion
+/// or a shutdown, the frontend re-kicks the device: a lost kick or lost
+/// completion interrupt only costs one deadline, not a hang.  Kept at the
+/// seed's 200 ms so single-fault recovery latency is unchanged; repeated
+/// expiries back off exponentially from here to [`BACKOFF_CAP`], each
+/// wait jittered so concurrent requesters that lost the same kick don't
+/// re-kick in lockstep.
+const BACKOFF_BASE: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// Ceiling the exponential re-kick backoff saturates at.
+const BACKOFF_CAP: std::time::Duration = std::time::Duration::from_millis(800);
+
+/// Seed for the shared re-kick jitter RNG — fixed so runs are repeatable.
+const BACKOFF_SEED: u64 = 0x05EE_DBAC_C0FF_5EED;
 
 /// Re-kick attempts before the frontend declares the request lost.
 const MAX_DEADLINE_RETRIES: u32 = 50;
@@ -54,20 +66,32 @@ const MAX_DEADLINE_RETRIES: u32 = 50;
 /// in which the head cannot be reused.
 pub type ReqToken = u64;
 
-/// The shared state both halves of the split driver touch: the virtio
-/// queue plus the request-routing tables.
-pub struct VphiChannel {
+/// One virtqueue lane: the ring plus its private head→request routing
+/// table.  Head ids are per-queue, so each lane keeps its own inflight
+/// map — two lanes can recycle the same head without colliding.
+pub struct QueueLane {
     pub queue: Arc<VirtQueue>,
     /// head → (token, request timeline, trace fork), travelling
     /// frontend → backend.
     inflight: TrackedMutex<HashMap<u16, (ReqToken, Timeline, TraceCtx)>>,
+}
+
+/// The shared state both halves of the split driver touch: the virtio
+/// queue lanes plus the request-routing tables.
+pub struct VphiChannel {
+    /// Lane 0's ring, aliased as a named field so single-queue call sites
+    /// (tests, benches, control-plane ops) read naturally.
+    pub queue: Arc<VirtQueue>,
+    lanes: Vec<QueueLane>,
     /// token → completed timeline, travelling backend → frontend.
     completed: TrackedMutex<HashMap<ReqToken, Timeline>>,
     next_token: std::sync::atomic::AtomicU64,
     /// Set when the backend stops servicing (VM shutdown): guest calls
     /// fail fast with `ENODEV` instead of waiting on a dead ring.
     shutdown: std::sync::atomic::AtomicBool,
-    /// The frontend's sleeping requesters.
+    /// The frontend's sleeping requesters.  All lanes' completion MSIs
+    /// wake the same queue — a sleeper doesn't know which lane its reply
+    /// rides, it just re-checks the completed map.
     pub waitq: Arc<WaitQueue>,
     /// Tracing hook shared by both halves of the split driver: armed once
     /// by `VphiHost::arm_tracing`, disarmed (a single `OnceLock` load) in
@@ -77,15 +101,57 @@ pub struct VphiChannel {
 
 impl VphiChannel {
     pub fn new(queue_size: u16) -> Arc<Self> {
+        Self::with_queues(queue_size, 1)
+    }
+
+    /// A channel with `num_queues` independent virtqueue lanes of
+    /// `queue_size` descriptors each.
+    pub fn with_queues(queue_size: u16, num_queues: u16) -> Arc<Self> {
+        assert!(num_queues > 0, "a vPHI device needs at least one virtqueue");
+        let lanes: Vec<QueueLane> = (0..num_queues)
+            .map(|_| QueueLane {
+                queue: VirtQueue::new(queue_size),
+                inflight: TrackedMutex::new(LockClass::FrontendInflight, HashMap::new()),
+            })
+            .collect();
         Arc::new(VphiChannel {
-            queue: VirtQueue::new(queue_size),
-            inflight: TrackedMutex::new(LockClass::FrontendInflight, HashMap::new()),
+            queue: Arc::clone(&lanes[0].queue),
+            lanes,
             completed: TrackedMutex::new(LockClass::FrontendCompleted, HashMap::new()),
             next_token: std::sync::atomic::AtomicU64::new(1),
             shutdown: std::sync::atomic::AtomicBool::new(false),
             waitq: Arc::new(WaitQueue::new()),
             trace: TraceHook::new(),
         })
+    }
+
+    pub fn queue_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    pub fn lanes(&self) -> &[QueueLane] {
+        &self.lanes
+    }
+
+    /// Lane `q`'s ring.
+    pub fn lane_queue(&self, q: usize) -> &Arc<VirtQueue> {
+        &self.lanes[q].queue
+    }
+
+    /// The queue routing rule.  Requests that carry an endpoint hash it
+    /// through a SplitMix64 finalizer onto a lane; endpoint-less control
+    /// ops ([`VphiRequest::routing_epd`] is `None`) ride lane 0.  The hash
+    /// is a pure function of the epd, so every request for one endpoint
+    /// lands on the same lane — per-endpoint FIFO order survives any
+    /// queue count.
+    pub fn route(&self, req: &VphiRequest) -> usize {
+        match req.routing_epd() {
+            None => 0,
+            Some(epd) => {
+                let h = vphi_sim_core::rng::SplitMix64::new(epd).next_u64();
+                (h % self.lanes.len() as u64) as usize
+            }
+        }
     }
 
     /// Mark the device gone and wake every sleeper so it can fail fast.
@@ -107,18 +173,22 @@ impl VphiChannel {
     }
 
     /// Frontend: stash the request timeline (and the trace fork the
-    /// backend's spans attach to) before kicking; returns the token the
-    /// requester waits on.
-    pub fn submit(&self, head: u16, tl: Timeline, trace: TraceCtx) -> ReqToken {
+    /// backend's spans attach to) before kicking lane `q`; returns the
+    /// token the requester waits on.
+    pub fn submit(&self, q: usize, head: u16, tl: Timeline, trace: TraceCtx) -> ReqToken {
         let token = self.next_token.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.inflight.lock().insert(head, (token, tl, trace));
+        self.lanes[q].inflight.lock().insert(head, (token, tl, trace));
         token
     }
 
     /// Backend: claim the request's token, timeline, and trace fork after
-    /// popping.
-    pub fn claim(&self, head: u16) -> (ReqToken, Timeline, TraceCtx) {
-        self.inflight.lock().remove(&head).unwrap_or((0, Timeline::new(), TraceCtx::default()))
+    /// popping lane `q`.
+    pub fn claim(&self, q: usize, head: u16) -> (ReqToken, Timeline, TraceCtx) {
+        self.lanes[q].inflight.lock().remove(&head).unwrap_or((
+            0,
+            Timeline::new(),
+            TraceCtx::default(),
+        ))
     }
 
     /// Backend: deliver the finished timeline and wake the sleepers.
@@ -140,14 +210,15 @@ impl VphiChannel {
     }
 
     pub fn inflight_count(&self) -> usize {
-        self.inflight.lock().len()
+        self.lanes.iter().map(|l| l.inflight.lock().len()).sum()
     }
 }
 
 impl std::fmt::Debug for VphiChannel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("VphiChannel")
-            .field("inflight", &self.inflight.lock().len())
+            .field("queues", &self.lanes.len())
+            .field("inflight", &self.inflight_count())
             .field("completed", &self.completed.lock().len())
             .finish()
     }
@@ -179,6 +250,9 @@ pub struct FrontendDriver {
     /// paper; configurable for the ABL-CHUNK ablation.
     chunk_size: u64,
     stats: TrackedMutex<FrontendStats>,
+    /// Shared RNG jittering the re-kick backoff so requesters that lost
+    /// the same kick don't hammer the doorbell in lockstep.
+    backoff_rng: TrackedMutex<vphi_sim_core::rng::SplitMix64>,
     /// Preallocated request/response header slots (a slab, allocated once
     /// at module insertion — per-request kmalloc is only paid for payload
     /// staging, as in the real driver).
@@ -219,13 +293,17 @@ impl FrontendDriver {
             "invalid staging chunk size {chunk_size}"
         );
         // The ISR: wake every sleeping requester; each re-checks the ring.
-        let waitq = Arc::clone(&channel.waitq);
-        kernel.irq().register(
-            VPHI_IRQ_VECTOR,
-            Arc::new(move |_vec: u32, _tl: &mut Timeline| {
-                waitq.wake_all();
-            }),
-        );
+        // One MSI vector per queue lane, all bound to the same handler —
+        // the sleeper doesn't care which lane its completion rode.
+        for q in 0..channel.queue_count() as u32 {
+            let waitq = Arc::clone(&channel.waitq);
+            kernel.irq().register(
+                VPHI_IRQ_VECTOR + q,
+                Arc::new(move |_vec: u32, _tl: &mut Timeline| {
+                    waitq.wake_all();
+                }),
+            );
+        }
         // Preallocate the header slab (module-init cost, not charged to
         // any request).
         let mut init_tl = Timeline::new();
@@ -244,6 +322,10 @@ impl FrontendDriver {
             scheme,
             chunk_size,
             stats: TrackedMutex::new(LockClass::FrontendStats, FrontendStats::default()),
+            backoff_rng: TrackedMutex::new(
+                LockClass::FrontendBackoff,
+                vphi_sim_core::rng::SplitMix64::new(BACKOFF_SEED),
+            ),
             slots: TrackedMutex::new(LockClass::FrontendSlots, slots),
         })
     }
@@ -326,6 +408,13 @@ impl FrontendDriver {
         }
         let cost = self.kernel.cost();
 
+        // Pick the queue lane before anything is charged: the routing rule
+        // is a pure function of the request's endpoint, so per-endpoint
+        // FIFO order holds regardless of queue count.
+        let q = self.channel.route(req);
+        ctx.set_queue(q as u16);
+        let lane_queue = Arc::clone(&self.channel.lanes[q].queue);
+
         // Marshal the request header into a preallocated slot.
         let marshal = ctx.begin("guest-syscall", Stage::GuestSyscall);
         self.kernel.charge_syscall(ctx.tl);
@@ -351,7 +440,7 @@ impl FrontendDriver {
 
         // Post, stash the cross-boundary timeline, and kick.
         let ring = ctx.begin("virtio-ring", Stage::VirtioRing);
-        let head = match self.channel.queue.prepare_chain(&chain) {
+        let head = match lane_queue.prepare_chain(&chain) {
             Ok(h) => h,
             Err(_) => {
                 ctx.end(ring);
@@ -365,8 +454,8 @@ impl FrontendDriver {
         // and a claim that finds no entry falls back to the token-0
         // sentinel — completing to nobody and stranding this requester
         // until its deadline retries exhaust.
-        let token = self.channel.submit(head, Timeline::with_capacity(16), ctx.fork());
-        self.channel.queue.publish_avail(head, cost.ring_push, ctx.tl);
+        let token = self.channel.submit(q, head, Timeline::with_capacity(16), ctx.fork());
+        lane_queue.publish_avail(head, cost.ring_push, ctx.tl);
         ctx.end(ring);
 
         // Kick inside the wait span, not before it: the kick is what wakes
@@ -375,7 +464,7 @@ impl FrontendDriver {
         // span then covers the handoff vmexit plus the scheme's wait, and
         // in a trace view brackets the backend subtree it waited on.
         let wait = ctx.begin("wait-complete", Stage::Completion);
-        let delivered = self.channel.queue.kick(cost.vmexit_kick, ctx.tl);
+        let delivered = lane_queue.kick(cost.vmexit_kick, ctx.tl);
         {
             let mut stats = self.stats.lock();
             stats.requests += 1;
@@ -385,7 +474,7 @@ impl FrontendDriver {
                 stats.kicks_suppressed += 1;
             }
         }
-        let backend_tl = match self.wait_for(token, payload_bytes, ctx.tl) {
+        let backend_tl = match self.wait_for(&lane_queue, token, payload_bytes, ctx.tl) {
             Ok(b) => b,
             Err(e) => {
                 ctx.end(wait);
@@ -396,7 +485,7 @@ impl FrontendDriver {
         ctx.tl.absorb(&backend_tl);
         ctx.end(wait);
         // Release our descriptors (and any other finished chains).
-        self.channel.queue.take_used();
+        lane_queue.take_used();
 
         // Demarshal.
         let mut resp_bytes = [0u8; RESP_SIZE];
@@ -407,8 +496,15 @@ impl FrontendDriver {
     }
 
     /// Block until `token` completes, charging the chosen scheme's costs.
+    ///
+    /// Deadlines grow exponentially from [`BACKOFF_BASE`] to the
+    /// [`BACKOFF_CAP`], each jittered to 50–100% of its nominal length:
+    /// a single lost kick still recovers within one seed-equivalent
+    /// deadline, while a persistently slow backend sees re-kicks thin out
+    /// instead of arriving as a synchronized 200 ms drumbeat.
     fn wait_for(
         &self,
+        lane_queue: &Arc<VirtQueue>,
         token: ReqToken,
         payload_bytes: u64,
         tl: &mut Timeline,
@@ -434,8 +530,13 @@ impl FrontendDriver {
             None
         };
         let mut outcome = None;
+        let mut deadline = BACKOFF_BASE;
         for _attempt in 0..=MAX_DEADLINE_RETRIES {
-            if let Some(r) = channel.waitq.wait_until_for(REQUEST_DEADLINE, pred) {
+            let jittered = {
+                let mut rng = self.backoff_rng.lock();
+                deadline.mul_f64(0.5 + rng.next_f64() * 0.5)
+            };
+            if let Some(r) = channel.waitq.wait_until_for(jittered, pred) {
                 outcome = Some(r);
                 break;
             }
@@ -445,7 +546,8 @@ impl FrontendDriver {
             // reply already sits in `completed` (quiet completion), the
             // next attempt's immediate predicate check takes it.
             self.stats.lock().deadline_retries += 1;
-            self.channel.queue.kick(cost.vmexit_kick, tl);
+            lane_queue.kick(cost.vmexit_kick, tl);
+            deadline = (deadline * 2).min(BACKOFF_CAP);
         }
         let backend_tl = outcome.unwrap_or(Err(ScifError::Again))?;
         if poll {
@@ -558,30 +660,41 @@ mod tests {
         FrontendDriver::insert(kernel, channel, scheme)
     }
 
-    /// A minimal fake backend: answers every request with ok(7, 8).
-    fn fake_backend(
+    /// A minimal fake backend servicing lane `q`: answers every request
+    /// with ok(7, 8).
+    fn fake_backend_lane(
         channel: Arc<VphiChannel>,
         kernel: Arc<GuestKernel>,
+        q: usize,
     ) -> std::thread::JoinHandle<()> {
         std::thread::spawn(move || {
-            while channel.queue.wait_kick() {
-                while let Ok(Some(chain)) = channel.queue.pop_avail() {
-                    let (token, mut tl, _trace) = channel.claim(chain.head);
+            let queue = Arc::clone(channel.lane_queue(q));
+            while queue.wait_kick() {
+                while let Ok(Some(chain)) = queue.pop_avail() {
+                    let (token, mut tl, _trace) = channel.claim(q, chain.head);
                     let resp_desc = *chain.descriptors.last().unwrap();
                     kernel
                         .mem()
                         .write(vphi_vmm::Gpa(resp_desc.addr), &VphiResponse::ok(7, 8).encode())
                         .unwrap();
-                    channel.queue.push_used(
+                    queue.push_used(
                         vphi_virtio::UsedElem { id: chain.head, len: RESP_SIZE as u32 },
                         kernel.cost().used_push,
                         &mut tl,
                     );
-                    kernel.irq().inject(VPHI_IRQ_VECTOR, &mut tl);
+                    kernel.irq().inject(VPHI_IRQ_VECTOR + q as u32, &mut tl);
                     channel.complete(token, tl);
                 }
             }
         })
+    }
+
+    /// Single-lane fake backend (the original single-queue shape).
+    fn fake_backend(
+        channel: Arc<VphiChannel>,
+        kernel: Arc<GuestKernel>,
+    ) -> std::thread::JoinHandle<()> {
+        fake_backend_lane(channel, kernel, 0)
     }
 
     #[test]
@@ -678,6 +791,61 @@ mod tests {
         d.channel().queue.shutdown();
         backend.join().unwrap();
         assert_eq!(d.stats().requests, 8);
+        assert_eq!(d.channel().inflight_count(), 0);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_keeps_control_ops_on_lane_zero() {
+        let channel = VphiChannel::with_queues(64, 4);
+        // Endpoint-less control ops ride lane 0.
+        assert_eq!(channel.route(&VphiRequest::Open), 0);
+        assert_eq!(channel.route(&VphiRequest::GetNodeIds), 0);
+        for epd in 1..64u64 {
+            let q = channel.route(&VphiRequest::Send { epd, len: 1 });
+            assert!(q < 4);
+            // Same endpoint, different op → same lane (FIFO preserved).
+            assert_eq!(q, channel.route(&VphiRequest::Recv { epd, len: 9 }));
+            assert_eq!(q, channel.route(&VphiRequest::Close { epd }));
+        }
+        // The hash actually spreads endpoints across lanes.
+        let hit: std::collections::HashSet<usize> =
+            (1..64u64).map(|epd| channel.route(&VphiRequest::Send { epd, len: 1 })).collect();
+        assert_eq!(hit.len(), 4, "64 endpoints should cover all 4 lanes");
+    }
+
+    #[test]
+    fn multi_queue_round_trips_across_all_lanes() {
+        let mem = Arc::new(GuestMemory::new(64 * MIB));
+        let kernel = Arc::new(GuestKernel::new(mem, Arc::new(CostModel::paper_calibrated())));
+        let channel = VphiChannel::with_queues(64, 4);
+        let d = FrontendDriver::insert(kernel, channel, WaitScheme::Interrupt);
+        let backends: Vec<_> = (0..4)
+            .map(|q| fake_backend_lane(Arc::clone(d.channel()), Arc::clone(d.kernel()), q))
+            .collect();
+        let mut handles = Vec::new();
+        for epd in 1..=16u64 {
+            let d = Arc::clone(&d);
+            handles.push(std::thread::spawn(move || {
+                let mut tl = Timeline::new();
+                d.transact(&VphiRequest::Send { epd, len: 4 }, &[], 4, &mut tl).unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), VphiResponse::ok(7, 8));
+        }
+        // Every chain was popped from the lane its endpoint hashed to.
+        let popped: u64 =
+            d.channel().lanes().iter().map(|l| l.queue.counters().chains_popped).sum();
+        assert_eq!(popped, 16);
+        let busy_lanes =
+            d.channel().lanes().iter().filter(|l| l.queue.counters().chains_popped > 0).count();
+        assert!(busy_lanes > 1, "16 endpoints should exercise more than one lane");
+        for q in 0..4 {
+            d.channel().lane_queue(q).shutdown();
+        }
+        for b in backends {
+            b.join().unwrap();
+        }
         assert_eq!(d.channel().inflight_count(), 0);
     }
 }

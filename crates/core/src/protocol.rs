@@ -112,6 +112,41 @@ impl VphiRequest {
         }
     }
 
+    /// The endpoint identity the frontend's queue router hashes: requests
+    /// naming the same endpoint must stay FIFO with respect to each other,
+    /// so they all map to the same virtqueue.  Endpoint-less operations
+    /// return `None` and ride queue 0.  Exhaustive on purpose (and enforced
+    /// by the `protocol-exhaustive` lint): a new opcode must decide its
+    /// routing identity explicitly.
+    pub fn routing_epd(&self) -> Option<GuestEpd> {
+        match *self {
+            VphiRequest::Open
+            | VphiRequest::Munmap { .. }
+            | VphiRequest::SysfsRead { .. }
+            | VphiRequest::GetNodeIds => None,
+            VphiRequest::Bind { epd, .. }
+            | VphiRequest::Listen { epd, .. }
+            | VphiRequest::Connect { epd, .. }
+            | VphiRequest::Accept { epd }
+            | VphiRequest::Send { epd, .. }
+            | VphiRequest::Recv { epd, .. }
+            | VphiRequest::Register { epd, .. }
+            | VphiRequest::Unregister { epd, .. }
+            | VphiRequest::VreadFrom { epd, .. }
+            | VphiRequest::VwriteTo { epd, .. }
+            | VphiRequest::ReadFrom { epd, .. }
+            | VphiRequest::WriteTo { epd, .. }
+            | VphiRequest::Mmap { epd, .. }
+            | VphiRequest::FenceMark { epd }
+            | VphiRequest::FenceWait { epd, .. }
+            | VphiRequest::FenceSignal { epd, .. }
+            | VphiRequest::Close { epd }
+            | VphiRequest::SendTimed { epd, .. }
+            | VphiRequest::RecvTimed { epd, .. }
+            | VphiRequest::Poll { epd, .. } => Some(epd),
+        }
+    }
+
     /// Human-readable opcode name (for traces).
     pub fn name(&self) -> &'static str {
         match self {
@@ -466,6 +501,24 @@ mod tests {
             let encoded = req.encode();
             let decoded = VphiRequest::decode(&encoded).expect("decodes");
             assert_eq!(decoded, req, "round-trip failed for {}", req.name());
+        }
+    }
+
+    #[test]
+    fn routing_identity_is_the_epd_where_one_exists() {
+        for req in all_requests() {
+            let epd_less = matches!(
+                req,
+                VphiRequest::Open
+                    | VphiRequest::Munmap { .. }
+                    | VphiRequest::SysfsRead { .. }
+                    | VphiRequest::GetNodeIds
+            );
+            if epd_less {
+                assert_eq!(req.routing_epd(), None, "{} has no endpoint", req.name());
+            } else {
+                assert_eq!(req.routing_epd(), Some(7), "{} routes on its epd", req.name());
+            }
         }
     }
 

@@ -146,12 +146,17 @@ pub enum LockClass {
     TraceRings = 44,
     /// Tracer latency histograms.
     TraceHists = 45,
+    // --- multi-queue transport (PR 5) ---
+    /// Backend shard-thread join handles (one service thread per queue).
+    BackendShards = 46,
+    /// Frontend shared re-kick backoff RNG (seeded, jittered).
+    FrontendBackoff = 47,
 }
 
 impl LockClass {
     /// Number of classes (adjacency bitmasks are `u64`, so this must stay
     /// ≤ 64).
-    pub const COUNT: usize = 46;
+    pub const COUNT: usize = 48;
 
     /// The class's layer in the documented hierarchy — smaller layers are
     /// acquired first (outermost).
@@ -203,6 +208,8 @@ impl LockClass {
             LockClass::HostAttached => 8,
             LockClass::TraceRings => 87,
             LockClass::TraceHists => 88,
+            LockClass::BackendShards => 20,
+            LockClass::FrontendBackoff => 79,
         }
     }
 

@@ -39,6 +39,16 @@ impl TraceCtx {
         }
         c
     }
+
+    /// Tag every span this context records from now on with the virtqueue
+    /// the request was routed to.  The frontend calls this right after the
+    /// queue router picks a lane; forks inherit the tag, so backend spans
+    /// carry it too.  No-op when disarmed.
+    pub fn set_queue(&mut self, queue: u16) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.queue = queue;
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -58,6 +68,9 @@ pub(crate) struct TraceInner {
     /// `tl.total()` at the moment this context attached to the trace;
     /// span offsets are measured relative to it.
     pub(crate) zero: SimDuration,
+    /// Virtqueue the request rode (set by the frontend's queue router;
+    /// stays 0 for endpoint-less ops and single-queue configs).
+    pub(crate) queue: u16,
 }
 
 /// Operation context: the timeline an op charges plus its trace linkage.
@@ -167,6 +180,7 @@ impl<'a> OpCtx<'a> {
                 parent: span.prev_parent,
                 name: span.name,
                 stage: span.stage,
+                queue: inner.queue,
                 start: inner.base + (span.start_total - inner.zero),
                 dur: total - span.start_total,
             });
@@ -213,6 +227,7 @@ impl<'a> OpCtx<'a> {
             next_span: Arc::new(AtomicU32::new(ROOT_SPAN_ID + 1)),
             base: SimDuration::ZERO,
             zero,
+            queue: 0,
         });
         RootSpan { armed: true, name: op, start_total: zero, tl_start: self.tl.spans().len() }
     }
@@ -240,6 +255,7 @@ impl<'a> OpCtx<'a> {
             parent: 0,
             name: root.name,
             stage: Stage::GuestSyscall,
+            queue: inner.queue,
             start: SimDuration::ZERO,
             dur: total - root.start_total,
         });
@@ -251,6 +267,12 @@ impl<'a> OpCtx<'a> {
             stages,
             total - root.start_total,
         );
+    }
+
+    /// Tag the trace with the virtqueue the request was routed to (see
+    /// [`TraceCtx::set_queue`]).
+    pub fn set_queue(&mut self, queue: u16) {
+        self.trace.set_queue(queue);
     }
 
     /// Fork a context for the backend half of the request.  The fork's
@@ -271,6 +293,7 @@ impl<'a> OpCtx<'a> {
                     next_span: Arc::clone(&inner.next_span),
                     base: inner.base + (self.tl.total() - inner.zero),
                     zero: SimDuration::ZERO,
+                    queue: inner.queue,
                 }),
             },
         }
@@ -362,6 +385,40 @@ mod tests {
         assert_eq!(c.traces_started, 1);
         assert_eq!(c.traces_finished, 1);
         assert_eq!(c.open_spans, 0);
+    }
+
+    #[test]
+    fn queue_tag_reaches_spans_and_survives_fork() {
+        let tracer = Arc::new(Tracer::new(TraceConfig::default()));
+        let hook = TraceHook::new();
+        hook.arm(Arc::clone(&tracer), 0);
+
+        let mut tl = Timeline::new();
+        let mut ctx = OpCtx::from(&mut tl);
+        let root = ctx.adopt_root(&hook, "send");
+        ctx.set_queue(3);
+        ctx.in_span("virtio-ring", Stage::VirtioRing, |c| {
+            c.tl.charge(SpanLabel::RingPush, SimDuration::from_micros(1));
+        });
+        let forked = ctx.fork();
+        let mut be_tl = Timeline::new();
+        let mut be = OpCtx::new(&mut be_tl, forked);
+        be.in_span("backend-replay", Stage::BackendReplay, |c| {
+            c.tl.charge(SpanLabel::BackendDecode, SimDuration::from_micros(1));
+        });
+        ctx.tl.absorb(&be_tl);
+        ctx.finish_root(root, 1);
+
+        let spans = tracer.spans(0);
+        assert!(!spans.is_empty());
+        for s in &spans {
+            assert_eq!(s.queue, 3, "span {} must carry the queue tag", s.name);
+        }
+        // A disarmed context ignores the tag without panicking.
+        let mut tl2 = Timeline::new();
+        let mut untraced = OpCtx::from(&mut tl2);
+        untraced.set_queue(9);
+        assert!(!untraced.trace.is_armed());
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct SpanRec {
     pub parent: u32,
     pub name: &'static str,
     pub stage: Stage,
+    /// Virtqueue the request rode (0 for endpoint-less ops and untraced
+    /// single-queue paths) — lets per-queue breakdowns fall out of the
+    /// existing stage taxonomy.
+    pub queue: u16,
     pub start: SimDuration,
     pub dur: SimDuration,
 }
@@ -316,7 +320,8 @@ impl Tracer {
             for s in ring {
                 let _ = writeln!(
                     out,
-                    "span vm={vm} trace={} id={} parent={} stage={} name={} start_ns={} dur_ns={}",
+                    "span vm={vm} queue={} trace={} id={} parent={} stage={} name={} start_ns={} dur_ns={}",
+                    s.queue,
                     s.trace_id,
                     s.id,
                     s.parent,
@@ -363,7 +368,7 @@ impl Tracer {
                     out,
                     "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"name\":\"{}\",\"cat\":\"{}\",\
                      \"ts\":{}.{:03},\"dur\":{}.{:03},\
-                     \"args\":{{\"span\":{},\"parent\":{}}}}}",
+                     \"args\":{{\"span\":{},\"parent\":{},\"queue\":{}}}}}",
                     s.vm,
                     s.trace_id,
                     s.name,
@@ -374,6 +379,7 @@ impl Tracer {
                     s.dur.as_nanos() % 1_000,
                     s.id,
                     s.parent,
+                    s.queue,
                 )
                 .map_err(|_| ())
                 .ok();
@@ -412,6 +418,7 @@ mod tests {
                 parent: 0,
                 name: "s",
                 stage: Stage::HostScif,
+                queue: 0,
                 start: SimDuration::ZERO,
                 dur: SimDuration::from_nanos(i as u64),
             });
@@ -452,6 +459,7 @@ mod tests {
                 parent: 0,
                 name: "send",
                 stage: Stage::GuestSyscall,
+                queue: 0,
                 start: SimDuration::ZERO,
                 dur: SimDuration::from_micros(382),
             });

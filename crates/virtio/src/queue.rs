@@ -7,6 +7,7 @@
 //! shared-memory structure, exactly as in Fig. 2 of the paper.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use vphi_faults::{FaultHook, FaultSite};
@@ -79,12 +80,26 @@ struct QueueState {
     suppress_kick: bool,
 }
 
+/// Monotonic per-queue counters (multi-queue debugfs rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueCounters {
+    /// Kicks actually delivered (not suppressed).
+    pub kicks: u64,
+    /// Chains popped off the avail ring by the device side.
+    pub chains_popped: u64,
+    /// Kick-suppression windows opened (false → true transitions).
+    pub suppress_windows: u64,
+}
+
 /// A split virtqueue of `size` descriptors.
 pub struct VirtQueue {
     size: u16,
     state: TrackedMutex<QueueState>,
     pub notifiers: Notifiers,
     faults: FaultHook,
+    kicks: AtomicU64,
+    chains_popped: AtomicU64,
+    suppress_windows: AtomicU64,
 }
 
 impl std::fmt::Debug for VirtQueue {
@@ -111,7 +126,19 @@ impl VirtQueue {
             ),
             notifiers: Notifiers::default(),
             faults: FaultHook::new(),
+            kicks: AtomicU64::new(0),
+            chains_popped: AtomicU64::new(0),
+            suppress_windows: AtomicU64::new(0),
         })
+    }
+
+    /// Snapshot of this queue's monotonic counters.
+    pub fn counters(&self) -> QueueCounters {
+        QueueCounters {
+            kicks: self.kicks.load(Ordering::Relaxed),
+            chains_popped: self.chains_popped.load(Ordering::Relaxed),
+            suppress_windows: self.suppress_windows.load(Ordering::Relaxed),
+        }
     }
 
     pub fn size(&self) -> u16 {
@@ -196,6 +223,7 @@ impl VirtQueue {
         tl.charge(SpanLabel::VmExitKick, cost_vmexit);
         // An injected lost kick pays the vm-exit but never reaches the
         // device; the frontend's request deadline re-kicks.
+        self.kicks.fetch_add(1, Ordering::Relaxed);
         if self.faults.fire(FaultSite::VirtioKickLost).is_some() {
             return true;
         }
@@ -243,6 +271,7 @@ impl VirtQueue {
             Some(h) => h,
             None => return Ok(None),
         };
+        self.chains_popped.fetch_add(1, Ordering::Relaxed);
         let mut descriptors = Vec::new();
         let mut idx = head;
         loop {
@@ -303,7 +332,11 @@ impl VirtQueue {
 
     /// Device-side kick suppression.
     pub fn set_suppress_kick(&self, suppress: bool) {
-        self.state.lock().suppress_kick = suppress;
+        let mut st = self.state.lock();
+        if suppress && !st.suppress_kick {
+            self.suppress_windows.fetch_add(1, Ordering::Relaxed);
+        }
+        st.suppress_kick = suppress;
     }
 
     /// Register the used-buffer interrupt callback.
@@ -482,5 +515,27 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_size_rejected() {
         VirtQueue::new(3);
+    }
+
+    #[test]
+    fn per_queue_counters_track_kicks_pops_and_suppress_windows() {
+        let q = VirtQueue::new(8);
+        let mut tl = Timeline::new();
+        assert_eq!(q.counters(), QueueCounters::default());
+        let head = q.add_chain(&[Descriptor::readable(0, 1)], PUSH, &mut tl).unwrap();
+        assert!(q.kick(KICK, &mut tl));
+        q.pop_avail().unwrap().unwrap();
+        q.push_used(UsedElem { id: head, len: 0 }, PUSH, &mut tl);
+        q.take_used();
+        // A suppression window: opening counts once, re-asserting doesn't,
+        // and a suppressed kick is not a delivered kick.
+        q.set_suppress_kick(true);
+        q.set_suppress_kick(true);
+        assert!(!q.kick(KICK, &mut tl));
+        q.set_suppress_kick(false);
+        q.set_suppress_kick(true);
+        q.set_suppress_kick(false);
+        let c = q.counters();
+        assert_eq!(c, QueueCounters { kicks: 1, chains_popped: 1, suppress_windows: 2 });
     }
 }

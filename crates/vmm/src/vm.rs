@@ -19,9 +19,14 @@ use crate::kvm::{KvmModule, KvmPatch};
 /// A paravirtual PCI device plugged into a VM.
 pub trait VirtualPciDevice: Send + Sync {
     fn name(&self) -> &str;
-    /// The device's virtqueue (vPHI uses a single queue).
+    /// The device's primary virtqueue (queue 0).
     fn queue(&self) -> Arc<VirtQueue>;
-    /// Begin servicing the queue (spawn the backend thread).
+    /// Every virtqueue the device exposes, in queue-index order.  Single
+    /// queue devices get the default.
+    fn queues(&self) -> Vec<Arc<VirtQueue>> {
+        vec![self.queue()]
+    }
+    /// Begin servicing the queues (spawn the backend service threads).
     fn start(&self);
     /// Stop servicing and release resources.
     fn stop(&self);

@@ -27,6 +27,13 @@
 //!    `ctx: impl Into<OpCtx<'_>>` (DESIGN.md #14), which accepts a bare
 //!    timeline from untraced callers and propagates trace context from
 //!    traced ones.  `#[deprecated]` shims are exempt.
+//! 6. `queue-router` — `.add_chain()` / `.prepare_chain()` /
+//!    `.publish_avail()` are banned outside `crates/virtio/` and the
+//!    frontend: every submission must go through the frontend's queue
+//!    router so the per-endpoint lane hash (DESIGN.md #15) cannot be
+//!    bypassed with a hand-picked queue index.  The virtio microbench and
+//!    the multi-queue FIFO property test drive rings directly on purpose
+//!    and are exempt by path.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -92,8 +99,21 @@ pub fn lint_source(rel: &Path, src: &str) -> Result<Vec<Violation>, String> {
     let is_protocol = rel.ends_with("core/src/protocol.rs");
     let is_event_loop = rel.ends_with("vmm/src/event_loop.rs");
     let is_scif_api = rel.ends_with("scif/src/api.rs");
-    walk(&file.tokens, rel, is_protocol, is_event_loop, is_scif_api, &mut v);
+    let check_queue_submit = !queue_submit_exempt(rel);
+    walk(&file.tokens, rel, is_protocol, is_event_loop, is_scif_api, check_queue_submit, &mut v);
     Ok(v)
+}
+
+/// Files allowed to put chains on a `VirtQueue` directly: the queue
+/// implementation itself (and its tests), the frontend (which owns the
+/// router), the ring microbenchmark, and the FIFO property test that
+/// exercises the transport underneath the router.
+fn queue_submit_exempt(rel: &Path) -> bool {
+    let rel = rel.to_string_lossy();
+    rel.starts_with("crates/virtio/")
+        || rel.contains("core/src/frontend")
+        || rel.ends_with("crates/bench/benches/micro_components.rs")
+        || rel.ends_with("crates/core/tests/mq_fifo.rs")
 }
 
 fn walk(
@@ -102,9 +122,10 @@ fn walk(
     is_protocol: bool,
     is_event_loop: bool,
     is_scif_api: bool,
+    check_queue_submit: bool,
     out: &mut Vec<Violation>,
 ) {
-    scan_sequences(tokens, rel, is_event_loop, out);
+    scan_sequences(tokens, rel, is_event_loop, check_queue_submit, out);
     if is_protocol {
         scan_protocol_matches(tokens, rel, out);
     }
@@ -113,15 +134,24 @@ fn walk(
     }
     for t in tokens {
         if let TokenTree::Group(g) = t {
-            walk(&g.tokens, rel, is_protocol, is_event_loop, is_scif_api, out);
+            walk(&g.tokens, rel, is_protocol, is_event_loop, is_scif_api, check_queue_submit, out);
         }
     }
 }
 
 const BANNED_SYNC: &[&str] = &["Mutex", "RwLock", "Condvar"];
 
-/// Rules 1, 2, 4: fixed token sequences within one nesting level.
-fn scan_sequences(tokens: &[TokenTree], rel: &Path, is_event_loop: bool, out: &mut Vec<Violation>) {
+/// Queue-submission methods only the router path may call (rule 6).
+const QUEUE_SUBMIT: &[&str] = &["add_chain", "prepare_chain", "publish_avail"];
+
+/// Rules 1, 2, 4, 6: fixed token sequences within one nesting level.
+fn scan_sequences(
+    tokens: &[TokenTree],
+    rel: &Path,
+    is_event_loop: bool,
+    check_queue_submit: bool,
+    out: &mut Vec<Violation>,
+) {
     let ident = |i: usize| tokens.get(i).and_then(TokenTree::ident);
     let punct = |i: usize| tokens.get(i).and_then(TokenTree::punct);
     for i in 0..tokens.len() {
@@ -207,6 +237,25 @@ fn scan_sequences(tokens: &[TokenTree], rel: &Path, is_event_loop: bool, out: &m
                         rule: "event-loop-blocking",
                         message: format!(
                             ".{name}() in the vmm event loop can block with the guest paused; hand off to a worker instead"
+                        ),
+                    });
+                }
+            }
+        }
+        // Rule 6: direct virtqueue submission outside the router path.
+        if check_queue_submit && punct(i) == Some('.') {
+            if let Some(name) = ident(i + 1) {
+                let is_call = matches!(
+                    tokens.get(i + 2),
+                    Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+                );
+                if is_call && QUEUE_SUBMIT.contains(&name) {
+                    out.push(Violation {
+                        file: rel.to_path_buf(),
+                        line: tokens[i + 1].line(),
+                        rule: "queue-router",
+                        message: format!(
+                            ".{name}() submits to a VirtQueue directly; go through the frontend's queue router so the per-endpoint lane hash holds (DESIGN.md #15)"
                         ),
                     });
                 }
@@ -482,6 +531,31 @@ mod tests {
         // Timeline in the return type or body is not a violation.
         let ret = "fn spans(&self) -> &Timeline { &self.tl }";
         assert!(lint("crates/scif/src/api.rs", ret).is_empty());
+    }
+
+    #[test]
+    fn direct_queue_submission_is_flagged_outside_the_router() {
+        let src = "fn f(q: &VirtQueue) { let h = q.prepare_chain(&c).unwrap(); q.publish_avail(h, cost, &mut tl); }";
+        let v = lint("crates/core/src/backend/mod.rs", src);
+        let rules: Vec<_> = v.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, ["queue-router", "queue-router"]);
+        let v = lint("tests/concurrency.rs", "fn f() { q.add_chain(&r, &w).unwrap(); }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "queue-router");
+    }
+
+    #[test]
+    fn router_path_and_ring_tests_may_submit_directly() {
+        let src =
+            "fn f(q: &VirtQueue) { q.add_chain(&r, &w).unwrap(); q.prepare_chain(&c).unwrap(); }";
+        assert!(lint("crates/core/src/frontend/mod.rs", src).is_empty());
+        assert!(lint("crates/virtio/src/queue.rs", src).is_empty());
+        assert!(lint("crates/virtio/tests/prop_queue.rs", src).is_empty());
+        assert!(lint("crates/bench/benches/micro_components.rs", src).is_empty());
+        assert!(lint("crates/core/tests/mq_fifo.rs", src).is_empty());
+        // Pops and used-ring pushes are the backend's job and stay legal.
+        let pops = "fn f(q: &VirtQueue) { q.pop_avail().unwrap(); q.push_used(e, c, &mut tl); }";
+        assert!(lint("crates/core/src/backend/mod.rs", pops).is_empty());
     }
 
     #[test]

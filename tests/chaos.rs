@@ -8,10 +8,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use vphi::builder::{VmConfig, VphiHost, VphiVm};
+use vphi::debugfs::VphiDebugReport;
 use vphi_faults::{FaultPlan, FaultSite};
 use vphi_scif::window::WindowBacking;
 use vphi_scif::{Port, Prot, RmaFlags, ScifAddr, ScifError};
 use vphi_sim_core::Timeline;
+use vphi_trace::TraceConfig;
 
 /// The fixed seeds CI sweeps (see .github/workflows/ci.yml).
 const SEEDS: [u64; 3] = [11, 47, 2026];
@@ -157,6 +159,11 @@ fn assert_no_leaks(vm: &VphiVm, label: &str) {
 fn chaos_round(seed: u64) {
     let start = Instant::now();
     let host = VphiHost::new(1);
+    // Chaos runs on the multi-queue transport (the default config), with
+    // the tracer armed so quiesce can prove no span was orphaned by a
+    // fault: every begun span must be ended even on error paths.
+    assert!(VmConfig::default().num_queues > 1, "chaos must exercise the sharded backend");
+    let tracer = host.arm_tracing(TraceConfig::default());
     let stop = Arc::new(AtomicBool::new(false));
     let port = 700 + seed as u16 % 100;
     let server = chaos_server(&host, port, Arc::clone(&stop));
@@ -203,10 +210,23 @@ fn chaos_round(seed: u64) {
     assert_eq!(b_resets, 0, "seed {seed}: bystander saw card failures after defuse");
     assert_no_leaks(&bystander, "bystander");
 
+    // The sharded transport really engaged: the bystander's endpoints
+    // hashed beyond a single lane.
+    let report = VphiDebugReport::collect(&bystander);
+    assert!(report.queues.len() > 1, "expected a multi-queue channel");
+    let busy = report.queues.iter().filter(|q| q.chains_popped > 0).count();
+    assert!(busy > 1, "seed {seed}: all chaos traffic stayed on one lane: {:?}", report.queues);
+
     stop.store(true, Ordering::Relaxed);
     victim.shutdown();
     bystander.shutdown();
     server.join().unwrap();
+
+    // Quiesced: every span begun during the round — including the ones cut
+    // short by faults, retries, and the dead guest — was ended.
+    let c = tracer.counters();
+    assert_eq!(c.open_spans, 0, "seed {seed}: orphan spans after quiesce: {c:?}");
+    assert_eq!(c.traces_started, c.traces_finished, "seed {seed}: unfinished traces: {c:?}");
 
     // No virtual-time hang: the whole round (bounded deadline retries
     // included) finishes in bounded wall time.
