@@ -18,7 +18,7 @@ fn print_figure() {
                 r.scheme.to_string(),
                 format_bytes(r.bytes),
                 r.latency.to_string(),
-                if r.polled { "spin".into() } else { "sleep".into() },
+                if r.slept { "sleep".into() } else { "spin".into() },
             ]
         })
         .collect();
@@ -40,16 +40,21 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
-    for (i, scheme) in [WaitScheme::Interrupt, WaitScheme::Polling, WaitScheme::DEFAULT_HYBRID]
-        .into_iter()
-        .enumerate()
+    for (i, scheme) in [
+        WaitScheme::Interrupt,
+        WaitScheme::Polling,
+        WaitScheme::STATIC_HYBRID,
+        WaitScheme::ADAPTIVE,
+    ]
+    .into_iter()
+    .enumerate()
     {
         let sink = spawn_device_sink(&host, Port(910 + i as u16));
         let vm = host.spawn_vm(VmConfig { scheme, ..VmConfig::default() });
         let mut tl = Timeline::new();
         let guest = vm.open_scif(&mut tl).unwrap();
         guest.connect(ScifAddr::new(host.device_node(0), Port(910 + i as u16)), &mut tl).unwrap();
-        group.bench_function(scheme.name(), |b| {
+        group.bench_function(scheme.label(), |b| {
             b.iter(|| {
                 let mut tl = Timeline::new();
                 guest.send(&[1u8], &mut tl).unwrap();

@@ -133,7 +133,9 @@ fn abl_wait_fig() {
                 r.scheme.to_string(),
                 format_bytes(r.bytes),
                 r.latency.to_string(),
-                if r.polled { "spin".into() } else { "sleep".into() },
+                if r.slept { "sleep".into() } else { "spin".into() },
+                format!("{} ns", r.spin_burn_ns),
+                format!("{} ns", r.svc_ns),
             ]
         })
         .collect();
@@ -141,10 +143,37 @@ fn abl_wait_fig() {
         "{}",
         render_table(
             "ABL-WAIT — waiting schemes (paper's future-work hybrid included)",
-            &["scheme", "size", "latency", "vCPU"],
+            &["scheme", "size", "latency", "vCPU", "spin burn", "service"],
             &table,
         )
     );
+    println!("adaptive spins small requests below the EWMA budget, sleeps bulk at once\n");
+
+    // Machine-readable companion for plotting scripts.
+    let json = abl_wait_json(&rows);
+    let path = "BENCH_wait.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON (the build environment has no serde).
+fn abl_wait_json(rows: &[vphi_bench::WaitRow]) -> String {
+    let series = |f: &dyn Fn(&vphi_bench::WaitRow) -> String| -> String {
+        rows.iter().map(f).collect::<Vec<_>>().join(", ")
+    };
+    format!(
+        "{{\n  \"figure\": \"abl-wait\",\n  \"unit\": \"nanoseconds_virtual_time\",\n\
+         \x20 \"schemes\": [{}],\n  \"sizes_bytes\": [{}],\n  \"latency_ns\": [{}],\n\
+         \x20 \"slept\": [{}],\n  \"spin_burn_ns\": [{}],\n  \"service_ns\": [{}]\n}}\n",
+        series(&|r| format!("\"{}\"", r.scheme)),
+        series(&|r| r.bytes.to_string()),
+        series(&|r| r.latency.as_nanos().to_string()),
+        series(&|r| r.slept.to_string()),
+        series(&|r| r.spin_burn_ns.to_string()),
+        series(&|r| r.svc_ns.to_string()),
+    )
 }
 
 fn abl_chunk_fig() {

@@ -11,9 +11,11 @@
 //! on `/dev/mic/scif` in parallel — nothing in the host driver changes.
 
 mod dispatch;
+pub mod notify;
 mod reg_cache;
 
 pub use dispatch::{dispatch_policy, request_payload_len, Dispatch, DispatchPolicy};
+pub use notify::{LaneNotifier, LaneNotifyCounters, BATCH_BUCKETS};
 pub use reg_cache::{RegCacheConfig, RegCacheSnapshot, RegCacheStats, RegistrationCache};
 
 use std::collections::HashMap;
@@ -34,7 +36,7 @@ use vphi_virtio::{DescChain, Descriptor, UsedElem, VirtQueue};
 use vphi_vmm::vm::VirtualPciDevice;
 use vphi_vmm::{Gpa, GuestMemory, IrqChip, KvmModule, QemuEventLoop, VmaFlags};
 
-use crate::frontend::{VphiChannel, VPHI_IRQ_VECTOR};
+use crate::frontend::{Completion, VphiChannel, VPHI_IRQ_VECTOR};
 use crate::mmapping::MappedRegionBacking;
 use crate::protocol::{rma_flags_from_wire, VphiRequest, VphiResponse};
 
@@ -78,9 +80,6 @@ pub struct BackendStats {
     pub requests: AtomicU64,
     pub worker_dispatches: AtomicU64,
     pub pages_translated: AtomicU64,
-    /// Intermediate interrupt injections elided because more completions
-    /// from the same burst were about to land on the used ring.
-    pub irqs_coalesced: AtomicU64,
     /// Completion interrupts lost to fault injection (the reply sat on
     /// the used ring until the requester's deadline re-check found it).
     pub msi_lost: AtomicU64,
@@ -95,29 +94,15 @@ pub struct BackendStats {
 }
 
 /// Knobs the builder exposes beyond the dispatch policy.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct BackendOptions {
     /// RMA registration-cache tuning (enabled by default).
     pub reg_cache: RegCacheConfig,
-    /// Coalesce used-ring notifications: suppress guest kicks while the
-    /// service loop is draining and elide all but the last interrupt of
-    /// a burst.  A burst of one behaves exactly like the seed.
-    pub coalesce_notifications: bool,
     /// Pipeline large RMA staging: split cold-path pin/translate into
     /// `KMALLOC_MAX_SIZE` chunks double-buffered against the DMA channels,
     /// so only the exposed remainder of staging lands on the critical
     /// path.  Off by default to keep the calibrated figures byte-stable.
     pub pipeline_rma: bool,
-}
-
-impl Default for BackendOptions {
-    fn default() -> Self {
-        BackendOptions {
-            reg_cache: RegCacheConfig::default(),
-            coalesce_notifications: true,
-            pipeline_rma: false,
-        }
-    }
 }
 
 struct EndpointTable {
@@ -135,7 +120,6 @@ pub struct BackendInner {
     name: String,
     channel: Arc<VphiChannel>,
     guest_mem: Arc<GuestMemory>,
-    guest_irq: Arc<IrqChip>,
     kvm: Arc<KvmModule>,
     event_loop: Arc<QemuEventLoop>,
     fabric: Arc<ScifFabric>,
@@ -144,8 +128,9 @@ pub struct BackendInner {
     mmaps: TrackedMutex<MmapTable>,
     policy: DispatchPolicy,
     running: AtomicBool,
-    coalesce: bool,
     pipeline_rma: bool,
+    /// Per-lane interrupt gates — the only path to an MSI injection.
+    notifiers: Vec<Arc<LaneNotifier>>,
     /// Worker dispatches per queue lane — the shard-level counterpart of
     /// `stats.worker_dispatches`, surfaced in the debug report.
     queue_worker_dispatches: Vec<AtomicU64>,
@@ -180,6 +165,16 @@ impl BackendInner {
     /// Worker dispatches attributed to queue lane `q`.
     pub fn queue_worker_dispatches(&self, q: usize) -> u64 {
         self.queue_worker_dispatches[q].load(Ordering::Relaxed)
+    }
+
+    /// Queue lane `q`'s interrupt gate.
+    pub fn lane_notifier(&self, q: usize) -> &Arc<LaneNotifier> {
+        &self.notifiers[q]
+    }
+
+    /// Counter snapshots of every lane's interrupt gate, lane order.
+    pub fn notify_counters(&self) -> Vec<LaneNotifyCounters> {
+        self.notifiers.iter().map(|n| n.counters()).collect()
     }
 
     /// Tear down everything a dead guest left behind: close (and thereby
@@ -262,13 +257,12 @@ impl BackendInner {
         epd
     }
 
-    /// Service one chain popped from queue lane `q` end-to-end.
-    /// `more_pending` is true when the shard's service loop already holds
-    /// further chains of the same burst: the completion then skips its
-    /// interrupt injection, because the burst's last completion will
-    /// interrupt the guest once for all of them (notification coalescing).
-    fn process(self: &Arc<Self>, q: usize, chain: DescChain, more_pending: bool) {
-        let (token, mut tl, trace) = self.channel.claim(q, chain.head);
+    /// Service one chain popped from queue lane `q` end-to-end.  Whether
+    /// the completion interrupts the guest is decided at the used-ring
+    /// push by the lane's [`LaneNotifier`], from the notify hint the
+    /// requester submitted and the `used_event` threshold it published.
+    fn process(self: &Arc<Self>, q: usize, chain: DescChain) {
+        let (token, mut tl, trace, hint) = self.channel.claim(q, chain.head);
         if self.faults.fire(FaultSite::VmmGuestDeath).is_some() {
             // The guest died mid-request: its QEMU process tears down, so
             // no response is ever written.  Waiters observe the shutdown
@@ -294,8 +288,6 @@ impl BackendInner {
             .ok()
             .flatten();
 
-        let coalesce_irq = more_pending && self.coalesce;
-
         // The replay span brackets decode + execute; its trace context
         // (parent = the replay span) is what the host SCIF calls inherit.
         let trace = ctx.trace.clone();
@@ -303,15 +295,7 @@ impl BackendInner {
 
         let Some(req) = req else {
             OpCtx::new(&mut tl, trace.clone()).end(replay);
-            self.finish(
-                q,
-                token,
-                &chain,
-                VphiResponse::err(ScifError::Inval),
-                tl,
-                trace,
-                coalesce_irq,
-            );
+            self.finish(q, token, &chain, VphiResponse::err(ScifError::Inval), tl, trace, hint);
             return;
         };
 
@@ -322,13 +306,12 @@ impl BackendInner {
                     self.execute(&req, &chain, &mut OpCtx::new(tl, trace.clone()))
                 });
                 OpCtx::new(&mut tl, trace.clone()).end(replay);
-                self.finish(q, token, &chain, resp, tl, trace, coalesce_irq);
+                self.finish(q, token, &chain, resp, tl, trace, hint);
             }
             Dispatch::Worker => {
                 // `scif_accept` may wait forever for a connect; freezing
                 // the VM for it is unacceptable (paper §III), so it runs
-                // on a QEMU worker thread.  A worker completes at its own
-                // pace, so its interrupt is never coalesced.
+                // on a QEMU worker thread.
                 self.stats.worker_dispatches.fetch_add(1, Ordering::Relaxed);
                 self.queue_worker_dispatches[q].fetch_add(1, Ordering::Relaxed);
                 let inner = Arc::clone(self);
@@ -339,15 +322,17 @@ impl BackendInner {
                         inner.execute(&req, &chain, &mut OpCtx::new(tl, trace.clone()))
                     });
                     OpCtx::new(&mut tl, trace.clone()).end(replay);
-                    inner.finish(q, token, &chain, resp, tl, trace, false);
+                    inner.finish(q, token, &chain, resp, tl, trace, hint);
                 });
             }
         }
     }
 
-    /// Write the response header, push used on lane `q`, inject the
-    /// lane's virtual interrupt (unless this completion rides an imminent
-    /// later one) and hand the timeline back to the frontend.
+    /// Write the response header, push used on lane `q`, and let the
+    /// lane's notifier decide — from the requester's hint and the armed
+    /// `used_event` threshold — whether this completion injects the
+    /// lane's virtual interrupt (flushing any batched completions) or is
+    /// suppressed.  The timeline then flows back to the frontend.
     #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
@@ -357,7 +342,7 @@ impl BackendInner {
         resp: VphiResponse,
         mut tl: Timeline,
         trace: TraceCtx,
-        coalesce_irq: bool,
+        hint: crate::frontend::NotifyHint,
     ) {
         let resp_desc = chain.descriptors.last().expect("chain has a response descriptor");
         let _ = self.guest_mem.write(Gpa(resp_desc.addr), &resp.encode());
@@ -365,28 +350,38 @@ impl BackendInner {
         // child of it.
         let mut ctx = OpCtx::new(&mut tl, trace.at_root());
         let span = ctx.begin("complete", Stage::Completion);
-        self.channel.lane_queue(q).push_used(
+        let new_seq = self.channel.lane_queue(q).push_used(
             UsedElem { id: chain.head, len: resp_desc.len },
             self.cost().used_push,
             ctx.tl,
         );
-        if coalesce_irq {
-            self.stats.irqs_coalesced.fetch_add(1, Ordering::Relaxed);
-        } else if self.faults.fire(FaultSite::PcieMsiLost).is_some() {
-            // The completion interrupt vanished: the reply is on the used
-            // ring but nobody is woken.  The requester's deadline expires,
-            // it re-checks the ring and takes the reply then.
-            self.stats.msi_lost.fetch_add(1, Ordering::Relaxed);
-            ctx.end(span);
-            drop(ctx);
-            self.channel.complete_quiet(token, tl);
-            return;
+        // Service time as the waiter's EWMA will learn it: every backend
+        // charge up to and including the used push, excluding whatever the
+        // injection decision below adds.
+        let svc_ns = ctx.tl.total().as_nanos();
+        let slept = hint.sleeping_after(svc_ns);
+        let notifier = &self.notifiers[q];
+        if notifier.would_inject(new_seq, hint, svc_ns) {
+            if self.faults.fire(FaultSite::PcieMsiLost).is_some() {
+                // The completion interrupt vanished: the reply is on the
+                // used ring but nobody is woken.  The requester's deadline
+                // expires, it re-checks the ring and takes the reply then.
+                self.stats.msi_lost.fetch_add(1, Ordering::Relaxed);
+                notifier.note_msi_lost();
+                ctx.end(span);
+                drop(ctx);
+                self.channel.complete_quiet(token, Completion { tl, slept, svc_ns });
+                return;
+            }
+            let irq_span = ctx.begin("notify-irq", Stage::Completion);
+            notifier.deliver_irq(ctx.tl);
+            ctx.end(irq_span);
         } else {
-            self.guest_irq.inject(VPHI_IRQ_VECTOR + q as u32, ctx.tl);
+            notifier.note_suppressed(slept);
         }
         ctx.end(span);
         drop(ctx);
-        self.channel.complete(token, tl);
+        self.channel.complete(token, Completion { tl, slept, svc_ns });
     }
 
     /// Payload descriptors: everything between the request header and the
@@ -763,12 +758,24 @@ impl BackendDevice {
     ) -> Arc<Self> {
         let queue_worker_dispatches =
             (0..channel.queue_count()).map(|_| AtomicU64::new(0)).collect();
+        // One interrupt gate per lane, each owning the lane's MSI vector.
+        let notifiers = channel
+            .lanes()
+            .iter()
+            .enumerate()
+            .map(|(q, lane)| {
+                Arc::new(LaneNotifier::new(
+                    VPHI_IRQ_VECTOR + q as u32,
+                    Arc::clone(&guest_irq),
+                    Arc::clone(&lane.queue),
+                ))
+            })
+            .collect();
         Arc::new(BackendDevice {
             inner: Arc::new(BackendInner {
                 name: name.into(),
                 channel,
                 guest_mem,
-                guest_irq,
                 kvm,
                 event_loop,
                 fabric,
@@ -783,8 +790,8 @@ impl BackendDevice {
                 ),
                 policy,
                 running: AtomicBool::new(false),
-                coalesce: options.coalesce_notifications,
                 pipeline_rma: options.pipeline_rma,
+                notifiers,
                 queue_worker_dispatches,
                 windows: TrackedMutex::new(LockClass::BackendWindows, HashMap::new()),
                 reg_cache: RegistrationCache::new(options.reg_cache),
@@ -855,24 +862,22 @@ impl VirtualPciDevice for BackendDevice {
                             // spares the guest those vm-exits.  Suppression is
                             // lifted *before* the burst's last completion is
                             // delivered, so a synchronous requester's next kick
-                            // behaves exactly as without coalescing.
-                            if inner.coalesce {
-                                queue.set_suppress_kick(true);
-                            }
+                            // behaves exactly as a lone request's.  (Interrupt
+                            // elision is the lane notifier's job now.)
+                            queue.set_suppress_kick(true);
                             let mut batch = Vec::new();
                             while let Ok(Some(chain)) = queue.pop_avail() {
                                 batch.push(chain);
                             }
                             let burst = batch.len();
-                            if inner.coalesce && burst <= 1 {
+                            if burst <= 1 {
                                 queue.set_suppress_kick(false);
                             }
                             for (i, chain) in batch.into_iter().enumerate() {
-                                let last = i + 1 == burst;
-                                if inner.coalesce && last && burst > 1 {
+                                if i + 1 == burst && burst > 1 {
                                     queue.set_suppress_kick(false);
                                 }
-                                inner.process(q, chain, !last);
+                                inner.process(q, chain);
                             }
                             // A chain posted while kicks were suppressed never
                             // delivered its kick; pick it up before blocking.

@@ -1,0 +1,259 @@
+//! The per-lane completion notifier — the **only** MSI-injection site in
+//! the vPHI stack (enforced by `xtask lint`'s `msi-gate` rule).
+//!
+//! Every completion the backend pushes flows through here, and the
+//! notifier decides — deterministically, from state the frontend handed
+//! over before its kick — whether the completion warrants a virtual
+//! interrupt (DESIGN.md #16):
+//!
+//! * the requester's [`NotifyHint`] says whether it was still spinning
+//!   (`svc ≤ budget`: no interrupt needed, its spinner reaps the reply) or
+//!   had armed the interrupt and slept;
+//! * the EVENT_IDX comparison ([`vphi_virtio::need_event`]) says whether
+//!   this push crossed the `used_event` threshold the guest published —
+//!   a push short of the threshold is *batched*: it stays pending and the
+//!   next injected irq on the lane delivers it along with its own.
+//!
+//! One injected irq therefore drains every pending used entry on the lane
+//! (the `completions_per_irq` histogram measures the batching), and a
+//! suppressed-but-sleeping completion is never lost: its directed
+//! completion wake still lands, and the deadline retry backstops a lost
+//! MSI.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use vphi_sim_core::Timeline;
+use vphi_sync::{LockClass, TrackedMutex};
+use vphi_virtio::{need_event, VirtQueue};
+use vphi_vmm::IrqChip;
+
+use crate::frontend::NotifyHint;
+
+/// Log2 buckets of the completions-per-irq histogram (bucket 15 collects
+/// every batch of 2^15 completions or more).
+pub const BATCH_BUCKETS: usize = 16;
+
+/// Snapshot of a lane notifier's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneNotifyCounters {
+    /// Virtual interrupts actually injected.
+    pub irqs_injected: u64,
+    /// Completions that did not inject (spinner reaped it, or it was
+    /// batched behind an armed threshold).
+    pub irqs_suppressed: u64,
+    /// Completions-per-irq log2 histogram: bucket `b` counts injected
+    /// irqs that delivered `[2^b, 2^(b+1))` completions.
+    pub batch_hist: [u64; BATCH_BUCKETS],
+}
+
+impl LaneNotifyCounters {
+    /// Total completions delivered by injected irqs (weighted histogram
+    /// mass is at least this spread across buckets).
+    pub fn irq_total(&self) -> u64 {
+        self.batch_hist.iter().sum()
+    }
+
+    /// The largest non-empty histogram bucket — `2^b` is a lower bound on
+    /// the biggest single-irq batch observed.
+    pub fn max_batch_bucket(&self) -> Option<u8> {
+        (0..BATCH_BUCKETS).rev().find(|&b| self.batch_hist[b] > 0).map(|b| b as u8)
+    }
+}
+
+/// One virtqueue lane's interrupt gate.
+pub struct LaneNotifier {
+    vector: u32,
+    chip: Arc<IrqChip>,
+    queue: Arc<VirtQueue>,
+    /// Completions suppressed while their requester slept, awaiting the
+    /// next injected irq on this lane (the batch the irq will flush).
+    pending: TrackedMutex<u64>,
+    irqs_injected: AtomicU64,
+    irqs_suppressed: AtomicU64,
+    batch_hist: [AtomicU64; BATCH_BUCKETS],
+}
+
+impl std::fmt::Debug for LaneNotifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaneNotifier")
+            .field("vector", &self.vector)
+            .field("injected", &self.irqs_injected.load(Ordering::Relaxed))
+            .field("suppressed", &self.irqs_suppressed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl LaneNotifier {
+    pub fn new(vector: u32, chip: Arc<IrqChip>, queue: Arc<VirtQueue>) -> Self {
+        LaneNotifier {
+            vector,
+            chip,
+            queue,
+            pending: TrackedMutex::new(LockClass::LaneNotifier, 0),
+            irqs_injected: AtomicU64::new(0),
+            irqs_suppressed: AtomicU64::new(0),
+            batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The MSI vector this lane injects on.
+    pub fn vector(&self) -> u32 {
+        self.vector
+    }
+
+    /// Whether the completion that advanced the used ring to `new_seq`
+    /// warrants an interrupt: its requester is asleep (service time
+    /// exceeded the declared spin budget) *and* the push crossed the
+    /// armed `used_event` threshold.  Pure — the caller sequences the
+    /// fault check (lost MSI) between this decision and
+    /// [`deliver_irq`](LaneNotifier::deliver_irq).
+    pub fn would_inject(&self, new_seq: u64, hint: NotifyHint, svc_ns: u64) -> bool {
+        hint.sleeping_after(svc_ns)
+            && need_event(self.queue.used_event(), new_seq, new_seq.wrapping_sub(1))
+    }
+
+    /// Inject the lane's virtual interrupt, flushing the pending batch:
+    /// this irq delivers its own completion plus every completion
+    /// suppressed-while-sleeping since the last irq.
+    pub fn deliver_irq(&self, tl: &mut Timeline) {
+        let flushed = {
+            let mut pending = self.pending.lock();
+            let f = *pending + 1;
+            *pending = 0;
+            f
+        };
+        self.irqs_injected.fetch_add(1, Ordering::Relaxed);
+        let bucket = (63 - flushed.leading_zeros() as usize).min(BATCH_BUCKETS - 1);
+        self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        self.chip.inject(self.vector, tl);
+    }
+
+    /// Record a completion that did not inject.  `sleeping` completions
+    /// join the pending batch (the next irq on the lane flushes them);
+    /// spinner-reaped ones are simply counted.
+    pub fn note_suppressed(&self, sleeping: bool) {
+        self.irqs_suppressed.fetch_add(1, Ordering::Relaxed);
+        if sleeping {
+            *self.pending.lock() += 1;
+        }
+    }
+
+    /// Record a would-have-injected completion whose MSI the fault plan
+    /// ate: the completion stays pending (a later irq or the requester's
+    /// deadline retry recovers it).  The backend's `msi_lost` counter
+    /// owns the event itself.
+    pub fn note_msi_lost(&self) {
+        *self.pending.lock() += 1;
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> LaneNotifyCounters {
+        LaneNotifyCounters {
+            irqs_injected: self.irqs_injected.load(Ordering::Relaxed),
+            irqs_suppressed: self.irqs_suppressed.load(Ordering::Relaxed),
+            batch_hist: std::array::from_fn(|b| self.batch_hist[b].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vphi_sim_core::{CostModel, SimDuration, SpanLabel};
+    use vphi_virtio::{Descriptor, UsedElem};
+
+    const PUSH: SimDuration = SimDuration::from_nanos(600);
+
+    fn lane() -> (LaneNotifier, Arc<VirtQueue>, Arc<IrqChip>) {
+        let chip = Arc::new(IrqChip::new(Arc::new(CostModel::paper_calibrated())));
+        let queue = VirtQueue::new(8);
+        (LaneNotifier::new(11, Arc::clone(&chip), Arc::clone(&queue)), queue, chip)
+    }
+
+    fn push_one(queue: &Arc<VirtQueue>, tl: &mut Timeline) -> u64 {
+        let head = queue.add_chain(&[Descriptor::readable(0, 1)], PUSH, tl).unwrap();
+        queue.pop_avail().unwrap().unwrap();
+        let seq = queue.push_used(UsedElem { id: head, len: 0 }, PUSH, tl);
+        queue.take_used();
+        seq
+    }
+
+    #[test]
+    fn sleeping_waiter_with_armed_threshold_gets_the_irq() {
+        let (n, queue, chip) = lane();
+        let mut tl = Timeline::new();
+        queue.publish_used_event(queue.used_seq()); // waiter arms, then sleeps
+        let seq = push_one(&queue, &mut tl);
+        assert!(n.would_inject(seq, NotifyHint::SLEEP, 1));
+        n.deliver_irq(&mut tl);
+        assert_eq!(chip.inject_count(11), 1);
+        assert!(tl.total_for(SpanLabel::IrqInject) > SimDuration::ZERO);
+        let c = n.counters();
+        assert_eq!(c.irqs_injected, 1);
+        assert_eq!(c.batch_hist[0], 1, "a lone completion is a batch of one");
+    }
+
+    #[test]
+    fn spinner_never_injects() {
+        let (n, queue, chip) = lane();
+        let mut tl = Timeline::new();
+        queue.publish_used_event(queue.used_seq());
+        let seq = push_one(&queue, &mut tl);
+        // Pure spin, and also an adaptive waiter whose budget covered the
+        // service time: both are reaped by the spinner.
+        assert!(!n.would_inject(seq, NotifyHint::SPIN, u64::MAX - 1));
+        assert!(!n.would_inject(seq, NotifyHint { budget_ns: 1000 }, 999));
+        n.note_suppressed(false);
+        assert_eq!(chip.inject_count(11), 0);
+        assert_eq!(n.counters().irqs_suppressed, 1);
+    }
+
+    #[test]
+    fn stale_threshold_batches_until_the_next_irq_flushes() {
+        let (n, queue, _chip) = lane();
+        let mut tl = Timeline::new();
+        queue.publish_used_event(queue.used_seq()); // armed at 0
+        let s1 = push_one(&queue, &mut tl); // crosses: 0 → 1
+        assert!(n.would_inject(s1, NotifyHint::SLEEP, 1));
+        n.deliver_irq(&mut tl);
+        // Threshold still 0 (no new waiter armed): pushes 2 and 3 are
+        // past it, so they batch behind the next crossing.
+        let s2 = push_one(&queue, &mut tl);
+        assert!(!n.would_inject(s2, NotifyHint::SLEEP, 1));
+        n.note_suppressed(true);
+        let s3 = push_one(&queue, &mut tl);
+        assert!(!n.would_inject(s3, NotifyHint::SLEEP, 1));
+        n.note_suppressed(true);
+        // A waiter re-arms; its completion's irq flushes the batch of 3.
+        queue.publish_used_event(queue.used_seq());
+        let s4 = push_one(&queue, &mut tl);
+        assert!(n.would_inject(s4, NotifyHint::SLEEP, 1));
+        n.deliver_irq(&mut tl);
+        let c = n.counters();
+        assert_eq!(c.irqs_injected, 2);
+        assert_eq!(c.irqs_suppressed, 2);
+        assert_eq!(c.batch_hist[0], 1, "first irq carried one completion");
+        assert_eq!(c.batch_hist[1], 1, "second irq flushed a batch of 3 (bucket [2,4))");
+        assert_eq!(c.max_batch_bucket(), Some(1));
+    }
+
+    #[test]
+    fn msi_lost_keeps_the_completion_pending() {
+        let (n, queue, chip) = lane();
+        let mut tl = Timeline::new();
+        queue.publish_used_event(queue.used_seq());
+        let s1 = push_one(&queue, &mut tl);
+        assert!(n.would_inject(s1, NotifyHint::SLEEP, 1));
+        n.note_msi_lost(); // the fault plan ate the MSI
+        assert_eq!(chip.inject_count(11), 0);
+        // The next injected irq delivers both.
+        queue.publish_used_event(queue.used_seq());
+        let s2 = push_one(&queue, &mut tl);
+        assert!(n.would_inject(s2, NotifyHint::SLEEP, 1));
+        n.deliver_irq(&mut tl);
+        let c = n.counters();
+        assert_eq!(c.irqs_injected, 1);
+        assert_eq!(c.batch_hist[1], 1, "the lost completion rode the next irq");
+    }
+}

@@ -50,9 +50,6 @@ pub struct VmConfig {
     /// Backend RMA registration cache (disable to reproduce the seed's
     /// per-request translation charge — the Fig. 5 72% ceiling).
     pub reg_cache: crate::backend::RegCacheConfig,
-    /// Coalesce used-ring notifications (kick suppression + burst-level
-    /// interrupt elision).  A burst of one behaves exactly like the seed.
-    pub coalesce_notifications: bool,
     /// Pipeline large cold-path RMA staging through double-buffered
     /// chunks overlapped with device DMA.  Off by default so the
     /// calibrated figures stay byte-stable; MQ-SCALE turns it on.
@@ -70,7 +67,6 @@ impl Default for VmConfig {
             chunk_size: vphi_sim_core::cost::KMALLOC_MAX_SIZE,
             dispatch: crate::backend::DispatchPolicy::PAPER,
             reg_cache: crate::backend::RegCacheConfig::default(),
-            coalesce_notifications: true,
             pipeline_rma: false,
         }
     }
@@ -271,7 +267,6 @@ impl VphiHost {
             config.dispatch,
             crate::backend::BackendOptions {
                 reg_cache: config.reg_cache,
-                coalesce_notifications: config.coalesce_notifications,
                 pipeline_rma: config.pipeline_rma,
             },
         );

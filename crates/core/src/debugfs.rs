@@ -11,6 +11,7 @@ use std::sync::atomic::Ordering;
 use vphi_sim_core::SimDuration;
 use vphi_trace::TraceCounters;
 
+use crate::backend::BATCH_BUCKETS;
 use crate::builder::VphiVm;
 
 /// Per-lane transport counters — one entry per virtqueue, index = lane.
@@ -25,6 +26,11 @@ pub struct QueueReport {
     /// Kick-suppression windows (`VRING_USED_F_NO_NOTIFY`) this lane
     /// opened while its shard drained a burst.
     pub suppress_windows: u64,
+    /// Completion MSIs this lane's notifier injected.
+    pub irqs_injected: u64,
+    /// Completions that injected nothing: reaped by a spinner, or batched
+    /// behind an un-crossed `used_event` threshold.
+    pub irqs_suppressed: u64,
 }
 
 /// A point-in-time snapshot of one VM's vPHI counters.
@@ -38,10 +44,21 @@ pub struct VphiDebugReport {
     pub chunks_staged: u64,
     pub wait_queue_wakeups: u64,
     pub wait_queue_sleeps: u64,
-    // notification coalescing
+    /// Sleepers that woke without their completion being ready — with
+    /// per-token waiters this stays ~0 (only a deadline-expiry re-check or
+    /// a shutdown broadcast can produce one).
+    pub spurious_wakeups: u64,
+    // adaptive completion notification
     pub kicks_delivered: u64,
     pub kicks_suppressed: u64,
-    pub irqs_coalesced: u64,
+    /// Completion MSIs injected, summed over lanes.
+    pub irqs_injected: u64,
+    /// Completions suppressed (spinner-reaped or batched), summed over
+    /// lanes.
+    pub irqs_suppressed: u64,
+    /// Log2 completions-per-irq histogram summed over lanes: bucket `b`
+    /// counts injected irqs that delivered `[2^b, 2^(b+1))` completions.
+    pub completions_per_irq: [u64; BATCH_BUCKETS],
     /// Per-lane transport counters, one entry per virtqueue.
     pub queues: Vec<QueueReport>,
     // backend
@@ -88,6 +105,7 @@ impl VphiDebugReport {
         let trace =
             vm.frontend().channel().trace.tracer().map(|t| t.counters()).unwrap_or_default();
         let channel = vm.frontend().channel();
+        let notify = be.notify_counters();
         let queues: Vec<QueueReport> = channel
             .lanes()
             .iter()
@@ -99,9 +117,17 @@ impl VphiDebugReport {
                     chains_popped: c.chains_popped,
                     worker_dispatches: be.queue_worker_dispatches(q),
                     suppress_windows: c.suppress_windows,
+                    irqs_injected: notify[q].irqs_injected,
+                    irqs_suppressed: notify[q].irqs_suppressed,
                 }
             })
             .collect();
+        let mut completions_per_irq = [0u64; BATCH_BUCKETS];
+        for n in &notify {
+            for (b, count) in n.batch_hist.iter().enumerate() {
+                completions_per_irq[b] += count;
+            }
+        }
         // Completion MSIs spread across one vector per lane.
         let irq_injections = (0..channel.queue_count() as u32)
             .map(|q| vm.vm().kernel().irq().inject_count(crate::frontend::VPHI_IRQ_VECTOR + q))
@@ -114,9 +140,12 @@ impl VphiDebugReport {
             chunks_staged: fe.chunks_sent,
             wait_queue_wakeups: vm.frontend().channel().waitq.wakeup_count(),
             wait_queue_sleeps: vm.frontend().channel().waitq.sleep_count(),
+            spurious_wakeups: vm.frontend().channel().waitq.spurious_count(),
             kicks_delivered: fe.kicks_delivered,
             kicks_suppressed: fe.kicks_suppressed,
-            irqs_coalesced: be.stats.irqs_coalesced.load(Ordering::Relaxed),
+            irqs_injected: notify.iter().map(|n| n.irqs_injected).sum(),
+            irqs_suppressed: notify.iter().map(|n| n.irqs_suppressed).sum(),
+            completions_per_irq,
             queues,
             backend_requests: be.stats.requests.load(Ordering::Relaxed),
             worker_dispatches: be.stats.worker_dispatches.load(Ordering::Relaxed),
@@ -168,9 +197,26 @@ impl VphiDebugReport {
                     "waitq wake/sleep",
                     format!("{}/{}", self.wait_queue_wakeups, self.wait_queue_sleeps),
                 ),
+                ("spurious wakeups", self.spurious_wakeups.to_string()),
                 ("deadline retries", self.deadline_retries.to_string()),
             ],
         );
+        // Non-empty completions-per-irq buckets as "2^b:count" pairs; "-"
+        // when no irq was ever injected.
+        let hist = {
+            let pairs: Vec<String> = self
+                .completions_per_irq
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(b, c)| format!("2^{b}:{c}"))
+                .collect();
+            if pairs.is_empty() {
+                "-".to_string()
+            } else {
+                pairs.join(" ")
+            }
+        };
         group(
             "virtio",
             &[
@@ -178,22 +224,29 @@ impl VphiDebugReport {
                     "kicks sent/suppressed",
                     format!("{}/{}", self.kicks_delivered, self.kicks_suppressed),
                 ),
-                ("irqs coalesced", self.irqs_coalesced.to_string()),
+                ("irqs inj/sup", format!("{}/{}", self.irqs_injected, self.irqs_suppressed)),
                 ("irq injections", self.irq_injections.to_string()),
+                ("cpl-per-irq hist", hist),
             ],
         );
         let queue_rows: Vec<(String, String)> = self
             .queues
             .iter()
             .enumerate()
-            .map(|(i, q)| {
-                (
-                    format!("q{i} kick/pop/disp/sup"),
-                    format!(
-                        "{}/{}/{}/{}",
-                        q.kicks, q.chains_popped, q.worker_dispatches, q.suppress_windows
+            .flat_map(|(i, q)| {
+                [
+                    (
+                        format!("q{i} kick/pop/disp/sup"),
+                        format!(
+                            "{}/{}/{}/{}",
+                            q.kicks, q.chains_popped, q.worker_dispatches, q.suppress_windows
+                        ),
                     ),
-                )
+                    (
+                        format!("q{i} irq inj/sup"),
+                        format!("{}/{}", q.irqs_injected, q.irqs_suppressed),
+                    ),
+                ]
             })
             .collect();
         let queue_rows: Vec<(&str, String)> =
@@ -284,11 +337,16 @@ mod tests {
         assert_eq!(after_open.open_endpoints, 1);
         assert_eq!(after_open.irq_injections, 1);
         assert_eq!(after_open.interrupt_waits, 1);
-        // A lone request coalesces nothing: its kick is delivered and its
-        // interrupt injected, exactly as without coalescing.
+        // A lone interrupt-scheme request: kick delivered, its sleeping
+        // waiter's threshold crossed, one MSI injected carrying exactly
+        // one completion — and the directed wake was not spurious.
         assert_eq!(after_open.kicks_delivered, 1);
         assert_eq!(after_open.kicks_suppressed, 0);
-        assert_eq!(after_open.irqs_coalesced, 0);
+        assert_eq!(after_open.irqs_injected, 1);
+        assert_eq!(after_open.irqs_suppressed, 0);
+        assert_eq!(after_open.completions_per_irq[0], 1);
+        assert_eq!(after_open.spurious_wakeups, 0);
+        assert_eq!(after_open.queues[0].irqs_injected, 1);
         // `scif_open` carries no endpoint, so it rides lane 0: exactly one
         // kick and one popped chain there, nothing on the other lanes.
         assert_eq!(after_open.queues.len(), 4);
@@ -306,6 +364,7 @@ mod tests {
         let after_close = VphiDebugReport::collect(&vm);
         assert_eq!(after_close.requests, 2);
         assert_eq!(after_close.open_endpoints, 0);
+        assert_eq!(after_close.spurious_wakeups, 0, "per-token wakes are never spurious");
         // Every request froze the VM briefly (blocking dispatch).
         assert!(after_close.vm_paused > SimDuration::ZERO);
         assert_eq!(after_close.blocking_events, 2);
@@ -356,21 +415,33 @@ mod tests {
             chunks_staged: 4,
             wait_queue_wakeups: 5,
             wait_queue_sleeps: 6,
+            spurious_wakeups: 47,
             kicks_delivered: 7,
             kicks_suppressed: 8,
-            irqs_coalesced: 9,
+            irqs_injected: 9,
+            irqs_suppressed: 48,
+            completions_per_irq: {
+                let mut h = [0u64; BATCH_BUCKETS];
+                h[0] = 49;
+                h[2] = 50;
+                h
+            },
             queues: vec![
                 QueueReport {
                     kicks: 39,
                     chains_popped: 40,
                     worker_dispatches: 41,
                     suppress_windows: 42,
+                    irqs_injected: 51,
+                    irqs_suppressed: 52,
                 },
                 QueueReport {
                     kicks: 43,
                     chains_popped: 44,
                     worker_dispatches: 45,
                     suppress_windows: 46,
+                    irqs_injected: 53,
+                    irqs_suppressed: 54,
                 },
             ],
             backend_requests: 10,
@@ -412,14 +483,18 @@ vphi7:
     waits irq/poll          2/3
     staging chunks          4
     waitq wake/sleep        5/6
+    spurious wakeups        47
     deadline retries        23
   virtio:
     kicks sent/suppressed   7/8
-    irqs coalesced          9
+    irqs inj/sup            9/48
     irq injections          21
+    cpl-per-irq hist        2^0:49 2^2:50
   queues:
     q0 kick/pop/disp/sup    39/40/41/42
+    q0 irq inj/sup          51/52
     q1 kick/pop/disp/sup    43/44/45/46
+    q1 irq inj/sup          53/54
   backend:
     requests                10
     worker dispatches       11

@@ -25,9 +25,11 @@
 //!
 //! * **Binary compatibility**: guest code uses [`guest::GuestScif`], whose
 //!   surface mirrors libscif exactly; neither "libscif" nor the app change.
-//! * **Interrupt-based waiting** (default), plus the polling and *hybrid*
-//!   schemes the paper proposes as future work
-//!   ([`frontend::WaitScheme`]).
+//! * **Interrupt-based waiting** (default), plus busy-polling and the
+//!   *adaptive* spin-then-sleep generalization of the hybrid scheme the
+//!   paper proposes as future work ([`frontend::WaitScheme`]), with
+//!   EVENT_IDX-style interrupt suppression in the backend
+//!   ([`backend::LaneNotifier`]).
 //! * **`KMALLOC_MAX_SIZE` chunking** of large send/recv transfers
 //!   (paper §III "implementation details").
 //! * **Blocking vs worker dispatch** in the backend per opcode
@@ -52,6 +54,6 @@ pub mod protocol;
 pub mod sysfs;
 
 pub use builder::{VphiHost, VphiVm};
-pub use frontend::{FrontendDriver, WaitScheme};
+pub use frontend::{FrontendDriver, SpinBudget, WaitBucketProfile, WaitScheme};
 pub use guest::GuestScif;
 pub use protocol::{VphiRequest, VphiResponse};

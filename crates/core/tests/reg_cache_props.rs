@@ -215,9 +215,12 @@ fn six_threads_hammer_the_cache_coherently() {
     assert!(report.reg_cache_invalidations >= t, "each unregister invalidates that thread's entry");
     // Frontend and backend notification accounting must balance exactly:
     // every request kicks once (delivered or suppressed) and every
-    // completion either injects or coalesces its interrupt.
+    // completion either injects, suppresses, or loses its interrupt.
     assert_eq!(report.kicks_delivered + report.kicks_suppressed, report.requests);
-    assert_eq!(report.irq_injections + report.irqs_coalesced, report.backend_requests);
+    assert_eq!(
+        report.irqs_injected + report.irqs_suppressed + report.msi_lost,
+        report.backend_requests
+    );
     assert_eq!(vm.frontend().channel().inflight_count(), 0);
 
     vm.shutdown();

@@ -151,12 +151,21 @@ pub enum LockClass {
     BackendShards = 46,
     /// Frontend shared re-kick backoff RNG (seeded, jittered).
     FrontendBackoff = 47,
+    // --- adaptive completion notification (PR 6) ---
+    /// Per-token wait-queue registry (token → slot map).
+    TokenWaiters = 48,
+    /// One sleeping requester's slot (signal count + condvar).
+    TokenSlot = 49,
+    /// Per-lane notifier batch state (pending-completion counter).
+    LaneNotifier = 50,
+    /// Frontend spin-budget policy (EWMA table + busy-poll set).
+    NotifyPolicy = 51,
 }
 
 impl LockClass {
     /// Number of classes (adjacency bitmasks are `u64`, so this must stay
     /// ≤ 64).
-    pub const COUNT: usize = 48;
+    pub const COUNT: usize = 52;
 
     /// The class's layer in the documented hierarchy — smaller layers are
     /// acquired first (outermost).
@@ -210,9 +219,15 @@ impl LockClass {
             LockClass::TraceHists => 88,
             LockClass::BackendShards => 20,
             LockClass::FrontendBackoff => 79,
+            LockClass::TokenWaiters => 71,
+            LockClass::TokenSlot => 72,
+            LockClass::LaneNotifier => 69,
+            LockClass::NotifyPolicy => 77,
         }
     }
 
+    // Only the audit graph (debug / `sync-audit` builds) indexes classes.
+    #[cfg_attr(not(any(debug_assertions, feature = "sync-audit")), allow(dead_code))]
     pub(crate) const fn index(self) -> usize {
         self as usize
     }

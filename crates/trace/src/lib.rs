@@ -29,7 +29,7 @@ mod ctx;
 mod tracer;
 
 pub use ctx::{OpCtx, OpenSpan, RootSpan, TraceCtx};
-pub use tracer::{HistRow, SpanRec, TraceConfig, TraceCounters, TraceSummary, Tracer};
+pub use tracer::{size_bucket, HistRow, SpanRec, TraceConfig, TraceCounters, TraceSummary, Tracer};
 
 /// Number of pipeline stages a request's virtual time is decomposed into.
 pub const STAGE_COUNT: usize = 6;

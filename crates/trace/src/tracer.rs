@@ -85,7 +85,7 @@ const E2E_STAGE: u8 = STAGE_COUNT as u8;
 
 /// Payload pow2 bucket: number of significant bits, so bucket `b` covers
 /// `[2^(b-1), 2^b)` and 0 bytes is bucket 0.
-fn size_bucket(payload: u64) -> u8 {
+pub fn size_bucket(payload: u64) -> u8 {
     (64 - payload.leading_zeros()) as u8
 }
 

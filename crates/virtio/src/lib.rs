@@ -21,5 +21,5 @@
 pub mod queue;
 pub mod ring;
 
-pub use queue::{Notifiers, QueueCounters, QueueError, VirtQueue};
+pub use queue::{need_event, Notifiers, QueueCounters, QueueError, VirtQueue};
 pub use ring::{DescChain, DescFlags, Descriptor, UsedElem};

@@ -40,24 +40,18 @@ impl std::fmt::Display for QueueError {
 
 impl std::error::Error for QueueError {}
 
-/// The device → guest used-buffer notification callback.
-pub type IrqCallback = Box<dyn Fn(&mut Timeline) + Send + Sync>;
-
-/// Kick/interrupt plumbing shared by the two sides.
+/// Kick plumbing shared by the two sides.  Device → guest notification
+/// is NOT here by design: used-buffer interrupts go through the backend's
+/// `LaneNotifier`, the one component allowed to inject MSIs, so the
+/// EVENT_IDX suppression decision has a single owner.
 pub struct Notifiers {
     /// Guest → device "avail ring has work".
     pub kick: Arc<Doorbell>,
-    /// Device → guest "used ring has completions" (the vPHI backend wires
-    /// this to a virtual-interrupt injection).
-    pub irq: TrackedMutex<Option<IrqCallback>>,
 }
 
 impl Default for Notifiers {
     fn default() -> Self {
-        Notifiers {
-            kick: Arc::new(Doorbell::new()),
-            irq: TrackedMutex::new(LockClass::VirtioIrq, None),
-        }
+        Notifiers { kick: Arc::new(Doorbell::new()) }
     }
 }
 
@@ -73,9 +67,6 @@ struct QueueState {
     free: Vec<u16>,
     avail: VecDeque<u16>,
     used: VecDeque<UsedElem>,
-    /// `VRING_AVAIL_F_NO_INTERRUPT`: guest asks the device not to
-    /// interrupt on used pushes (polling mode).
-    suppress_irq: bool,
     /// `VRING_USED_F_NO_NOTIFY`: device asks the guest not to kick.
     suppress_kick: bool,
 }
@@ -100,6 +91,11 @@ pub struct VirtQueue {
     kicks: AtomicU64,
     chains_popped: AtomicU64,
     suppress_windows: AtomicU64,
+    /// Monotonic count of used-ring pushes (the EVENT_IDX "new" index).
+    used_seq: AtomicU64,
+    /// Guest-published interrupt threshold (`VIRTIO_F_EVENT_IDX`): the
+    /// device need only interrupt when `used_seq` crosses this value.
+    used_event: AtomicU64,
 }
 
 impl std::fmt::Debug for VirtQueue {
@@ -120,7 +116,6 @@ impl VirtQueue {
                     free: (0..size).rev().collect(),
                     avail: VecDeque::new(),
                     used: VecDeque::new(),
-                    suppress_irq: false,
                     suppress_kick: false,
                 },
             ),
@@ -129,6 +124,8 @@ impl VirtQueue {
             kicks: AtomicU64::new(0),
             chains_popped: AtomicU64::new(0),
             suppress_windows: AtomicU64::new(0),
+            used_seq: AtomicU64::new(0),
+            used_event: AtomicU64::new(0),
         })
     }
 
@@ -257,9 +254,26 @@ impl VirtQueue {
         !self.state.lock().used.is_empty()
     }
 
-    /// Guest-side interrupt suppression (polling mode).
-    pub fn set_suppress_irq(&self, suppress: bool) {
-        self.state.lock().suppress_irq = suppress;
+    /// Publish the guest's interrupt threshold (`VIRTIO_F_EVENT_IDX`
+    /// `used_event`).  A waiter about to sleep stores the used index it
+    /// has already observed; the device interrupts only when a push
+    /// *crosses* it.  `SeqCst` pairs with the device's `SeqCst` load in
+    /// [`push_used`](VirtQueue::push_used): either the device sees the
+    /// threshold (and interrupts), or the waiter's pre-sleep recheck sees
+    /// the completion — the "suppressed but sleeping" race cannot happen
+    /// (DESIGN.md #16).
+    pub fn publish_used_event(&self, used_event: u64) {
+        self.used_event.store(used_event, Ordering::SeqCst);
+    }
+
+    /// The used index the guest last armed an interrupt for.
+    pub fn used_event(&self) -> u64 {
+        self.used_event.load(Ordering::SeqCst)
+    }
+
+    /// Monotonic count of completions pushed onto the used ring.
+    pub fn used_seq(&self) -> u64 {
+        self.used_seq.load(Ordering::SeqCst)
     }
 
     // ---- device (backend) side ---------------------------------------------
@@ -306,28 +320,26 @@ impl VirtQueue {
 
     /// Push a completion and fire the guest interrupt unless suppressed.
     /// Charges `UsedPush` (and the IRQ callback charges its own spans).
+    /// Returns the queue's new used index; callers running the EVENT_IDX
+    /// protocol compare it against [`used_event`](VirtQueue::used_event)
+    /// with [`need_event`] to decide whether an interrupt is due.  The
+    /// `used_seq` bump is `SeqCst` so it is ordered after the elem becomes
+    /// visible and pairs with the waiter's pre-sleep threshold publish.
     pub fn push_used(
         &self,
         elem: UsedElem,
         cost_used_push: vphi_sim_core::SimDuration,
         tl: &mut Timeline,
-    ) {
-        let suppress = {
-            let mut st = self.state.lock();
-            st.used.push_back(elem);
-            st.suppress_irq
-        };
+    ) -> u64 {
+        self.state.lock().used.push_back(elem);
+        let new_seq = self.used_seq.fetch_add(1, Ordering::SeqCst) + 1;
         tl.charge(SpanLabel::UsedPush, cost_used_push);
         // An injected used-ring delay holds the completion for `param` µs
         // before the interrupt path runs.
         if let Some(delay_us) = self.faults.fire(FaultSite::VirtioUsedDelay) {
             tl.charge(SpanLabel::UsedPush, vphi_sim_core::SimDuration::from_micros(delay_us));
         }
-        if !suppress {
-            if let Some(irq) = self.notifiers.irq.lock().as_ref() {
-                irq(tl);
-            }
-        }
+        new_seq
     }
 
     /// Device-side kick suppression.
@@ -339,11 +351,6 @@ impl VirtQueue {
         st.suppress_kick = suppress;
     }
 
-    /// Register the used-buffer interrupt callback.
-    pub fn set_irq_handler(&self, handler: IrqCallback) {
-        *self.notifiers.irq.lock() = Some(handler);
-    }
-
     /// Shut the queue down: wakes any device thread blocked in
     /// [`wait_kick`](VirtQueue::wait_kick).
     pub fn shutdown(&self) {
@@ -351,11 +358,20 @@ impl VirtQueue {
     }
 }
 
+/// The virtio-1.x EVENT_IDX predicate (`vring_need_event`): whether moving
+/// the used index from `old` to `new` crossed the guest-armed `event`
+/// threshold.  All arithmetic is wrapping, so the comparison is correct
+/// across index wrap-around.  For a single push (`old == new - 1`) this
+/// reduces to `new == event + 1`: interrupt exactly when the push lands on
+/// the index the guest said it was waiting past.
+pub fn need_event(event: u64, new: u64, old: u64) -> bool {
+    new.wrapping_sub(event).wrapping_sub(1) < new.wrapping_sub(old)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ring::DescFlags;
-    use std::sync::atomic::{AtomicU32, Ordering};
     use vphi_sim_core::SimDuration;
 
     const PUSH: SimDuration = SimDuration::from_nanos(650);
@@ -418,27 +434,18 @@ mod tests {
     }
 
     #[test]
-    fn irq_handler_fires_on_push_unless_suppressed() {
+    fn push_used_queues_the_completion_without_a_side_channel() {
+        // No interrupt fires here by construction: the queue has no
+        // notification callback at all — delivery is the LaneNotifier's
+        // decision, made from `used_seq` and `used_event` alone.
         let q = VirtQueue::new(4);
-        let fired = Arc::new(AtomicU32::new(0));
-        let f = Arc::clone(&fired);
-        q.set_irq_handler(Box::new(move |_tl| {
-            f.fetch_add(1, Ordering::Relaxed);
-        }));
         let mut tl = Timeline::new();
         let head = q.add_chain(&[Descriptor::readable(0, 1)], PUSH, &mut tl).unwrap();
         q.pop_avail().unwrap().unwrap();
-        q.push_used(UsedElem { id: head, len: 0 }, PUSH, &mut tl);
-        assert_eq!(fired.load(Ordering::Relaxed), 1);
-
-        // Suppressed: completion is queued but no interrupt.
-        q.take_used();
-        q.set_suppress_irq(true);
-        let head2 = q.add_chain(&[Descriptor::readable(0, 1)], PUSH, &mut tl).unwrap();
-        q.pop_avail().unwrap().unwrap();
-        q.push_used(UsedElem { id: head2, len: 0 }, PUSH, &mut tl);
-        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        let seq = q.push_used(UsedElem { id: head, len: 0 }, PUSH, &mut tl);
+        assert_eq!(seq, 1);
         assert!(q.used_pending());
+        assert_eq!(q.used_seq(), 1);
     }
 
     #[test]
@@ -515,6 +522,44 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_size_rejected() {
         VirtQueue::new(3);
+    }
+
+    #[test]
+    fn used_seq_counts_pushes_and_used_event_round_trips() {
+        let q = VirtQueue::new(8);
+        let mut tl = Timeline::new();
+        assert_eq!(q.used_seq(), 0);
+        assert_eq!(q.used_event(), 0);
+        let h1 = q.add_chain(&[Descriptor::readable(0x1, 1)], PUSH, &mut tl).unwrap();
+        q.pop_avail().unwrap().unwrap();
+        assert_eq!(q.push_used(UsedElem { id: h1, len: 0 }, PUSH, &mut tl), 1);
+        q.take_used();
+        q.publish_used_event(1);
+        assert_eq!(q.used_event(), 1);
+        let h2 = q.add_chain(&[Descriptor::readable(0x2, 1)], PUSH, &mut tl).unwrap();
+        q.pop_avail().unwrap().unwrap();
+        let seq = q.push_used(UsedElem { id: h2, len: 0 }, PUSH, &mut tl);
+        assert_eq!(seq, 2);
+        assert_eq!(q.used_seq(), 2);
+        // The second push crossed the armed threshold of 1.
+        assert!(need_event(q.used_event(), seq, seq - 1));
+    }
+
+    #[test]
+    fn need_event_crossing_semantics() {
+        // Single push: fires exactly when new == event + 1.
+        assert!(need_event(4, 5, 4));
+        assert!(!need_event(4, 4, 3)); // not there yet
+        assert!(!need_event(4, 6, 5)); // already past — guest saw it awake
+
+        // Batched push old..new: fires iff event ∈ [old, new).
+        assert!(need_event(6, 9, 5));
+        assert!(need_event(5, 9, 5));
+        assert!(!need_event(9, 9, 5));
+        assert!(!need_event(4, 9, 5));
+        // Wrap-around stays correct.
+        assert!(need_event(u64::MAX, 0, u64::MAX));
+        assert!(!need_event(2, 0, u64::MAX));
     }
 
     #[test]

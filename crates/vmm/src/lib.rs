@@ -39,4 +39,4 @@ pub use kernel::GuestKernel;
 pub use kvm::KvmModule;
 pub use vm::Vm;
 pub use vma::{PfnBacking, Vma, VmaFlags, VmaTable};
-pub use waitqueue::WaitQueue;
+pub use waitqueue::{TokenWaitQueue, WaitQueue};

@@ -1,13 +1,17 @@
-//! Guest-kernel wait queues with wake-all semantics.
+//! Guest-kernel wait queues.
 //!
-//! The vPHI frontend places each requesting process on a wait queue; the
-//! interrupt handler "wakes up **all** sleeping processes, which check the
-//! shared ring to determine if the reply is for them" (paper §IV-B).  That
-//! wake-all-recheck scheme is the dominant latency cost the paper
-//! measures, so we model it explicitly: sleepers wait on a condvar and
-//! re-evaluate their predicate on every wake-all.
+//! Two flavors.  [`WaitQueue`] is the paper's baseline: the frontend
+//! places each requesting process on one queue and the interrupt handler
+//! "wakes up **all** sleeping processes, which check the shared ring to
+//! determine if the reply is for them" (paper §IV-B) — the wake-all
+//! thundering herd whose cost the paper measures.  [`TokenWaitQueue`] is
+//! the fixed scheme (DESIGN.md #16): each sleeper registers a per-token
+//! slot and completion delivery wakes exactly the slot(s) it completed, so
+//! an N-sleeper lane no longer pays N−1 spurious wakeups per completion.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use vphi_sync::{LockClass, TrackedCondvar, TrackedMutex};
@@ -112,6 +116,169 @@ impl WaitQueue {
     /// failed and it blocked) — measures spurious-wakeup pressure.
     pub fn sleep_count(&self) -> u64 {
         self.sleeps.load(Ordering::Relaxed)
+    }
+}
+
+// ------------------------------------------------- per-token wait queue
+
+/// One sleeping requester's parking slot: a signal count (wakes delivered
+/// before the sleeper parked must not be lost) and its private condvar.
+#[derive(Debug)]
+struct TokenSlot {
+    signals: TrackedMutex<u64>,
+    cond: TrackedCondvar,
+}
+
+impl TokenSlot {
+    fn new() -> Self {
+        TokenSlot {
+            signals: TrackedMutex::new(LockClass::TokenSlot, 0),
+            cond: TrackedCondvar::new(),
+        }
+    }
+}
+
+/// A wait queue with per-token wakers.
+///
+/// A waiter registers a slot keyed by its request token before sleeping;
+/// [`wake`](TokenWaitQueue::wake) signals exactly that slot.  Signals are
+/// counted, not flagged: a wake delivered between the waiter's failed
+/// predicate check and its park is consumed on the next loop iteration, so
+/// the lost-wakeup race of a naive flag cannot happen.
+/// [`wake_all`](TokenWaitQueue::wake_all) remains for broadcast events
+/// (shutdown) that must unblock every sleeper regardless of token.
+#[derive(Debug)]
+pub struct TokenWaitQueue {
+    slots: TrackedMutex<HashMap<u64, Arc<TokenSlot>>>,
+    wakeups: AtomicU64,
+    sleeps: AtomicU64,
+    spurious: AtomicU64,
+    broadcasts: AtomicU64,
+}
+
+impl Default for TokenWaitQueue {
+    fn default() -> Self {
+        TokenWaitQueue {
+            slots: TrackedMutex::new(LockClass::TokenWaiters, HashMap::new()),
+            wakeups: AtomicU64::new(0),
+            sleeps: AtomicU64::new(0),
+            spurious: AtomicU64::new(0),
+            broadcasts: AtomicU64::new(0),
+        }
+    }
+}
+
+impl TokenWaitQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sleep until `pred` returns `Some(T)` or `timeout` of wall time
+    /// elapses, waking on [`wake`](TokenWaitQueue::wake)`(token)` and on
+    /// broadcasts.  On timeout the predicate gets one final check (a wake
+    /// racing the deadline must not lose its completion) and its result is
+    /// returned.
+    pub fn wait_for<T>(
+        &self,
+        token: u64,
+        timeout: Duration,
+        mut pred: impl FnMut() -> Option<T>,
+    ) -> Option<T> {
+        if let Some(v) = pred() {
+            return Some(v);
+        }
+        let slot = Arc::clone(
+            self.slots.lock().entry(token).or_insert_with(|| Arc::new(TokenSlot::new())),
+        );
+        let got = self.wait_on(&slot, timeout, &mut pred);
+        let mut slots = self.slots.lock();
+        if slots.get(&token).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+            slots.remove(&token);
+        }
+        got
+    }
+
+    fn wait_on<T>(
+        &self,
+        slot: &TokenSlot,
+        timeout: Duration,
+        pred: &mut impl FnMut() -> Option<T>,
+    ) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut signals = slot.signals.lock();
+        let mut signalled = false;
+        loop {
+            if let Some(v) = pred() {
+                return Some(v);
+            }
+            if signalled {
+                // A directed wake whose completion the predicate could not
+                // see is the pathology this queue exists to eliminate.
+                self.spurious.fetch_add(1, Ordering::Relaxed);
+                signalled = false;
+            }
+            if *signals > 0 {
+                // Consume a wake that landed before (or while) we parked
+                // and re-check — never park over a pending signal.
+                *signals -= 1;
+                signalled = true;
+                continue;
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return pred();
+            }
+            self.sleeps.fetch_add(1, Ordering::Relaxed);
+            if slot.cond.wait_for(&mut signals, remaining).timed_out() {
+                return pred();
+            }
+        }
+    }
+
+    /// Wake the sleeper registered for `token` (if any).  The signal is
+    /// recorded even if the sleeper has not parked yet; a wake with no
+    /// registered slot is a no-op (the completion is already in the
+    /// completed table and the fast path takes it).
+    pub fn wake(&self, token: u64) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        let slot = self.slots.lock().get(&token).map(Arc::clone);
+        if let Some(slot) = slot {
+            *slot.signals.lock() += 1;
+            slot.cond.notify_one();
+        }
+    }
+
+    /// Broadcast to every registered sleeper (shutdown, card reset).
+    pub fn wake_all(&self) {
+        self.broadcasts.fetch_add(1, Ordering::Relaxed);
+        let slots: Vec<Arc<TokenSlot>> = self.slots.lock().values().map(Arc::clone).collect();
+        for slot in slots {
+            *slot.signals.lock() += 1;
+            slot.cond.notify_all();
+        }
+    }
+
+    /// Directed wakes delivered.
+    pub fn wakeup_count(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Times a waiter actually parked.
+    pub fn sleep_count(&self) -> u64 {
+        self.sleeps.load(Ordering::Relaxed)
+    }
+
+    /// Directed wakes after which the woken waiter's predicate was still
+    /// false.  With per-token delivery this stays ~0 (a nonzero value
+    /// means a wake outran its completion's visibility, which the
+    /// completed-table insert ordering forbids, or a broadcast raced in).
+    pub fn spurious_count(&self) -> u64 {
+        self.spurious.load(Ordering::Relaxed)
+    }
+
+    /// Broadcast wake-alls delivered.
+    pub fn broadcast_count(&self) -> u64 {
+        self.broadcasts.load(Ordering::Relaxed)
     }
 }
 
@@ -230,5 +397,92 @@ mod tests {
         wq.wake_all(); // nobody listening
                        // A waiter whose predicate is already true returns instantly.
         assert_eq!(wq.wait_until(|| Some(1)), Some(1));
+    }
+
+    #[test]
+    fn token_wake_reaches_only_its_sleeper() {
+        let wq = Arc::new(TokenWaitQueue::new());
+        let ready = Arc::new(AtomicU64::new(0)); // bitmask of completed tokens
+        let mut handles = Vec::new();
+        for token in 0..4u64 {
+            let wq = Arc::clone(&wq);
+            let ready = Arc::clone(&ready);
+            handles.push(std::thread::spawn(move || {
+                wq.wait_for(token, Duration::from_secs(10), || {
+                    (ready.load(Ordering::Acquire) & (1 << token) != 0).then_some(token)
+                })
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        for token in 0..4u64 {
+            ready.fetch_or(1 << token, Ordering::Release);
+            wq.wake(token);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut got: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(wq.wakeup_count(), 4);
+        // Directed delivery: nobody woke for someone else's completion.
+        assert_eq!(wq.spurious_count(), 0);
+    }
+
+    #[test]
+    fn token_wake_racing_the_park_is_not_lost() {
+        // The classic lost-wakeup shape: the completion lands between the
+        // waiter's failed predicate check and its park.  The signal count
+        // absorbs it.
+        for _ in 0..50 {
+            let wq = Arc::new(TokenWaitQueue::new());
+            let flag = Arc::new(AtomicBool::new(false));
+            let (wq2, flag2) = (Arc::clone(&wq), Arc::clone(&flag));
+            let waker = std::thread::spawn(move || {
+                flag2.store(true, Ordering::Release);
+                wq2.wake(7);
+            });
+            let got = wq.wait_for(7, Duration::from_secs(10), || {
+                flag.load(Ordering::Acquire).then_some(())
+            });
+            assert_eq!(got, Some(()));
+            waker.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn token_timeout_gets_a_final_check_and_broadcast_unblocks_everyone() {
+        let wq = Arc::new(TokenWaitQueue::new());
+        let start = std::time::Instant::now();
+        assert_eq!(wq.wait_for(1, Duration::from_millis(30), || None::<u32>), None);
+        assert!(start.elapsed() < Duration::from_secs(5));
+
+        // Broadcast (shutdown path) reaches sleepers regardless of token.
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for token in 10..13u64 {
+            let (wq, stop) = (Arc::clone(&wq), Arc::clone(&stop));
+            handles.push(std::thread::spawn(move || {
+                wq.wait_for(token, Duration::from_secs(10), || {
+                    stop.load(Ordering::Acquire).then_some(())
+                })
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        stop.store(true, Ordering::Release);
+        wq.wake_all();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Some(()));
+        }
+        assert_eq!(wq.broadcast_count(), 1);
+    }
+
+    #[test]
+    fn wake_with_no_registered_slot_is_a_noop() {
+        let wq = TokenWaitQueue::new();
+        wq.wake(99);
+        assert_eq!(wq.wakeup_count(), 1);
+        // A later waiter on the same token with a true predicate returns
+        // on the fast path without sleeping.
+        assert_eq!(wq.wait_for(99, Duration::from_secs(1), || Some(5)), Some(5));
+        assert_eq!(wq.sleep_count(), 0);
     }
 }

@@ -34,6 +34,12 @@
 //!    bypassed with a hand-picked queue index.  The virtio microbench and
 //!    the multi-queue FIFO property test drive rings directly on purpose
 //!    and are exempt by path.
+//! 7. `msi-notifier` — `.inject()` is banned outside `crates/vmm/` (the
+//!    `IrqChip` itself) and `core/src/backend/notify.rs`: every completion
+//!    MSI must go through the lane's `LaneNotifier`, the single place the
+//!    EVENT_IDX suppression decision and the pending-batch flush live
+//!    (DESIGN.md #16).  A direct injection would bypass both and corrupt
+//!    the irqs-injected/suppressed ledger.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -99,9 +105,21 @@ pub fn lint_source(rel: &Path, src: &str) -> Result<Vec<Violation>, String> {
     let is_protocol = rel.ends_with("core/src/protocol.rs");
     let is_event_loop = rel.ends_with("vmm/src/event_loop.rs");
     let is_scif_api = rel.ends_with("scif/src/api.rs");
-    let check_queue_submit = !queue_submit_exempt(rel);
-    walk(&file.tokens, rel, is_protocol, is_event_loop, is_scif_api, check_queue_submit, &mut v);
+    let checks = SequenceChecks {
+        is_event_loop,
+        check_queue_submit: !queue_submit_exempt(rel),
+        check_irq_inject: !irq_inject_exempt(rel),
+    };
+    walk(&file.tokens, rel, is_protocol, is_scif_api, checks, &mut v);
     Ok(v)
+}
+
+/// Which per-file sequence rules apply (rules 4, 6, 7).
+#[derive(Clone, Copy)]
+struct SequenceChecks {
+    is_event_loop: bool,
+    check_queue_submit: bool,
+    check_irq_inject: bool,
 }
 
 /// Files allowed to put chains on a `VirtQueue` directly: the queue
@@ -114,18 +132,28 @@ fn queue_submit_exempt(rel: &Path) -> bool {
         || rel.contains("core/src/frontend")
         || rel.ends_with("crates/bench/benches/micro_components.rs")
         || rel.ends_with("crates/core/tests/mq_fifo.rs")
+        // The notifier's unit tests stage completions on a bare queue to
+        // exercise the suppression decision in isolation.
+        || rel.ends_with("core/src/backend/notify.rs")
+}
+
+/// Files allowed to call `.inject()` directly: the `IrqChip` crate itself
+/// (and its tests) and the `LaneNotifier`, which owns the suppression
+/// decision every completion MSI must pass through.
+fn irq_inject_exempt(rel: &Path) -> bool {
+    let rel = rel.to_string_lossy();
+    rel.starts_with("crates/vmm/") || rel.ends_with("core/src/backend/notify.rs")
 }
 
 fn walk(
     tokens: &[TokenTree],
     rel: &Path,
     is_protocol: bool,
-    is_event_loop: bool,
     is_scif_api: bool,
-    check_queue_submit: bool,
+    checks: SequenceChecks,
     out: &mut Vec<Violation>,
 ) {
-    scan_sequences(tokens, rel, is_event_loop, check_queue_submit, out);
+    scan_sequences(tokens, rel, checks, out);
     if is_protocol {
         scan_protocol_matches(tokens, rel, out);
     }
@@ -134,7 +162,7 @@ fn walk(
     }
     for t in tokens {
         if let TokenTree::Group(g) = t {
-            walk(&g.tokens, rel, is_protocol, is_event_loop, is_scif_api, check_queue_submit, out);
+            walk(&g.tokens, rel, is_protocol, is_scif_api, checks, out);
         }
     }
 }
@@ -144,14 +172,14 @@ const BANNED_SYNC: &[&str] = &["Mutex", "RwLock", "Condvar"];
 /// Queue-submission methods only the router path may call (rule 6).
 const QUEUE_SUBMIT: &[&str] = &["add_chain", "prepare_chain", "publish_avail"];
 
-/// Rules 1, 2, 4, 6: fixed token sequences within one nesting level.
+/// Rules 1, 2, 4, 6, 7: fixed token sequences within one nesting level.
 fn scan_sequences(
     tokens: &[TokenTree],
     rel: &Path,
-    is_event_loop: bool,
-    check_queue_submit: bool,
+    checks: SequenceChecks,
     out: &mut Vec<Violation>,
 ) {
+    let SequenceChecks { is_event_loop, check_queue_submit, check_irq_inject } = checks;
     let ident = |i: usize| tokens.get(i).and_then(TokenTree::ident);
     let punct = |i: usize| tokens.get(i).and_then(TokenTree::punct);
     for i in 0..tokens.len() {
@@ -260,6 +288,22 @@ fn scan_sequences(
                     });
                 }
             }
+        }
+        // Rule 7: direct MSI injection outside the lane notifier.
+        if check_irq_inject
+            && punct(i) == Some('.')
+            && ident(i + 1) == Some("inject")
+            && matches!(
+                tokens.get(i + 2),
+                Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+            )
+        {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: tokens[i + 1].line(),
+                rule: "msi-notifier",
+                message: ".inject() bypasses the LaneNotifier; completion MSIs must go through deliver_irq() so EVENT_IDX suppression and batch flushing hold (DESIGN.md #16)".into(),
+            });
         }
     }
 }
@@ -556,6 +600,28 @@ mod tests {
         // Pops and used-ring pushes are the backend's job and stay legal.
         let pops = "fn f(q: &VirtQueue) { q.pop_avail().unwrap(); q.push_used(e, c, &mut tl); }";
         assert!(lint("crates/core/src/backend/mod.rs", pops).is_empty());
+    }
+
+    #[test]
+    fn flags_direct_msi_injection_outside_the_notifier() {
+        let src = "fn f(chip: &IrqChip, tl: &mut Timeline) { chip.inject(7, tl); }";
+        let v = lint("crates/core/src/backend/mod.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "msi-notifier");
+        assert_eq!(v[0].line, 1);
+        // A frontend helper sneaking an injection in is just as illegal.
+        assert_eq!(lint("crates/core/src/frontend/mod.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn the_notifier_and_the_irqchip_itself_may_inject() {
+        let src = "fn f(chip: &IrqChip, tl: &mut Timeline) { chip.inject(7, tl); }";
+        assert!(lint("crates/core/src/backend/notify.rs", src).is_empty());
+        assert!(lint("crates/vmm/src/irq.rs", src).is_empty());
+        assert!(lint("crates/vmm/tests/irq_props.rs", src).is_empty());
+        // Non-call mentions and other methods are not this rule's business.
+        let other = "fn f(n: &LaneNotifier, tl: &mut Timeline) { n.deliver_irq(tl); }";
+        assert!(lint("crates/core/src/backend/mod.rs", other).is_empty());
     }
 
     #[test]
