@@ -1,0 +1,36 @@
+//! Seeded lock-order violation: a classic same-layer ABBA pair.
+//!
+//! `forward` takes TestA then TestB; `backward` takes them in the
+//! opposite order.  The two order edges form a cycle within layer 92,
+//! which the lock pass must report as `cycle:TestA+TestB` with a witness
+//! path for each leg.  This file is never compiled or analyzed as part
+//! of the workspace (the fixtures directory is on the skip list); golden
+//! tests feed it through `analyze_sources` directly.
+
+use vphi_sync::{LockClass, TrackedMutex};
+
+struct AbbaPair {
+    alpha: TrackedMutex<u32>,
+    beta: TrackedMutex<u32>,
+}
+
+impl AbbaPair {
+    fn mk() -> AbbaPair {
+        AbbaPair {
+            alpha: TrackedMutex::new(LockClass::TestA, 0),
+            beta: TrackedMutex::new(LockClass::TestB, 0),
+        }
+    }
+
+    fn forward(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    fn backward(&self) -> u32 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a + *b
+    }
+}

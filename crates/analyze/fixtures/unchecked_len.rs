@@ -1,0 +1,24 @@
+//! Seeded guest-taint violations.
+//!
+//! `copy_in` sizes an allocation from a descriptor's own `len` and
+//! indexes with its `next` link, neither of which passes a bounds check
+//! — the taint pass must flag both sinks.  `head_id` panics via
+//! `unwrap()` on what would be guest-controlled input — the
+//! `guest-unwrap` subcheck must flag it.  This file is never compiled or
+//! analyzed as part of the workspace; golden tests feed it through
+//! `analyze_sources` directly (the fixtures path prefix opts it into the
+//! taint pass's scope).
+
+use crate::ring::Descriptor;
+
+fn copy_in(d: &Descriptor, table: &[u8]) -> Vec<u8> {
+    let len = d.len;
+    let mut buf = vec![0u8; len as usize];
+    let slot = d.next;
+    buf[0] = table[slot as usize];
+    buf
+}
+
+fn head_id(ids: &[u16]) -> u16 {
+    *ids.first().unwrap()
+}

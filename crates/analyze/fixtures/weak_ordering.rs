@@ -1,0 +1,22 @@
+//! Seeded atomics-ordering violations.
+//!
+//! `running` is registered in the contract table as a publication flag
+//! (Acquire load / Release store); both uses here are `Relaxed` and must
+//! be flagged as `atomic-weak`.  `rogue_counter` is not registered at
+//! all and must be flagged as `atomic-unregistered`.  This file is never
+//! compiled or analyzed as part of the workspace; golden tests feed it
+//! through `analyze_sources` directly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn stop_worker(running: &AtomicBool) {
+    running.store(false, Ordering::Relaxed);
+}
+
+fn await_worker(running: &AtomicBool) -> bool {
+    running.load(Ordering::Relaxed)
+}
+
+fn bump(rogue_counter: &AtomicU64) {
+    rogue_counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -23,7 +23,7 @@ fn bench_virtqueue(c: &mut Criterion) {
                 .unwrap();
             let chain = q.pop_avail().unwrap().unwrap();
             q.push_used(UsedElem { id: chain.head, len: 32 }, push, &mut tl);
-            q.take_used();
+            q.take_used().unwrap();
             head
         })
     });

@@ -58,11 +58,13 @@ impl CoiDaemon {
             Arc::new(TrackedMutex::new(LockClass::ServerSessions, Vec::new()));
 
         let l2 = Arc::clone(&listener);
-        let (r2, s2, la2) = (Arc::clone(&running), Arc::clone(&sessions), Arc::clone(&launches));
+        let (s2, la2) = (Arc::clone(&sessions), Arc::clone(&launches));
+        let accept_running = Arc::clone(&running);
         let accept_thread = std::thread::Builder::new()
             .name(format!("coi-daemon-mic{mic}"))
             .spawn(move || {
-                while r2.load(Ordering::Acquire) {
+                let running = accept_running;
+                while running.load(Ordering::Acquire) {
                     let mut tl = Timeline::new();
                     match l2.accept(&mut tl) {
                         Ok(conn) => {

@@ -385,9 +385,12 @@ impl BackendInner {
     }
 
     /// Payload descriptors: everything between the request header and the
-    /// response header.
+    /// response header.  A guest that publishes a chain without both
+    /// headers gets an empty payload, not a panic — ops that need a
+    /// payload descriptor already fail with `Inval` on empty.
     fn payload<'c>(&self, chain: &'c DescChain) -> &'c [Descriptor] {
-        &chain.descriptors[1..chain.descriptors.len() - 1]
+        let n = chain.descriptors.len();
+        chain.descriptors.get(1..n.saturating_sub(1)).unwrap_or(&[])
     }
 
     /// Per-page pin + GPA→HVA translation charge for an RMA buffer — the
@@ -527,6 +530,15 @@ impl BackendInner {
             VphiRequest::VreadFrom { epd, roffset, len, flags } => {
                 let ep = self.ep(epd)?;
                 let d = self.payload(chain).first().copied().ok_or(ScifError::Inval)?;
+                // `len` is guest-controlled: it must fit the descriptor's
+                // buffer AND map to real guest memory *before* it sizes a
+                // host allocation.
+                if len > u64::from(d.len) {
+                    return Err(ScifError::Inval);
+                }
+                self.guest_mem
+                    .with_slice(Gpa(d.addr), len, |_| ())
+                    .map_err(|_| ScifError::Inval)?;
                 self.charge_translate(epd, d.addr, len, ctx.tl);
                 let mut buf = vec![0u8; len as usize];
                 ep.vreadfrom(&mut buf, roffset, rma_flags_from_wire(flags), &mut *ctx)?;
@@ -536,6 +548,9 @@ impl BackendInner {
             VphiRequest::VwriteTo { epd, roffset, len, flags } => {
                 let ep = self.ep(epd)?;
                 let d = self.payload(chain).first().copied().ok_or(ScifError::Inval)?;
+                if len > u64::from(d.len) {
+                    return Err(ScifError::Inval);
+                }
                 self.charge_translate(epd, d.addr, len, ctx.tl);
                 let buf = self
                     .guest_mem

@@ -663,13 +663,16 @@ impl FrontendDriver {
             };
         ctx.tl.absorb(&backend_tl);
         ctx.end(wait);
-        // Release our descriptors (and any other finished chains).
-        lane_queue.take_used();
+        // Release our descriptors (and any other finished chains).  A
+        // corrupt used id means the device side scribbled on the ring;
+        // surface it after the slot is returned below.
+        let drained = lane_queue.take_used();
 
         // Demarshal.
         let mut resp_bytes = [0u8; RESP_SIZE];
         let read = self.kernel.mem().read(resp_buf.gpa, &mut resp_bytes);
         self.return_slot(req_buf, resp_buf, pooled);
+        drained.map_err(|_| ScifError::Inval)?;
         read.map_err(|_| ScifError::Inval)?;
         VphiResponse::decode(&resp_bytes).ok_or(ScifError::Inval)
     }

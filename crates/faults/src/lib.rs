@@ -215,7 +215,7 @@ impl FaultInjector {
     }
 
     pub fn fired_total(&self) -> u64 {
-        self.fired.iter().map(|f| f.load(Ordering::Relaxed)).sum()
+        self.fired.iter().map(|fired| fired.load(Ordering::Relaxed)).sum()
     }
 }
 

@@ -143,17 +143,14 @@ impl MicShellDaemon {
         let uploads = Arc::new(AtomicU64::new(0));
         let sessions: Arc<TrackedMutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(TrackedMutex::new(LockClass::ServerSessions, Vec::new()));
-        let (l2, r2, s2, u2) = (
-            Arc::clone(&listener),
-            Arc::clone(&running),
-            Arc::clone(&sessions),
-            Arc::clone(&uploads),
-        );
+        let (l2, s2, u2) = (Arc::clone(&listener), Arc::clone(&sessions), Arc::clone(&uploads));
+        let accept_running = Arc::clone(&running);
         let board2 = Arc::clone(&board);
         let accept_thread = std::thread::Builder::new()
             .name(format!("mic-sshd-{mic}"))
             .spawn(move || {
-                while r2.load(Ordering::Acquire) {
+                let running = accept_running;
+                while running.load(Ordering::Acquire) {
                     let mut tl = Timeline::new();
                     match l2.accept(&mut tl) {
                         Ok(conn) => {
@@ -506,11 +503,13 @@ impl MicNetDaemon {
         let running = Arc::new(AtomicBool::new(true));
         let sessions: Arc<TrackedMutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(TrackedMutex::new(LockClass::ServerSessions, Vec::new()));
-        let (l2, r2, s2) = (Arc::clone(&listener), Arc::clone(&running), Arc::clone(&sessions));
+        let (l2, s2) = (Arc::clone(&listener), Arc::clone(&sessions));
+        let accept_running = Arc::clone(&running);
         let accept_thread = std::thread::Builder::new()
             .name(format!("mic-netd-{mic}"))
             .spawn(move || {
-                while r2.load(Ordering::Acquire) {
+                let running = accept_running;
+                while running.load(Ordering::Acquire) {
                     let mut tl = Timeline::new();
                     match l2.accept(&mut tl) {
                         Ok(conn) => {

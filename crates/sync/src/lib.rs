@@ -167,6 +167,125 @@ impl LockClass {
     /// ≤ 64).
     pub const COUNT: usize = 52;
 
+    /// Every class, in discriminant order — the hierarchy exported **as
+    /// data** so offline tools (`vphi-analyze`) can consume the same
+    /// class/layer table the runtime detector enforces, instead of
+    /// re-declaring it and drifting.
+    pub const ALL: [LockClass; LockClass::COUNT] = [
+        LockClass::VmDevices,
+        LockClass::KvmVmas,
+        LockClass::KvmResolved,
+        LockClass::KvmFaults,
+        LockClass::BackendWorker,
+        LockClass::ServerAccept,
+        LockClass::ServerSessions,
+        LockClass::BackendEndpoints,
+        LockClass::BackendMmaps,
+        LockClass::BackendWindows,
+        LockClass::RegCache,
+        LockClass::FabricNodes,
+        LockClass::EndpointState,
+        LockClass::EpPort,
+        LockClass::EpListener,
+        LockClass::NodePorts,
+        LockClass::ListenerPending,
+        LockClass::ActivityHub,
+        LockClass::MsgQueue,
+        LockClass::WindowTable,
+        LockClass::RmaMarker,
+        LockClass::RmaPending,
+        LockClass::BoardState,
+        LockClass::BoardSysfs,
+        LockClass::PhiMemTable,
+        LockClass::VirtQueueState,
+        LockClass::Doorbell,
+        LockClass::VirtioIrq,
+        LockClass::IrqVectors,
+        LockClass::MsiHandlers,
+        LockClass::WaitQueue,
+        LockClass::FrontendInflight,
+        LockClass::FrontendCompleted,
+        LockClass::FrontendStats,
+        LockClass::FrontendSlots,
+        LockClass::PinnedBuf,
+        LockClass::PhiMemData,
+        LockClass::GuestMemState,
+        LockClass::VmaData,
+        LockClass::TestOuter,
+        LockClass::TestA,
+        LockClass::TestB,
+        LockClass::TestInner,
+        LockClass::HostAttached,
+        LockClass::TraceRings,
+        LockClass::TraceHists,
+        LockClass::BackendShards,
+        LockClass::FrontendBackoff,
+        LockClass::TokenWaiters,
+        LockClass::TokenSlot,
+        LockClass::LaneNotifier,
+        LockClass::NotifyPolicy,
+    ];
+
+    /// The class's source-level name, exactly as it is spelled at
+    /// declaration sites (`LockClass::VmDevices` → `"VmDevices"`), so a
+    /// source scanner can map the identifier back to the class.
+    pub const fn name(self) -> &'static str {
+        match self {
+            LockClass::VmDevices => "VmDevices",
+            LockClass::KvmVmas => "KvmVmas",
+            LockClass::KvmResolved => "KvmResolved",
+            LockClass::KvmFaults => "KvmFaults",
+            LockClass::BackendWorker => "BackendWorker",
+            LockClass::ServerAccept => "ServerAccept",
+            LockClass::ServerSessions => "ServerSessions",
+            LockClass::BackendEndpoints => "BackendEndpoints",
+            LockClass::BackendMmaps => "BackendMmaps",
+            LockClass::BackendWindows => "BackendWindows",
+            LockClass::RegCache => "RegCache",
+            LockClass::FabricNodes => "FabricNodes",
+            LockClass::EndpointState => "EndpointState",
+            LockClass::EpPort => "EpPort",
+            LockClass::EpListener => "EpListener",
+            LockClass::NodePorts => "NodePorts",
+            LockClass::ListenerPending => "ListenerPending",
+            LockClass::ActivityHub => "ActivityHub",
+            LockClass::MsgQueue => "MsgQueue",
+            LockClass::WindowTable => "WindowTable",
+            LockClass::RmaMarker => "RmaMarker",
+            LockClass::RmaPending => "RmaPending",
+            LockClass::BoardState => "BoardState",
+            LockClass::BoardSysfs => "BoardSysfs",
+            LockClass::PhiMemTable => "PhiMemTable",
+            LockClass::VirtQueueState => "VirtQueueState",
+            LockClass::Doorbell => "Doorbell",
+            LockClass::VirtioIrq => "VirtioIrq",
+            LockClass::IrqVectors => "IrqVectors",
+            LockClass::MsiHandlers => "MsiHandlers",
+            LockClass::WaitQueue => "WaitQueue",
+            LockClass::FrontendInflight => "FrontendInflight",
+            LockClass::FrontendCompleted => "FrontendCompleted",
+            LockClass::FrontendStats => "FrontendStats",
+            LockClass::FrontendSlots => "FrontendSlots",
+            LockClass::PinnedBuf => "PinnedBuf",
+            LockClass::PhiMemData => "PhiMemData",
+            LockClass::GuestMemState => "GuestMemState",
+            LockClass::VmaData => "VmaData",
+            LockClass::TestOuter => "TestOuter",
+            LockClass::TestA => "TestA",
+            LockClass::TestB => "TestB",
+            LockClass::TestInner => "TestInner",
+            LockClass::HostAttached => "HostAttached",
+            LockClass::TraceRings => "TraceRings",
+            LockClass::TraceHists => "TraceHists",
+            LockClass::BackendShards => "BackendShards",
+            LockClass::FrontendBackoff => "FrontendBackoff",
+            LockClass::TokenWaiters => "TokenWaiters",
+            LockClass::TokenSlot => "TokenSlot",
+            LockClass::LaneNotifier => "LaneNotifier",
+            LockClass::NotifyPolicy => "NotifyPolicy",
+        }
+    }
+
     /// The class's layer in the documented hierarchy — smaller layers are
     /// acquired first (outermost).
     pub const fn layer(self) -> u8 {
@@ -226,9 +345,9 @@ impl LockClass {
         }
     }
 
-    // Only the audit graph (debug / `sync-audit` builds) indexes classes.
-    #[cfg_attr(not(any(debug_assertions, feature = "sync-audit")), allow(dead_code))]
-    pub(crate) const fn index(self) -> usize {
+    /// Dense index (= discriminant); used by the runtime audit graph and
+    /// by the offline `vphi-analyze` lock-order pass.
+    pub const fn index(self) -> usize {
         self as usize
     }
 }
@@ -458,5 +577,33 @@ impl<T: ?Sized> DerefMut for TrackedRwLockWriteGuard<'_, T> {
 impl<T: ?Sized> Drop for TrackedRwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
         audit::on_release(self.token);
+    }
+}
+
+#[cfg(test)]
+mod class_table_tests {
+    use super::LockClass;
+
+    #[test]
+    fn all_covers_every_index_once() {
+        let mut seen = [false; LockClass::COUNT];
+        for c in LockClass::ALL {
+            assert!(!seen[c.index()], "duplicate class {}", c.name());
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "ALL is missing a class");
+        for (i, c) in LockClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "ALL out of discriminant order at {i}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut names: Vec<&str> = LockClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate class name");
+        assert!(names.iter().all(|n| !n.is_empty()));
     }
 }

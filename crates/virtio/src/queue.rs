@@ -71,6 +71,21 @@ struct QueueState {
     suppress_kick: bool,
 }
 
+impl QueueState {
+    /// Bounds-check a guest-controlled descriptor index (`avail` head,
+    /// `next` link, used-elem `id`) before it addresses the table.  Ring
+    /// memory is guest-writable, so every index read from it goes through
+    /// here.
+    fn idx(&self, i: u16) -> Result<usize, QueueError> {
+        let i = i as usize;
+        if i < self.table.len() {
+            Ok(i)
+        } else {
+            Err(QueueError::Corrupt)
+        }
+    }
+}
+
 /// Monotonic per-queue counters (multi-queue debugfs rows).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueueCounters {
@@ -183,8 +198,9 @@ impl VirtQueue {
         if st.free.len() < descriptors.len() {
             return Err(QueueError::NoSpace);
         }
-        let indices: Vec<u16> =
-            (0..descriptors.len()).map(|_| st.free.pop().expect("len checked")).collect();
+        let at = st.free.len() - descriptors.len();
+        let mut indices = st.free.split_off(at);
+        indices.reverse(); // allocate in the stack's pop order
         for (i, (&idx, desc)) in indices.iter().zip(descriptors).enumerate() {
             let mut d = *desc;
             if i + 1 < indices.len() {
@@ -229,24 +245,24 @@ impl VirtQueue {
     }
 
     /// Drain completed chains from the used ring, releasing their
-    /// descriptors.
-    pub fn take_used(&self) -> Vec<UsedElem> {
+    /// descriptors.  An out-of-range `id` or `next` link is guest-visible
+    /// ring corruption; a missing (already freed) entry just stops that
+    /// chain's walk.
+    pub fn take_used(&self) -> Result<Vec<UsedElem>, QueueError> {
         let mut st = self.state.lock();
         let drained: Vec<UsedElem> = st.used.drain(..).collect();
         for u in &drained {
-            // Walk and free the chain; a missing entry means it was
-            // already freed (corrupt id) and the walk stops there.
-            let mut idx = u.id;
-            while let Some(d) = st.table[idx as usize].take() {
-                st.free.push(idx);
+            let mut i = st.idx(u.id)?;
+            while let Some(d) = st.table[i].take() {
+                st.free.push(i as u16);
                 if d.flags.next {
-                    idx = d.next;
+                    i = st.idx(d.next)?;
                 } else {
                     break;
                 }
             }
         }
-        drained
+        Ok(drained)
     }
 
     /// Whether completions are waiting.
@@ -289,10 +305,8 @@ impl VirtQueue {
         let mut descriptors = Vec::new();
         let mut idx = head;
         loop {
-            if idx >= self.size {
-                return Err(QueueError::Corrupt);
-            }
-            let d = st.table[idx as usize].ok_or(QueueError::Corrupt)?;
+            let i = st.idx(idx)?;
+            let d = st.table[i].ok_or(QueueError::Corrupt)?;
             descriptors.push(d);
             if descriptors.len() > self.size as usize {
                 return Err(QueueError::Corrupt); // cycle guard
@@ -401,7 +415,7 @@ mod tests {
 
         q.push_used(UsedElem { id: head, len: 64 }, PUSH, &mut tl);
         assert!(q.used_pending());
-        let used = q.take_used();
+        let used = q.take_used().unwrap();
         assert_eq!(used, vec![UsedElem { id: head, len: 64 }]);
         assert_eq!(q.free_descriptors(), 8);
         assert!(!q.used_pending());
@@ -498,7 +512,7 @@ mod tests {
             let chain = q.pop_avail().unwrap().unwrap();
             assert_eq!(chain.head, head);
             q.push_used(UsedElem { id: head, len: 8 }, PUSH, &mut tl);
-            assert_eq!(q.take_used().len(), 1);
+            assert_eq!(q.take_used().unwrap().len(), 1);
             assert_eq!(q.free_descriptors(), 4);
         }
     }
@@ -533,7 +547,7 @@ mod tests {
         let h1 = q.add_chain(&[Descriptor::readable(0x1, 1)], PUSH, &mut tl).unwrap();
         q.pop_avail().unwrap().unwrap();
         assert_eq!(q.push_used(UsedElem { id: h1, len: 0 }, PUSH, &mut tl), 1);
-        q.take_used();
+        q.take_used().unwrap();
         q.publish_used_event(1);
         assert_eq!(q.used_event(), 1);
         let h2 = q.add_chain(&[Descriptor::readable(0x2, 1)], PUSH, &mut tl).unwrap();
@@ -571,7 +585,7 @@ mod tests {
         assert!(q.kick(KICK, &mut tl));
         q.pop_avail().unwrap().unwrap();
         q.push_used(UsedElem { id: head, len: 0 }, PUSH, &mut tl);
-        q.take_used();
+        q.take_used().unwrap();
         // A suppression window: opening counts once, re-asserting doesn't,
         // and a suppressed kick is not a delivered kick.
         q.set_suppress_kick(true);

@@ -82,7 +82,7 @@ proptest! {
                     }
                 }
                 QOp::TakeUsed => {
-                    let drained = q.take_used();
+                    let drained = q.take_used().unwrap();
                     prop_assert_eq!(drained.len(), used.len());
                     for (elem, (head, n)) in drained.iter().zip(&used) {
                         prop_assert_eq!(elem.id, *head);

@@ -45,6 +45,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use syn::{Delimiter, TokenTree};
+use vphi_analyze::exempt;
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -61,54 +62,28 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Directories (relative to the workspace root) the walker skips entirely.
-/// `crates/sync` implements the tracked types on top of the raw primitives;
-/// `shims/` vendors external crates verbatim-ish; fixtures exist to fail.
-const SKIP_DIRS: &[&str] = &["target", ".git", "shims", "crates/sync", "crates/xtask/fixtures"];
-
-/// Lint every `.rs` file under `root`, returning all findings.
+/// Lint every `.rs` file under `root`, returning all findings.  The file
+/// walk is shared with `vphi-analyze` ([`vphi_analyze::collect_sources`])
+/// so both tools see exactly the same tree (same skip list, same order).
 pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files).map_err(|e| e.to_string())?;
-    files.sort();
     let mut out = Vec::new();
-    for path in files {
-        let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let rel = path.strip_prefix(root).unwrap_or(&path);
-        out.extend(lint_source(rel, &src)?);
+    for (rel, src) in vphi_analyze::collect_sources(root)? {
+        out.extend(lint_source(Path::new(&rel), &src)?);
     }
     Ok(out)
 }
 
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let rel = path.strip_prefix(root).unwrap_or(&path);
-        if SKIP_DIRS.iter().any(|s| rel == Path::new(s)) {
-            continue;
-        }
-        if path.is_dir() {
-            collect_rs_files(root, &path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
 /// Lint a single file's source.  `rel` is the workspace-relative path; the
-/// file-specific rules key off it.
+/// file-specific rules key off it via the shared [`exempt`] tables.
 pub fn lint_source(rel: &Path, src: &str) -> Result<Vec<Violation>, String> {
     let file = syn::parse_file(src).map_err(|e| format!("{}: {e}", rel.display()))?;
     let mut v = Vec::new();
-    let is_protocol = rel.ends_with("core/src/protocol.rs");
-    let is_event_loop = rel.ends_with("vmm/src/event_loop.rs");
-    let is_scif_api = rel.ends_with("scif/src/api.rs");
+    let is_protocol = exempt::in_scope("protocol-exhaustive", rel);
+    let is_scif_api = exempt::in_scope("opctx-api", rel);
     let checks = SequenceChecks {
-        is_event_loop,
-        check_queue_submit: !queue_submit_exempt(rel),
-        check_irq_inject: !irq_inject_exempt(rel),
+        is_event_loop: exempt::in_scope("event-loop-blocking", rel),
+        check_queue_submit: !exempt::is_exempt("queue-router", rel),
+        check_irq_inject: !exempt::is_exempt("msi-notifier", rel),
     };
     walk(&file.tokens, rel, is_protocol, is_scif_api, checks, &mut v);
     Ok(v)
@@ -120,29 +95,6 @@ struct SequenceChecks {
     is_event_loop: bool,
     check_queue_submit: bool,
     check_irq_inject: bool,
-}
-
-/// Files allowed to put chains on a `VirtQueue` directly: the queue
-/// implementation itself (and its tests), the frontend (which owns the
-/// router), the ring microbenchmark, and the FIFO property test that
-/// exercises the transport underneath the router.
-fn queue_submit_exempt(rel: &Path) -> bool {
-    let rel = rel.to_string_lossy();
-    rel.starts_with("crates/virtio/")
-        || rel.contains("core/src/frontend")
-        || rel.ends_with("crates/bench/benches/micro_components.rs")
-        || rel.ends_with("crates/core/tests/mq_fifo.rs")
-        // The notifier's unit tests stage completions on a bare queue to
-        // exercise the suppression decision in isolation.
-        || rel.ends_with("core/src/backend/notify.rs")
-}
-
-/// Files allowed to call `.inject()` directly: the `IrqChip` crate itself
-/// (and its tests) and the `LaneNotifier`, which owns the suppression
-/// decision every completion MSI must pass through.
-fn irq_inject_exempt(rel: &Path) -> bool {
-    let rel = rel.to_string_lossy();
-    rel.starts_with("crates/vmm/") || rel.ends_with("core/src/backend/notify.rs")
 }
 
 fn walk(

@@ -1,21 +1,25 @@
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("analyze") => analyze(),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- <lint|analyze>");
             ExitCode::from(2)
         }
     }
 }
 
+// crates/xtask/ -> workspace root.
+fn root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
 fn lint() -> ExitCode {
-    // crates/xtask/ -> workspace root.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let violations = match xtask::lint_workspace(&root) {
+    let violations = match xtask::lint_workspace(&root()) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("xtask lint: {e}");
@@ -30,6 +34,27 @@ fn lint() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn analyze() -> ExitCode {
+    let root = root();
+    let report = match vphi_analyze::analyze_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = vphi_analyze::load_baseline(&root);
+    print!("{}", report.render(&baseline));
+    let (new, _, _) = report.against(&baseline);
+    if new.is_empty() {
+        eprintln!("xtask analyze: clean (modulo baseline)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask analyze: {} new finding(s)", new.len());
         ExitCode::FAILURE
     }
 }
