@@ -158,6 +158,8 @@ pub const CONTRACTS: &[AtomicContract] = &[
     counter("next_ep_id"),
     counter("kicks"),
     counter("chains_popped"),
+    counter("burst_drains"),
+    counter("burst_chains"),
     counter("queue_worker_dispatches"),
     counter("batch_hist"),
     counter("crossings"),

@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(1));
     for (i, chunk) in [256 * KIB, 4 * MIB].into_iter().enumerate() {
         let sink = spawn_device_sink(&host, Port(920 + i as u16));
-        let vm = host.spawn_vm(VmConfig { chunk_size: chunk, ..VmConfig::default() });
+        let vm = host.spawn_vm(VmConfig::builder().chunk_size(chunk).build());
         let mut tl = Timeline::new();
         let guest = vm.open_scif(&mut tl).unwrap();
         guest.connect(ScifAddr::new(host.device_node(0), Port(920 + i as u16)), &mut tl).unwrap();

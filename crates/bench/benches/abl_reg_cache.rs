@@ -49,8 +49,8 @@ fn bench(c: &mut Criterion) {
     for (i, (label, reg_cache)) in configs.into_iter().enumerate() {
         let port = Port(910 + i as u16);
         let server = spawn_device_window(&host, port, max);
-        let vm =
-            host.spawn_vm(VmConfig { mem_size: max + 64 * MIB, reg_cache, ..VmConfig::default() });
+        let vm = host
+            .spawn_vm(VmConfig::builder().mem_size(max + 64 * MIB).reg_cache(reg_cache).build());
         let mut tl = Timeline::new();
         let guest = vm.open_scif(&mut tl).unwrap();
         guest.connect(ScifAddr::new(host.device_node(0), port), &mut tl).unwrap();

@@ -50,7 +50,7 @@ fn bench(c: &mut Criterion) {
     .enumerate()
     {
         let sink = spawn_device_sink(&host, Port(910 + i as u16));
-        let vm = host.spawn_vm(VmConfig { scheme, ..VmConfig::default() });
+        let vm = host.spawn_vm(VmConfig::builder().scheme(scheme).build());
         let mut tl = Timeline::new();
         let guest = vm.open_scif(&mut tl).unwrap();
         guest.connect(ScifAddr::new(host.device_node(0), Port(910 + i as u16)), &mut tl).unwrap();

@@ -5,7 +5,7 @@
 //! figures                # everything
 //! figures --fig 4        # just Figure 4
 //! figures --fig breakdown
-//! figures --fig 6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|trace-breakdown|share|mq-scale
+//! figures --fig 6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|trace-breakdown|share|mq-scale|open-loop
 //! ```
 
 use vphi_bench::abl_cache::abl_cache;
@@ -16,6 +16,7 @@ use vphi_bench::faults::abl_faults;
 use vphi_bench::fig4::fig4_latency;
 use vphi_bench::fig5::fig5_throughput;
 use vphi_bench::mq_scale::mq_scale;
+use vphi_bench::open_loop::open_loop;
 use vphi_bench::sharing::sharing_scaling;
 use vphi_bench::support::render_table;
 use vphi_bench::trace_breakdown::trace_breakdown;
@@ -582,6 +583,92 @@ fn mq_scale_json(report: &vphi_bench::MqScaleReport) -> String {
     )
 }
 
+fn open_loop_fig() {
+    let report = open_loop();
+    let table: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                if r.batch == 1 { "1/kick".to_string() } else { format!("batch {}", r.batch) },
+                format!("{:.0}", r.rate_per_vm),
+                r.vms.to_string(),
+                r.requests.to_string(),
+                format!("{:.0}", r.throughput_rps),
+                r.p50.to_string(),
+                r.p99.to_string(),
+                r.p999.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "OPEN-LOOP — serving throughput-latency: batched SQ/CQ vs one-request-per-kick",
+            &["mode", "rate/VM", "VMs", "requests", "rps", "p50", "p99", "p999"],
+            &table,
+        )
+    );
+    println!(
+        "saturation (p99 ≤ 2ms): batched {:.0} rps vs one-per-kick {:.0} rps — {:.2}x (floor 2x)",
+        report.batched_saturation_rps(),
+        report.single_saturation_rps(),
+        report.batching_speedup()
+    );
+    println!(
+        "doorbell ledger: {} entries / {} kicks = {:.3} kicks/submission; backend popped {:.1} chains/drain",
+        report.ledger.batch_entries,
+        report.ledger.batch_kicks,
+        report.ledger.kicks_per_submission(),
+        report.ledger.chains_per_drain()
+    );
+    println!("1-byte blocking anchor after the redesign: {} (seed: 382us)\n", report.anchor);
+
+    // Machine-readable companion for plotting scripts.
+    let json = open_loop_json(&report);
+    let path = "BENCH_serve.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON (the build environment has no serde).
+fn open_loop_json(report: &vphi_bench::OpenLoopReport) -> String {
+    let series = |f: &dyn Fn(&vphi_bench::OpenLoopRow) -> String| -> String {
+        report.rows.iter().map(f).collect::<Vec<_>>().join(", ")
+    };
+    format!(
+        "{{\n  \"figure\": \"open-loop\",\n  \"unit\": \"nanoseconds_virtual_time\",\n\
+         \x20 \"batch\": [{}],\n  \"rate_per_vm\": [{}],\n  \"vms\": [{}],\n\
+         \x20 \"requests\": [{}],\n  \"throughput_rps\": [{}],\n\
+         \x20 \"p50_ns\": [{}],\n  \"p99_ns\": [{}],\n  \"p999_ns\": [{}],\n\
+         \x20 \"batched_saturation_rps\": {:.1},\n  \"single_saturation_rps\": {:.1},\n\
+         \x20 \"batching_speedup\": {:.4},\n\
+         \x20 \"ledger_batch_entries\": {},\n  \"ledger_batch_kicks\": {},\n\
+         \x20 \"ledger_kicks_per_submission\": {:.4},\n\
+         \x20 \"ledger_burst_drains\": {},\n  \"ledger_burst_chains\": {},\n\
+         \x20 \"anchor_ns\": {}\n}}\n",
+        series(&|r| r.batch.to_string()),
+        series(&|r| format!("{:.0}", r.rate_per_vm)),
+        series(&|r| r.vms.to_string()),
+        series(&|r| r.requests.to_string()),
+        series(&|r| format!("{:.1}", r.throughput_rps)),
+        series(&|r| r.p50.as_nanos().to_string()),
+        series(&|r| r.p99.as_nanos().to_string()),
+        series(&|r| r.p999.as_nanos().to_string()),
+        report.batched_saturation_rps(),
+        report.single_saturation_rps(),
+        report.batching_speedup(),
+        report.ledger.batch_entries,
+        report.ledger.batch_kicks,
+        report.ledger.kicks_per_submission(),
+        report.ledger.burst_drains,
+        report.ledger.burst_chains,
+        report.anchor.as_nanos(),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args
@@ -607,6 +694,7 @@ fn main() {
         "trace-breakdown" => trace_breakdown_fig(),
         "share" => share_fig(),
         "mq-scale" => mq_scale_fig(),
+        "open-loop" => open_loop_fig(),
         "all" => {
             fig4();
             breakdown();
@@ -622,10 +710,11 @@ fn main() {
             trace_breakdown_fig();
             share_fig();
             mq_scale_fig();
+            open_loop_fig();
         }
         other => {
             eprintln!(
-                "unknown figure '{other}': use 4|breakdown|5|6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|trace-breakdown|share|mq-scale|all"
+                "unknown figure '{other}': use 4|breakdown|5|6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|trace-breakdown|share|mq-scale|open-loop|all"
             );
             std::process::exit(2);
         }

@@ -75,11 +75,9 @@ pub fn abl_cache() -> AblCacheReport {
 
     // vPHI client with the registration cache disabled (seed charging).
     let server_cold = spawn_device_window(&host, Port(871), max);
-    let vm_cold = host.spawn_vm(VmConfig {
-        mem_size: max + 64 * MIB,
-        reg_cache: RegCacheConfig::disabled(),
-        ..VmConfig::default()
-    });
+    let vm_cold = host.spawn_vm(
+        VmConfig::builder().mem_size(max + 64 * MIB).reg_cache(RegCacheConfig::disabled()).build(),
+    );
     let guest_cold = vm_cold.open_scif(&mut tl).expect("cold open");
     guest_cold
         .connect(ScifAddr::new(host.device_node(0), Port(871)), &mut tl)
@@ -89,7 +87,7 @@ pub fn abl_cache() -> AblCacheReport {
     // vPHI client with the cache enabled; each measurement re-reads a
     // buffer the cache has already seen.
     let server_warm = spawn_device_window(&host, Port(872), max);
-    let vm_warm = host.spawn_vm(VmConfig { mem_size: max + 64 * MIB, ..VmConfig::default() });
+    let vm_warm = host.spawn_vm(VmConfig::builder().mem_size(max + 64 * MIB).build());
     let guest_warm = vm_warm.open_scif(&mut tl).expect("warm open");
     guest_warm
         .connect(ScifAddr::new(host.device_node(0), Port(872)), &mut tl)

@@ -56,7 +56,7 @@ pub fn abl_wait() -> Vec<WaitRow> {
     let mut rows = Vec::new();
     for (i, scheme) in schemes.into_iter().enumerate() {
         let sink = spawn_device_sink(&host, Port(830 + i as u16));
-        let vm = host.spawn_vm(VmConfig { scheme, ..VmConfig::default() });
+        let vm = host.spawn_vm(VmConfig::builder().scheme(scheme).build());
         let mut tl = Timeline::new();
         let guest = vm.open_scif(&mut tl).expect("open");
         guest
@@ -108,7 +108,7 @@ pub fn abl_chunk() -> Vec<ChunkRow> {
     let mut rows = Vec::new();
     for (i, chunk) in chunks.into_iter().enumerate() {
         let sink = spawn_device_sink(&host, Port(840 + i as u16));
-        let vm = host.spawn_vm(VmConfig { chunk_size: chunk, ..VmConfig::default() });
+        let vm = host.spawn_vm(VmConfig::builder().chunk_size(chunk).build());
         let mut tl = Timeline::new();
         let guest = vm.open_scif(&mut tl).expect("open");
         guest
@@ -150,7 +150,7 @@ pub fn abl_block() -> Vec<BlockRow> {
     let mut rows = Vec::new();
     for (i, (name, dispatch)) in policies.into_iter().enumerate() {
         let sink = spawn_device_sink(&host, Port(850 + i as u16));
-        let vm = host.spawn_vm(VmConfig { dispatch, ..VmConfig::default() });
+        let vm = host.spawn_vm(VmConfig::builder().dispatch(dispatch).build());
         let mut tl = Timeline::new();
         let guest = vm.open_scif(&mut tl).expect("open");
         guest

@@ -45,7 +45,7 @@ pub fn fig5_throughput() -> Vec<Fig5Row> {
 
     // vPHI client.
     let server2 = spawn_device_window(&host, Port(811), max);
-    let vm = host.spawn_vm(VmConfig { mem_size: max + 64 * MIB, ..VmConfig::default() });
+    let vm = host.spawn_vm(VmConfig::builder().mem_size(max + 64 * MIB).build());
     let guest = vm.open_scif(&mut tl).expect("guest open");
     guest.connect(ScifAddr::new(host.device_node(0), Port(811)), &mut tl).expect("guest connect");
     wait_for_guest_window(&guest, &vm);

@@ -8,6 +8,7 @@ pub mod faults;
 pub mod fig4;
 pub mod fig5;
 pub mod mq_scale;
+pub mod open_loop;
 pub mod sharing;
 pub mod trace_breakdown;
 
@@ -19,5 +20,9 @@ pub use faults::{abl_faults, FaultsReport};
 pub use fig4::{fig4_latency, Fig4Row};
 pub use fig5::{fig5_throughput, Fig5Row};
 pub use mq_scale::{mq_scale, MqScaleReport, MqScaleRow, MQ_QUEUE_COUNTS, MQ_VM_COUNTS};
+pub use open_loop::{
+    open_loop, DoorbellLedger, OpenLoopReport, OpenLoopRow, OPEN_LOOP_BATCH, OPEN_LOOP_RATES,
+    OPEN_LOOP_VMS,
+};
 pub use sharing::{sharing_scaling, ShareRow};
 pub use trace_breakdown::{trace_breakdown, TraceBreakdownReport, TraceStageRow};

@@ -167,10 +167,7 @@ pub fn mq_scale() -> MqScaleReport {
     MqScaleReport {
         rows,
         anchor_default: one_byte_latency(VmConfig::default(), Port(880)),
-        anchor_single_queue: one_byte_latency(
-            VmConfig { num_queues: 1, ..VmConfig::default() },
-            Port(881),
-        ),
+        anchor_single_queue: one_byte_latency(VmConfig::builder().num_queues(1).build(), Port(881)),
         rma_bytes: RMA_BYTES,
         rma_monolithic: rma_cold_read(false, Port(882)),
         rma_pipelined: rma_cold_read(true, Port(883)),
@@ -222,12 +219,13 @@ fn one_byte_latency(config: VmConfig, port: Port) -> SimDuration {
 fn rma_cold_read(pipeline: bool, port: Port) -> SimDuration {
     let host = VphiHost::new(1);
     let server = spawn_device_window(&host, port, RMA_BYTES);
-    let vm = host.spawn_vm(VmConfig {
-        mem_size: RMA_BYTES + 64 * MIB,
-        reg_cache: RegCacheConfig::disabled(),
-        pipeline_rma: pipeline,
-        ..VmConfig::default()
-    });
+    let vm = host.spawn_vm(
+        VmConfig::builder()
+            .mem_size(RMA_BYTES + 64 * MIB)
+            .reg_cache(RegCacheConfig::disabled())
+            .pipeline_rma(pipeline)
+            .build(),
+    );
     let mut tl = Timeline::new();
     let guest = vm.open_scif(&mut tl).expect("open");
     guest.connect(ScifAddr::new(host.device_node(0), port), &mut tl).expect("connect");

@@ -51,7 +51,7 @@ fn share_point(n: usize, bytes_each: u64) -> ShareRow {
 
     // --- measure the real per-VM path once (overhead excluding link time) ---
     let server = spawn_device_window(&host, Port(860), bytes_each);
-    let vm = host.spawn_vm(VmConfig { mem_size: bytes_each + 64 * MIB, ..VmConfig::default() });
+    let vm = host.spawn_vm(VmConfig::builder().mem_size(bytes_each + 64 * MIB).build());
     let mut tl = Timeline::new();
     let guest = vm.open_scif(&mut tl).expect("open");
     guest.connect(ScifAddr::new(host.device_node(0), Port(860)), &mut tl).expect("connect");

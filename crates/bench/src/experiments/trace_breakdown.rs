@@ -206,7 +206,7 @@ pub fn trace_breakdown() -> TraceBreakdownReport {
     wait_for_native_window(&native);
 
     let server2 = spawn_device_window(&host2, Port(873), max);
-    let vm2 = host2.spawn_vm(VmConfig { mem_size: max + 64 * MIB, ..VmConfig::default() });
+    let vm2 = host2.spawn_vm(VmConfig::builder().mem_size(max + 64 * MIB).build());
     let guest2 = vm2.open_scif(&mut tl).expect("guest open");
     guest2.connect(ScifAddr::new(host2.device_node(0), Port(873)), &mut tl).expect("guest connect");
     wait_for_guest_window(&guest2, &vm2);

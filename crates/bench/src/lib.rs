@@ -15,6 +15,7 @@
 //! | ABL-CACHE (registration cache)      | [`experiments::abl_cache`] |
 //! | SHARE (multi-VM sharing)            | [`experiments::sharing`] |
 //! | MQ-SCALE (multi-queue transport)    | [`experiments::mq_scale`] |
+//! | OPEN-LOOP (serving throughput-latency) | [`experiments::open_loop`] |
 //! | TRACE (per-stage gap decomposition) | [`experiments::trace_breakdown`] |
 
 pub mod experiments;

@@ -91,6 +91,13 @@ pub struct BackendStats {
     pub windows_gced: AtomicU64,
     /// Endpoints force-closed because their card was reset.
     pub endpoints_quarantined: AtomicU64,
+    /// Avail-ring drains that found at least one chain (one per wakeup
+    /// sweep of a lane's shard thread).
+    pub burst_drains: AtomicU64,
+    /// Chains popped across those drains; `burst_chains / burst_drains`
+    /// is the backend-side view of doorbell amortization — batched
+    /// submitters push it well above 1.
+    pub burst_chains: AtomicU64,
 }
 
 /// Knobs the builder exposes beyond the dispatch policy.
@@ -885,6 +892,10 @@ impl VirtualPciDevice for BackendDevice {
                                 batch.push(chain);
                             }
                             let burst = batch.len();
+                            if burst > 0 {
+                                inner.stats.burst_drains.fetch_add(1, Ordering::Relaxed);
+                                inner.stats.burst_chains.fetch_add(burst as u64, Ordering::Relaxed);
+                            }
                             if burst <= 1 {
                                 queue.set_suppress_kick(false);
                             }

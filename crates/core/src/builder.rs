@@ -72,6 +72,113 @@ impl Default for VmConfig {
     }
 }
 
+impl VmConfig {
+    /// Start from the paper defaults and override selectively; the
+    /// builder's [`build`](VmConfigBuilder::build) validates the combined
+    /// result, so impossible topologies (zero lanes, non-power-of-two
+    /// rings, a polling guest under pipelined RMA) fail at construction
+    /// instead of as a hang or a skewed figure later.
+    pub fn builder() -> VmConfigBuilder {
+        VmConfigBuilder { config: VmConfig::default() }
+    }
+}
+
+/// Validating builder for [`VmConfig`] — see [`VmConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct VmConfigBuilder {
+    config: VmConfig,
+}
+
+impl VmConfigBuilder {
+    pub fn mem_size(mut self, bytes: u64) -> Self {
+        self.config.mem_size = bytes;
+        self
+    }
+
+    pub fn scheme(mut self, scheme: WaitScheme) -> Self {
+        self.config.scheme = scheme;
+        self
+    }
+
+    pub fn queue_size(mut self, descriptors: u16) -> Self {
+        self.config.queue_size = descriptors;
+        self
+    }
+
+    pub fn num_queues(mut self, lanes: u16) -> Self {
+        self.config.num_queues = lanes;
+        self
+    }
+
+    pub fn patch(mut self, patch: KvmPatch) -> Self {
+        self.config.patch = patch;
+        self
+    }
+
+    pub fn chunk_size(mut self, bytes: u64) -> Self {
+        self.config.chunk_size = bytes;
+        self
+    }
+
+    pub fn dispatch(mut self, policy: crate::backend::DispatchPolicy) -> Self {
+        self.config.dispatch = policy;
+        self
+    }
+
+    pub fn reg_cache(mut self, config: crate::backend::RegCacheConfig) -> Self {
+        self.config.reg_cache = config;
+        self
+    }
+
+    pub fn pipeline_rma(mut self, on: bool) -> Self {
+        self.config.pipeline_rma = on;
+        self
+    }
+
+    /// Validate and return the config, or a description of what's wrong.
+    pub fn try_build(self) -> Result<VmConfig, String> {
+        let c = &self.config;
+        if c.num_queues < 1 {
+            return Err("num_queues must be at least 1 (requests need a lane)".into());
+        }
+        if c.queue_size < 2 || !c.queue_size.is_power_of_two() {
+            return Err(format!(
+                "queue_size must be a power of two ≥ 2 (virtio ring indices wrap mod size), got {}",
+                c.queue_size
+            ));
+        }
+        if c.chunk_size == 0 || !c.chunk_size.is_multiple_of(4096) {
+            return Err(format!(
+                "chunk_size must be a positive multiple of the 4 KiB page size, got {}",
+                c.chunk_size
+            ));
+        }
+        if c.mem_size < 16 * MIB {
+            return Err(format!(
+                "mem_size must be at least 16 MiB (header slabs + staging), got {}",
+                c.mem_size
+            ));
+        }
+        if c.pipeline_rma && c.scheme == WaitScheme::Polling {
+            return Err(
+                "pipeline_rma with WaitScheme::Polling is rejected: the pipeline overlaps \
+                 staging with DMA behind an interrupt-driven completion, while a pure-polling \
+                 guest burns its vCPU through the whole overlap — the combination measures \
+                 neither configuration faithfully"
+                    .into(),
+            );
+        }
+        Ok(self.config)
+    }
+
+    /// Validate and return the config, panicking on an invalid combination
+    /// (tests and examples; sweeps that compute fields use
+    /// [`try_build`](Self::try_build)).
+    pub fn build(self) -> VmConfig {
+        self.try_build().expect("invalid VmConfig")
+    }
+}
+
 /// The physical host: cards + fabric + clock + cost model.
 ///
 /// ```
@@ -337,6 +444,41 @@ impl VphiVm {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_defaults_match_config_default() {
+        let built = VmConfig::builder().build();
+        let def = VmConfig::default();
+        assert_eq!(built.mem_size, def.mem_size);
+        assert_eq!(built.scheme, def.scheme);
+        assert_eq!(built.queue_size, def.queue_size);
+        assert_eq!(built.num_queues, def.num_queues);
+        assert_eq!(built.chunk_size, def.chunk_size);
+        assert_eq!(built.pipeline_rma, def.pipeline_rma);
+    }
+
+    #[test]
+    fn builder_rejects_impossible_topologies() {
+        assert!(VmConfig::builder().num_queues(0).try_build().is_err());
+        assert!(VmConfig::builder().queue_size(0).try_build().is_err());
+        assert!(VmConfig::builder().queue_size(100).try_build().is_err());
+        assert!(VmConfig::builder().chunk_size(0).try_build().is_err());
+        assert!(VmConfig::builder().chunk_size(4097).try_build().is_err());
+        assert!(VmConfig::builder().mem_size(MIB).try_build().is_err());
+        assert!(VmConfig::builder()
+            .pipeline_rma(true)
+            .scheme(WaitScheme::Polling)
+            .try_build()
+            .is_err());
+        // The individually-valid pieces still compose.
+        assert!(VmConfig::builder()
+            .pipeline_rma(true)
+            .scheme(WaitScheme::Interrupt)
+            .num_queues(8)
+            .queue_size(128)
+            .try_build()
+            .is_ok());
+    }
 
     #[test]
     fn host_boots_devices_onto_the_fabric() {

@@ -26,7 +26,7 @@ pub use waiting::{SpinBudget, WaitScheme};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use vphi_scif::{ScifError, ScifResult};
+use vphi_scif::{ScifError, ScifResult, SqFlags};
 use vphi_sim_core::cost::KMALLOC_MAX_SIZE;
 use vphi_sim_core::{SpanLabel, Timeline};
 use vphi_sync::{LockClass, TrackedMutex};
@@ -293,6 +293,20 @@ pub struct FrontendStats {
     /// Times a request's completion deadline expired and the frontend
     /// re-kicked the device (recovers lost kicks and lost MSIs).
     pub deadline_retries: u64,
+    /// Async batches flushed by [`FrontendDriver::submit_batch`].
+    pub batches_submitted: u64,
+    /// Entries carried by those batches — the doorbell-amortization
+    /// ledger's numerator.
+    pub batch_entries: u64,
+    /// Doorbells actually delivered for those batches (one per touched
+    /// lane per flush): `batch_kicks / batch_entries` is the
+    /// kicks-per-submission ratio the OPEN-LOOP figure asserts on.
+    pub batch_kicks: u64,
+    /// Tokens reaped (each exactly once).
+    pub tokens_reaped: u64,
+    /// Tokens reaped as [`ScifError::Canceled`] after endpoint close or
+    /// card reset.
+    pub tokens_canceled: u64,
 }
 
 /// The spin-budget learning state (DESIGN.md #16).  One lock, taken
@@ -330,6 +344,66 @@ pub struct WaitBucketProfile {
     pub svc_ns: u64,
 }
 
+/// One entry of an async batch, as handed to
+/// [`FrontendDriver::submit_batch`]: the wire request plus its staged
+/// payload.  Staging ownership transfers to the driver's pending table
+/// and is released when the entry's token is reaped.
+pub struct BatchEntry {
+    /// The wire request (its `routing_epd` picks the lane).
+    pub req: VphiRequest,
+    /// Staged payload buffers, owned until reap.
+    pub staging: Vec<KmallocBuf>,
+    /// Payload descriptors, placed between the two headers.
+    pub descs: Vec<Descriptor>,
+    /// Payload size, for the adaptive waiter's bucket choice.
+    pub payload_bytes: u64,
+    /// `Some(len)` for inbound ops: unstage up to `len` bytes into the
+    /// reaped entry's data at completion.
+    pub inbound: Option<u64>,
+    /// Per-entry flags (busy-poll override, first re-kick deadline).
+    pub flags: SqFlags,
+}
+
+/// A token's frontend-side state between submit and reap: everything the
+/// blocking path keeps on its stack, parked in the pending table instead.
+struct PendingOp {
+    lane_queue: Arc<VirtQueue>,
+    hint: NotifyHint,
+    op: &'static str,
+    payload_bytes: u64,
+    req_buf: KmallocBuf,
+    resp_buf: KmallocBuf,
+    pooled: bool,
+    staging: Vec<KmallocBuf>,
+    inbound: Option<u64>,
+    deadline_ms: Option<u32>,
+    epd: Option<GuestEpd>,
+    /// Set by [`FrontendDriver::cancel_epd`]: the reap drains the backend
+    /// completion (nothing leaks) but reports `ECANCELED`.
+    canceled: bool,
+}
+
+/// A published-but-not-awaited operation — what [`FrontendDriver::submit_one`]
+/// hands back for the blocking path to kick, wait on, and demarshal.
+struct SubmittedOp {
+    lane_queue: Arc<VirtQueue>,
+    token: ReqToken,
+    hint: NotifyHint,
+    op: &'static str,
+    payload_bytes: u64,
+    req_buf: KmallocBuf,
+    resp_buf: KmallocBuf,
+    pooled: bool,
+}
+
+/// One reaped token: its wire result and any unstaged inbound payload.
+#[derive(Debug)]
+pub struct ReapedOp {
+    pub token: ReqToken,
+    pub result: ScifResult<(u64, u64)>,
+    pub data: Option<Vec<u8>>,
+}
+
 /// The guest kernel module.
 pub struct FrontendDriver {
     kernel: Arc<GuestKernel>,
@@ -348,6 +422,9 @@ pub struct FrontendDriver {
     slots: TrackedMutex<Vec<(KmallocBuf, KmallocBuf)>>,
     /// Spin-budget EWMA table, busy-poll overrides, burn accounting.
     policy: TrackedMutex<NotifyPolicy>,
+    /// token → submitted-but-unreaped state (the SQ/CQ bookkeeping).
+    /// Locked briefly at submit, cancel and reap — never across a wait.
+    pending: TrackedMutex<HashMap<ReqToken, PendingOp>>,
 }
 
 impl std::fmt::Debug for FrontendDriver {
@@ -409,6 +486,7 @@ impl FrontendDriver {
             ),
             slots: TrackedMutex::new(LockClass::FrontendSlots, slots),
             policy: TrackedMutex::new(LockClass::NotifyPolicy, NotifyPolicy::default()),
+            pending: TrackedMutex::new(LockClass::FrontendPending, HashMap::new()),
         })
     }
 
@@ -571,6 +649,50 @@ impl FrontendDriver {
         payload_bytes: u64,
         ctx: &mut OpCtx<'_>,
     ) -> ScifResult<VphiResponse> {
+        let sub = self.submit_one(req, extra, payload_bytes, ctx)?;
+        let cost = self.kernel.cost();
+        // Kick inside the wait span, not before it: the kick is what wakes
+        // the backend thread, so allocating the wait span's id first keeps
+        // span numbering single-threaded — and traces byte-stable.  The
+        // span then covers the handoff vmexit plus the scheme's wait, and
+        // in a trace view brackets the backend subtree it waited on.
+        let wait = ctx.begin("wait-complete", Stage::Completion);
+        let delivered = sub.lane_queue.kick(cost.vmexit_kick, ctx.tl);
+        {
+            let mut stats = self.stats.lock();
+            stats.requests += 1;
+            if delivered {
+                stats.kicks_delivered += 1;
+            } else {
+                stats.kicks_suppressed += 1;
+            }
+        }
+        let done = match self.wait_for_completion(&sub.lane_queue, sub.token, BACKOFF_BASE, ctx.tl)
+        {
+            Ok(d) => d,
+            Err(e) => {
+                ctx.end(wait);
+                self.return_slot(sub.req_buf, sub.resp_buf, sub.pooled);
+                return Err(e);
+            }
+        };
+        self.account_wait(sub.op, sub.payload_bytes, sub.hint, &done, ctx.tl);
+        ctx.tl.absorb(&done.tl);
+        ctx.end(wait);
+        self.demarshal(sub.lane_queue, sub.req_buf, sub.resp_buf, sub.pooled)
+    }
+
+    /// Marshal one request, prepare its chain, register its token, and
+    /// publish it on its lane's avail ring — everything the blocking and
+    /// batched paths share up to the doorbell.  The caller kicks: the
+    /// blocking path immediately, the batch path once per touched lane.
+    fn submit_one(
+        &self,
+        req: &VphiRequest,
+        extra: &[Descriptor],
+        payload_bytes: u64,
+        ctx: &mut OpCtx<'_>,
+    ) -> ScifResult<SubmittedOp> {
         if self.channel.is_shutdown() {
             return Err(ScifError::NoDev);
         }
@@ -606,7 +728,7 @@ impl FrontendDriver {
         chain.extend_from_slice(extra);
         chain.push(Descriptor::writable(resp_buf.gpa.0, RESP_SIZE as u32));
 
-        // Post, stash the cross-boundary timeline, and kick.
+        // Post and stash the cross-boundary timeline.
         let ring = ctx.begin("virtio-ring", Stage::VirtioRing);
         let head = match lane_queue.prepare_chain(&chain) {
             Ok(h) => h,
@@ -635,40 +757,30 @@ impl FrontendDriver {
         let token = self.channel.submit(q, head, Timeline::with_capacity(16), ctx.fork(), hint);
         lane_queue.publish_avail(head, cost.ring_push, ctx.tl);
         ctx.end(ring);
+        Ok(SubmittedOp {
+            lane_queue,
+            token,
+            hint,
+            op: req.name(),
+            payload_bytes,
+            req_buf,
+            resp_buf,
+            pooled,
+        })
+    }
 
-        // Kick inside the wait span, not before it: the kick is what wakes
-        // the backend thread, so allocating the wait span's id first keeps
-        // span numbering single-threaded — and traces byte-stable.  The
-        // span then covers the handoff vmexit plus the scheme's wait, and
-        // in a trace view brackets the backend subtree it waited on.
-        let wait = ctx.begin("wait-complete", Stage::Completion);
-        let delivered = lane_queue.kick(cost.vmexit_kick, ctx.tl);
-        {
-            let mut stats = self.stats.lock();
-            stats.requests += 1;
-            if delivered {
-                stats.kicks_delivered += 1;
-            } else {
-                stats.kicks_suppressed += 1;
-            }
-        }
-        let backend_tl =
-            match self.wait_for(&lane_queue, token, hint, req.name(), payload_bytes, ctx.tl) {
-                Ok(b) => b,
-                Err(e) => {
-                    ctx.end(wait);
-                    self.return_slot(req_buf, resp_buf, pooled);
-                    return Err(e);
-                }
-            };
-        ctx.tl.absorb(&backend_tl);
-        ctx.end(wait);
-        // Release our descriptors (and any other finished chains).  A
-        // corrupt used id means the device side scribbled on the ring;
-        // surface it after the slot is returned below.
+    /// Drain the used ring and decode the response — the tail every
+    /// completed token runs, blocking or reaped.  A corrupt used id means
+    /// the device side scribbled on the ring; surface it after the slot
+    /// is returned.
+    fn demarshal(
+        &self,
+        lane_queue: Arc<VirtQueue>,
+        req_buf: KmallocBuf,
+        resp_buf: KmallocBuf,
+        pooled: bool,
+    ) -> ScifResult<VphiResponse> {
         let drained = lane_queue.take_used();
-
-        // Demarshal.
         let mut resp_bytes = [0u8; RESP_SIZE];
         let read = self.kernel.mem().read(resp_buf.gpa, &mut resp_bytes);
         self.return_slot(req_buf, resp_buf, pooled);
@@ -677,22 +789,22 @@ impl FrontendDriver {
         VphiResponse::decode(&resp_bytes).ok_or(ScifError::Inval)
     }
 
-    /// Block until `token` completes, charging the chosen scheme's costs.
+    /// Block until `token` completes or the device dies — the single wait
+    /// primitive under both the blocking calls and token reaps.
     ///
-    /// Deadlines grow exponentially from [`BACKOFF_BASE`] to the
+    /// Deadlines grow exponentially from `base` (the blocking path's
+    /// [`BACKOFF_BASE`], or an entry's own deadline flag) to the
     /// [`BACKOFF_CAP`], each jittered to 50–100% of its nominal length:
     /// a single lost kick still recovers within one seed-equivalent
     /// deadline, while a persistently slow backend sees re-kicks thin out
     /// instead of arriving as a synchronized 200 ms drumbeat.
-    fn wait_for(
+    fn wait_for_completion(
         &self,
         lane_queue: &Arc<VirtQueue>,
         token: ReqToken,
-        hint: NotifyHint,
-        op: &'static str,
-        payload_bytes: u64,
+        base: std::time::Duration,
         tl: &mut Timeline,
-    ) -> ScifResult<Timeline> {
+    ) -> ScifResult<Completion> {
         let cost = self.kernel.cost();
         let channel = &self.channel;
         let pred = || {
@@ -705,7 +817,7 @@ impl FrontendDriver {
             None
         };
         let mut outcome = None;
-        let mut deadline = BACKOFF_BASE;
+        let mut deadline = base;
         for _attempt in 0..=MAX_DEADLINE_RETRIES {
             let jittered = {
                 let mut rng = self.backoff_rng.lock();
@@ -724,10 +836,22 @@ impl FrontendDriver {
             lane_queue.kick(cost.vmexit_kick, tl);
             deadline = (deadline * 2).min(BACKOFF_CAP);
         }
-        let done = outcome.unwrap_or(Err(ScifError::Again))?;
-        // Virtual-time wait cost by *outcome*: the backend's notifier
-        // decided — deterministically, from the hint it was handed —
-        // whether this waiter was still spinning when the reply landed.
+        outcome.unwrap_or(Err(ScifError::Again))
+    }
+
+    /// Charge the wait's virtual-time cost by *outcome* and feed the
+    /// spin-budget policy.  The backend's notifier decided —
+    /// deterministically, from the hint it was handed — whether this
+    /// waiter was still spinning when the reply landed.
+    fn account_wait(
+        &self,
+        op: &'static str,
+        payload_bytes: u64,
+        hint: NotifyHint,
+        done: &Completion,
+        tl: &mut Timeline,
+    ) {
+        let cost = self.kernel.cost();
         {
             let mut stats = self.stats.lock();
             if done.slept {
@@ -745,8 +869,341 @@ impl FrontendDriver {
             // completion, but the vCPU burned the service time.
             tl.charge(SpanLabel::PollWait, cost.poll_observe);
         }
-        self.learn(op, payload_bytes, hint, &done);
-        Ok(done.tl)
+        self.learn(op, payload_bytes, hint, done);
+    }
+
+    // ---- async submission (SQ/CQ) ------------------------------------------
+
+    /// Submit a whole batch of operations, returning one token per entry
+    /// in order.  Every entry is marshaled, prepared and *published*
+    /// before any doorbell rings; then each touched lane gets exactly one
+    /// kick — the vm-exit is amortized across the batch the same way the
+    /// used ring already coalesces completion irqs.
+    ///
+    /// On per-entry resource exhaustion the batch is cut short: entries
+    /// already prepared are still published and kicked, and the returned
+    /// token count tells the caller how far the batch got (io_uring's
+    /// short-submit convention).  A dead device fails the whole batch
+    /// with `ENODEV` before anything is staged on a ring.
+    pub fn submit_batch<'a>(
+        &self,
+        entries: Vec<BatchEntry>,
+        ctx: impl Into<OpCtx<'a>>,
+    ) -> ScifResult<Vec<ReqToken>> {
+        let mut ctx = ctx.into();
+        let root = ctx.adopt_root(&self.channel.trace, "submit-batch");
+        let r = self.submit_batch_inner(entries, &mut ctx);
+        ctx.finish_root(root, 0);
+        r
+    }
+
+    fn submit_batch_inner(
+        &self,
+        entries: Vec<BatchEntry>,
+        ctx: &mut OpCtx<'_>,
+    ) -> ScifResult<Vec<ReqToken>> {
+        if self.channel.is_shutdown() {
+            for e in entries {
+                self.free_staging(e.staging);
+            }
+            return Err(ScifError::NoDev);
+        }
+        let cost = self.kernel.cost();
+        let mut lane_heads: Vec<Vec<u16>> = vec![Vec::new(); self.channel.queue_count()];
+        let mut tokens = Vec::with_capacity(entries.len());
+        let mut short = false;
+        for entry in entries {
+            if short {
+                self.free_staging(entry.staging);
+                continue;
+            }
+            match self.prepare_batch_entry(entry, ctx) {
+                Ok((q, head, token)) => {
+                    lane_heads[q].push(head);
+                    tokens.push(token);
+                }
+                // The failed entry's resources were already released;
+                // stop accepting, but still flush what was prepared.
+                Err(_) => short = true,
+            }
+        }
+        // One doorbell per touched lane covers every entry on it.  Each
+        // entry's pending/inflight state and used-event threshold are
+        // already registered, so the backend may claim the whole burst
+        // the instant the batch publish lands.
+        let (mut delivered, mut suppressed) = (0u64, 0u64);
+        for (q, heads) in lane_heads.iter().enumerate() {
+            if heads.is_empty() {
+                continue;
+            }
+            let lane_queue = Arc::clone(self.channel.lane_queue(q));
+            let ring = ctx.begin("virtio-ring", Stage::VirtioRing);
+            lane_queue.publish_avail_batch(heads, cost.ring_push, ctx.tl);
+            if lane_queue.kick(cost.vmexit_kick, ctx.tl) {
+                delivered += 1;
+            } else {
+                suppressed += 1;
+            }
+            ctx.end(ring);
+        }
+        {
+            let mut stats = self.stats.lock();
+            stats.requests += tokens.len() as u64;
+            stats.batches_submitted += 1;
+            stats.batch_entries += tokens.len() as u64;
+            stats.batch_kicks += delivered + suppressed;
+            stats.kicks_delivered += delivered;
+            stats.kicks_suppressed += suppressed;
+        }
+        Ok(tokens)
+    }
+
+    /// Marshal + prepare one batch entry and park its state in the
+    /// pending table.  Publish happens at the batch flush; the pending
+    /// and inflight entries must exist before that (the same
+    /// inflight-before-publish discipline as the blocking path).
+    fn prepare_batch_entry(
+        &self,
+        entry: BatchEntry,
+        ctx: &mut OpCtx<'_>,
+    ) -> ScifResult<(usize, u16, ReqToken)> {
+        let BatchEntry { req, staging, descs, payload_bytes, inbound, flags } = entry;
+        let q = self.channel.route(&req);
+        ctx.set_queue(q as u16);
+        let lane_queue = Arc::clone(&self.channel.lanes[q].queue);
+
+        let marshal = ctx.begin("guest-syscall", Stage::GuestSyscall);
+        self.kernel.charge_syscall(ctx.tl);
+        let (req_buf, resp_buf, pooled) = match self.take_slot(ctx.tl) {
+            Ok(slot) => slot,
+            Err(e) => {
+                ctx.end(marshal);
+                self.free_staging(staging);
+                return Err(e);
+            }
+        };
+        if self.kernel.mem().write(req_buf.gpa, &req.encode()).is_err() {
+            ctx.end(marshal);
+            self.return_slot(req_buf, resp_buf, pooled);
+            self.free_staging(staging);
+            return Err(ScifError::Inval);
+        }
+        ctx.end(marshal);
+
+        let mut chain = Vec::with_capacity(descs.len() + 2);
+        chain.push(Descriptor::readable(req_buf.gpa.0, REQ_SIZE as u32));
+        chain.extend_from_slice(&descs);
+        chain.push(Descriptor::writable(resp_buf.gpa.0, RESP_SIZE as u32));
+        let head = match lane_queue.prepare_chain(&chain) {
+            Ok(h) => h,
+            Err(_) => {
+                self.return_slot(req_buf, resp_buf, pooled);
+                self.free_staging(staging);
+                return Err(ScifError::NoMem);
+            }
+        };
+        let hint =
+            if flags.busy_poll { NotifyHint::SPIN } else { self.notify_hint(&req, payload_bytes) };
+        if hint != NotifyHint::SPIN {
+            lane_queue.publish_used_event(lane_queue.used_seq());
+        }
+        let token = self.channel.submit(q, head, Timeline::with_capacity(16), ctx.fork(), hint);
+        self.pending.lock().insert(
+            token,
+            PendingOp {
+                lane_queue,
+                hint,
+                op: req.name(),
+                payload_bytes,
+                req_buf,
+                resp_buf,
+                pooled,
+                staging,
+                inbound,
+                deadline_ms: flags.deadline_ms,
+                epd: req.routing_epd(),
+                canceled: false,
+            },
+        );
+        Ok((q, head, token))
+    }
+
+    /// Reap completed tokens from `interest`, oldest-first: a
+    /// non-blocking drain first, then blocking (through the same adaptive
+    /// waiter and per-token wait queue as the blocking calls) until at
+    /// least `min` tokens are reaped, never more than `budget`.  Unknown
+    /// or already-reaped tokens are skipped — each token is reaped
+    /// exactly once.
+    pub fn reap_batch<'a>(
+        &self,
+        interest: &[ReqToken],
+        min: usize,
+        budget: usize,
+        ctx: impl Into<OpCtx<'a>>,
+    ) -> Vec<ReapedOp> {
+        let mut ctx = ctx.into();
+        let root = ctx.adopt_root(&self.channel.trace, "reap");
+        let out = self.reap_inner(interest, min, budget, &mut ctx);
+        ctx.finish_root(root, 0);
+        out
+    }
+
+    fn reap_inner(
+        &self,
+        interest: &[ReqToken],
+        min: usize,
+        budget: usize,
+        ctx: &mut OpCtx<'_>,
+    ) -> Vec<ReapedOp> {
+        let budget = budget.min(interest.len());
+        let target = min.min(budget);
+        let mut out: Vec<ReapedOp> = Vec::new();
+        let mut reaped: HashSet<ReqToken> = HashSet::new();
+        // Pass 1: everything already completed, no waiting.
+        for &token in interest {
+            if out.len() >= budget {
+                break;
+            }
+            if let Some(done) = self.channel.try_take(token) {
+                reaped.insert(token);
+                out.push(self.finish_reaped(token, Some(done), ctx));
+            }
+        }
+        // Pass 2: block oldest-first until the floor is met, opportunistic
+        // drains between blocking waits (others complete while we sleep).
+        for &token in interest {
+            if out.len() >= target {
+                break;
+            }
+            if reaped.contains(&token) || !self.pending.lock().contains_key(&token) {
+                continue;
+            }
+            reaped.insert(token);
+            out.push(self.block_on(token, ctx));
+            for &t2 in interest {
+                if out.len() >= budget {
+                    break;
+                }
+                if reaped.contains(&t2) {
+                    continue;
+                }
+                if let Some(done) = self.channel.try_take(t2) {
+                    reaped.insert(t2);
+                    out.push(self.finish_reaped(t2, Some(done), ctx));
+                }
+            }
+        }
+        out
+    }
+
+    /// Block on one pending token.  A canceled token still waits for the
+    /// backend's completion when the device is alive — the response
+    /// buffer cannot be recycled while the backend can still write it —
+    /// but a dead device will never complete, so shutdown drains
+    /// whatever already arrived and gives up waiting.
+    fn block_on(&self, token: ReqToken, ctx: &mut OpCtx<'_>) -> ReapedOp {
+        let (lane_queue, deadline_ms) = {
+            let pending = self.pending.lock();
+            let p = pending.get(&token).expect("block_on on a non-pending token");
+            (Arc::clone(&p.lane_queue), p.deadline_ms)
+        };
+        let wait = ctx.begin("wait-complete", Stage::Completion);
+        let done = if self.channel.is_shutdown() {
+            self.channel.try_take(token)
+        } else {
+            let base = deadline_ms
+                .map(|ms| std::time::Duration::from_millis(ms as u64))
+                .unwrap_or(BACKOFF_BASE);
+            self.wait_for_completion(&lane_queue, token, base, ctx.tl).ok()
+        };
+        ctx.end(wait);
+        self.finish_reaped(token, done, ctx)
+    }
+
+    /// Retire one token: account the wait, drain the used ring, decode,
+    /// unstage inbound data, release every buffer, and apply the canceled
+    /// verdict.  This is the async twin of the blocking path's
+    /// account/absorb/demarshal tail — same charges, same order.
+    fn finish_reaped(
+        &self,
+        token: ReqToken,
+        done: Option<Completion>,
+        ctx: &mut OpCtx<'_>,
+    ) -> ReapedOp {
+        let Some(p) = self.pending.lock().remove(&token) else {
+            return ReapedOp { token, result: Err(ScifError::Inval), data: None };
+        };
+        let PendingOp {
+            lane_queue,
+            hint,
+            op,
+            payload_bytes,
+            req_buf,
+            resp_buf,
+            pooled,
+            staging,
+            inbound,
+            deadline_ms: _,
+            epd: _,
+            canceled,
+        } = p;
+        let mut data = None;
+        let mut result = match done {
+            Some(done) => {
+                self.account_wait(op, payload_bytes, hint, &done, ctx.tl);
+                ctx.tl.absorb(&done.tl);
+                self.demarshal(lane_queue, req_buf, resp_buf, pooled)
+                    .and_then(|resp| resp.into_result())
+            }
+            None => {
+                // No completion will ever arrive (dead device): the ring
+                // is gone with it, so the headers can be released safely.
+                self.return_slot(req_buf, resp_buf, pooled);
+                Err(ScifError::Canceled)
+            }
+        };
+        if canceled {
+            // Drained on the caller's behalf, not run for it.
+            result = Err(ScifError::Canceled);
+        }
+        match (inbound, &result) {
+            (Some(len), Ok((got, _))) => {
+                let take = (*got).min(len) as usize;
+                let mut buf = vec![0u8; take];
+                match self.unstage(staging, &mut buf, ctx.tl) {
+                    Ok(()) => data = Some(buf),
+                    Err(e) => result = Err(e),
+                }
+            }
+            _ => self.free_staging(staging),
+        }
+        {
+            let mut stats = self.stats.lock();
+            stats.tokens_reaped += 1;
+            if result == Err(ScifError::Canceled) {
+                stats.tokens_canceled += 1;
+            }
+        }
+        ReapedOp { token, result, data }
+    }
+
+    /// Mark every unreaped token of `epd` canceled: its reap still drains
+    /// the backend completion (zero leaks) but reports `ECANCELED`.
+    /// Returns how many tokens were marked.
+    pub fn cancel_epd(&self, epd: GuestEpd) -> usize {
+        let mut n = 0;
+        for p in self.pending.lock().values_mut() {
+            if p.epd == Some(epd) && !p.canceled {
+                p.canceled = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Tokens submitted and not yet reaped (leak detector).
+    pub fn pending_tokens(&self) -> usize {
+        self.pending.lock().len()
     }
 
     /// Stage `data` into kmalloc chunks (≤ `KMALLOC_MAX_SIZE` each),

@@ -10,13 +10,15 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use vphi_scif::{NodeId, Port, RmaFlags, ScifAddr, ScifError, ScifResult};
+use vphi_scif::{
+    Cq, CqEntry, NodeId, Port, RmaFlags, ScifAddr, ScifError, ScifResult, SqFlags, SubmitToken,
+};
 use vphi_sim_core::Timeline;
 use vphi_trace::OpCtx;
 use vphi_virtio::Descriptor;
 use vphi_vmm::{Gpa, GuestMemory, KvmModule};
 
-use crate::frontend::FrontendDriver;
+use crate::frontend::{BatchEntry, FrontendDriver};
 use crate::protocol::{rma_flags_to_wire, GuestEpd, VphiRequest};
 
 /// A guest user-space buffer in guest physical memory — what an
@@ -128,6 +130,128 @@ impl GuestMapped {
         }
         self.driver.simple(VphiRequest::Munmap { vaddr: self.vaddr }, tl)?;
         Ok(())
+    }
+}
+
+/// What one submission-queue entry asks the device to do.  Outbound
+/// payloads are captured by value and descriptor targets are resolved at
+/// construction, so an [`Sq`] owns everything it needs — no borrows held
+/// across the submit call.
+enum SqOp {
+    /// `scif_send` of one chunk (≤ the driver's staging chunk size).
+    Send(Vec<u8>),
+    /// `scif_recv` of up to `len` bytes; the payload lands in the reaped
+    /// entry's `data`.
+    Recv(u64),
+    /// `scif_vwriteto`: a guest buffer (already resolved to a descriptor)
+    /// → remote window.
+    VwriteTo { desc: Descriptor, len: u64, roffset: u64, flags: u8 },
+    /// `scif_vreadfrom`: remote window → guest buffer.
+    VreadFrom { desc: Descriptor, len: u64, roffset: u64, flags: u8 },
+    /// `scif_readfrom` (window-to-window).
+    ReadFrom { loffset: u64, len: u64, roffset: u64, flags: u8 },
+    /// `scif_writeto` (window-to-window).
+    WriteTo { loffset: u64, len: u64, roffset: u64, flags: u8 },
+}
+
+/// One submission-queue entry: an operation plus its per-entry flags.
+/// Build with the constructors, tune with [`busy_poll`](Self::busy_poll)
+/// and [`deadline_ms`](Self::deadline_ms), then push into an [`Sq`].
+pub struct SqEntry {
+    op: SqOp,
+    flags: SqFlags,
+}
+
+impl SqEntry {
+    /// Send `data` to the peer (one chunk — at most the driver's staging
+    /// chunk size, or the submit fails with `EINVAL`).
+    pub fn send(data: &[u8]) -> Self {
+        SqEntry { op: SqOp::Send(data.to_vec()), flags: SqFlags::default() }
+    }
+
+    /// Receive up to `len` bytes; they arrive in the completion's `data`.
+    pub fn recv(len: u64) -> Self {
+        SqEntry { op: SqOp::Recv(len), flags: SqFlags::default() }
+    }
+
+    /// RMA write of `buf` into the peer's registered window at `roffset`.
+    pub fn vwriteto(buf: &GuestBuf, roffset: u64, flags: RmaFlags) -> Self {
+        SqEntry {
+            op: SqOp::VwriteTo {
+                desc: buf.read_desc(),
+                len: buf.len(),
+                roffset,
+                flags: rma_flags_to_wire(flags),
+            },
+            flags: SqFlags::default(),
+        }
+    }
+
+    /// RMA read of the peer's window at `roffset` into `buf`.
+    pub fn vreadfrom(buf: &GuestBuf, roffset: u64, flags: RmaFlags) -> Self {
+        SqEntry {
+            op: SqOp::VreadFrom {
+                desc: buf.write_desc(),
+                len: buf.len(),
+                roffset,
+                flags: rma_flags_to_wire(flags),
+            },
+            flags: SqFlags::default(),
+        }
+    }
+
+    /// Window-to-window RMA read.
+    pub fn readfrom(loffset: u64, len: u64, roffset: u64, flags: RmaFlags) -> Self {
+        SqEntry {
+            op: SqOp::ReadFrom { loffset, len, roffset, flags: rma_flags_to_wire(flags) },
+            flags: SqFlags::default(),
+        }
+    }
+
+    /// Window-to-window RMA write.
+    pub fn writeto(loffset: u64, len: u64, roffset: u64, flags: RmaFlags) -> Self {
+        SqEntry {
+            op: SqOp::WriteTo { loffset, len, roffset, flags: rma_flags_to_wire(flags) },
+            flags: SqFlags::default(),
+        }
+    }
+
+    /// Pin this entry's wait to pure busy-polling (latency-critical).
+    pub fn busy_poll(mut self) -> Self {
+        self.flags.busy_poll = true;
+        self
+    }
+
+    /// First re-kick deadline for this entry's reap, in milliseconds.
+    pub fn deadline_ms(mut self, ms: u32) -> Self {
+        self.flags.deadline_ms = Some(ms);
+        self
+    }
+}
+
+/// A submission queue: entries accumulated between doorbells.  One
+/// [`GuestScif::submit`] publishes every entry and rings at most one
+/// doorbell per queue lane.
+#[derive(Default)]
+pub struct Sq {
+    entries: Vec<SqEntry>,
+}
+
+impl Sq {
+    pub fn new() -> Self {
+        Sq::default()
+    }
+
+    pub fn push(&mut self, entry: SqEntry) {
+        self.entries.push(entry);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -519,11 +643,148 @@ impl GuestScif {
         Ok(count)
     }
 
-    /// `scif_close`.
+    /// Submit every entry of `sq`, draining it, and return one token per
+    /// entry in order.  All entries are marshaled and published before
+    /// any doorbell rings; each queue lane the batch touched then gets
+    /// exactly one kick — the vm-exit cost is amortized across the batch.
+    ///
+    /// Tokens are reaped with [`reap`](Self::reap); until then the driver
+    /// owns the entries' staging.  An entry that cannot be staged fails
+    /// the whole submit before anything reaches a ring.
+    pub fn submit<'a>(
+        &self,
+        sq: &mut Sq,
+        ctx: impl Into<OpCtx<'a>>,
+    ) -> ScifResult<Vec<SubmitToken>> {
+        let mut ctx = ctx.into();
+        let entries = std::mem::take(&mut sq.entries);
+        for e in &entries {
+            if let SqOp::Send(data) = &e.op {
+                if data.len() as u64 > self.driver.chunk_size() {
+                    return Err(ScifError::Inval);
+                }
+            }
+        }
+        let mut batch = Vec::with_capacity(entries.len());
+        let mut staged: Result<(), ScifError> = Ok(());
+        for e in entries {
+            let entry = match e.op {
+                SqOp::Send(data) => {
+                    let (bufs, descs) = match self.driver.stage_out(&data, ctx.tl) {
+                        Ok(s) => s,
+                        Err(err) => {
+                            staged = Err(err);
+                            break;
+                        }
+                    };
+                    BatchEntry {
+                        req: VphiRequest::Send { epd: self.epd, len: data.len() as u32 },
+                        staging: bufs,
+                        descs,
+                        payload_bytes: data.len() as u64,
+                        inbound: None,
+                        flags: e.flags,
+                    }
+                }
+                SqOp::Recv(len) => {
+                    let want = len.min(self.driver.chunk_size());
+                    let (bufs, descs) = match self.driver.stage_in(want, ctx.tl) {
+                        Ok(s) => s,
+                        Err(err) => {
+                            staged = Err(err);
+                            break;
+                        }
+                    };
+                    BatchEntry {
+                        req: VphiRequest::Recv { epd: self.epd, len: want as u32 },
+                        staging: bufs,
+                        descs,
+                        payload_bytes: want,
+                        inbound: Some(want),
+                        flags: e.flags,
+                    }
+                }
+                SqOp::VwriteTo { desc, len, roffset, flags } => BatchEntry {
+                    req: VphiRequest::VwriteTo { epd: self.epd, roffset, len, flags },
+                    staging: Vec::new(),
+                    descs: vec![desc],
+                    payload_bytes: len,
+                    inbound: None,
+                    flags: e.flags,
+                },
+                SqOp::VreadFrom { desc, len, roffset, flags } => BatchEntry {
+                    req: VphiRequest::VreadFrom { epd: self.epd, roffset, len, flags },
+                    staging: Vec::new(),
+                    descs: vec![desc],
+                    payload_bytes: len,
+                    inbound: None,
+                    flags: e.flags,
+                },
+                SqOp::ReadFrom { loffset, len, roffset, flags } => BatchEntry {
+                    req: VphiRequest::ReadFrom { epd: self.epd, loffset, len, roffset, flags },
+                    staging: Vec::new(),
+                    descs: Vec::new(),
+                    payload_bytes: 0,
+                    inbound: None,
+                    flags: e.flags,
+                },
+                SqOp::WriteTo { loffset, len, roffset, flags } => BatchEntry {
+                    req: VphiRequest::WriteTo { epd: self.epd, loffset, len, roffset, flags },
+                    staging: Vec::new(),
+                    descs: Vec::new(),
+                    payload_bytes: 0,
+                    inbound: None,
+                    flags: e.flags,
+                },
+            };
+            batch.push(entry);
+        }
+        if let Err(err) = staged {
+            for entry in batch {
+                self.driver.free_staging(entry.staging);
+            }
+            return Err(err);
+        }
+        let tokens = self.driver.submit_batch(batch, &mut ctx)?;
+        Ok(tokens.into_iter().map(SubmitToken::from_raw).collect())
+    }
+
+    /// Reap completions for the tokens `cq` is watching: everything
+    /// already finished is taken without waiting, then the reap blocks —
+    /// through the same adaptive spin-then-sleep waiter as the blocking
+    /// calls — until at least `min` tokens land, never reaping more than
+    /// `budget`.  Returns how many entries were added to `cq`.
+    pub fn reap<'a>(
+        &self,
+        cq: &mut Cq,
+        min: usize,
+        budget: usize,
+        ctx: impl Into<OpCtx<'a>>,
+    ) -> ScifResult<usize> {
+        let mut ctx = ctx.into();
+        let interest: Vec<u64> = cq.outstanding().iter().map(|t| t.raw()).collect();
+        let reaped = self.driver.reap_batch(&interest, min, budget, &mut ctx);
+        let mut n = 0usize;
+        for r in reaped {
+            if cq.complete(CqEntry {
+                token: SubmitToken::from_raw(r.token),
+                result: r.result,
+                data: r.data,
+            }) {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// `scif_close`.  Outstanding submission tokens on this endpoint are
+    /// marked canceled: their reaps still drain the backend completions
+    /// (nothing leaks) but report `ECANCELED`.
     pub fn close<'a>(&self, ctx: impl Into<OpCtx<'a>>) -> ScifResult<()> {
         if self.closed.swap(true, Ordering::AcqRel) {
             return Ok(());
         }
+        self.driver.cancel_epd(self.epd);
         self.driver.simple(VphiRequest::Close { epd: self.epd }, ctx)?;
         Ok(())
     }

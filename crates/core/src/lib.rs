@@ -53,7 +53,10 @@ pub mod mmapping;
 pub mod protocol;
 pub mod sysfs;
 
-pub use builder::{VphiHost, VphiVm};
-pub use frontend::{FrontendDriver, SpinBudget, WaitBucketProfile, WaitScheme};
-pub use guest::GuestScif;
+pub use builder::{VmConfig, VmConfigBuilder, VphiHost, VphiVm};
+pub use frontend::{
+    BatchEntry, FrontendDriver, ReapedOp, SpinBudget, WaitBucketProfile, WaitScheme,
+};
+pub use guest::{GuestScif, Sq, SqEntry};
 pub use protocol::{VphiRequest, VphiResponse};
+pub use vphi_scif::{Cq, CqEntry, SqFlags, SubmitToken};

@@ -77,7 +77,8 @@ fn assert_ledger_balances(report: &VphiDebugReport) {
 fn run_session(scheme: WaitScheme, num_queues: u16, port: u16, seed: u64) -> VphiDebugReport {
     let host = VphiHost::new(1);
     let sink = spawn_sink(&host, Port(port), THREADS);
-    let vm = Arc::new(host.spawn_vm(VmConfig { scheme, num_queues, ..VmConfig::default() }));
+    let vm =
+        Arc::new(host.spawn_vm(VmConfig::builder().scheme(scheme).num_queues(num_queues).build()));
 
     let guests: Vec<_> = (0..THREADS)
         .map(|t| {
@@ -167,10 +168,7 @@ proptest! {
         let host = VphiHost::new(1);
         let injector = host.arm_faults(plan);
         let sink = spawn_sink(&host, Port(875), 1);
-        let vm = host.spawn_vm(VmConfig {
-            scheme: WaitScheme::ADAPTIVE,
-            ..VmConfig::default()
-        });
+        let vm = host.spawn_vm(VmConfig::builder().scheme(WaitScheme::ADAPTIVE).build());
         let mut tl = Timeline::new();
         let ep = vm.open_scif(&mut tl).expect("open");
         ep.connect(ScifAddr::new(host.device_node(0), Port(875)), &mut tl).expect("connect");
@@ -230,7 +228,7 @@ fn lost_msi_recovers_via_deadline_retry() {
     });
     rx.recv().unwrap();
 
-    let vm = host.spawn_vm(VmConfig { scheme: WaitScheme::Interrupt, ..VmConfig::default() });
+    let vm = host.spawn_vm(VmConfig::builder().scheme(WaitScheme::Interrupt).build());
     let mut tl = Timeline::new();
     let ep = vm.open_scif(&mut tl).expect("open");
     ep.connect(ScifAddr::new(host.device_node(0), Port(876)), &mut tl).expect("connect");
@@ -258,7 +256,7 @@ fn used_ring_delay_is_latency_not_a_hang() {
     // Crossing 3 = the first send's completion (open=1, connect=2).
     host.arm_faults(FaultPlan::single(FaultSite::VirtioUsedDelay, 3, DELAY_US));
     let sink = spawn_sink(&host, Port(877), 1);
-    let vm = host.spawn_vm(VmConfig { scheme: WaitScheme::Interrupt, ..VmConfig::default() });
+    let vm = host.spawn_vm(VmConfig::builder().scheme(WaitScheme::Interrupt).build());
     let mut tl = Timeline::new();
     let ep = vm.open_scif(&mut tl).expect("open");
     ep.connect(ScifAddr::new(host.device_node(0), Port(877)), &mut tl).expect("connect");

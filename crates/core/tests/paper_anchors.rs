@@ -179,7 +179,7 @@ fn fig5_remote_read_peak_is_72_percent_of_native() {
 
     // --- vPHI remote read ---
     let (server, _board) = spawn_device_window(&host, Port(721), size);
-    let vm = host.spawn_vm(VmConfig { mem_size: 384 * MIB, ..VmConfig::default() });
+    let vm = host.spawn_vm(VmConfig::builder().mem_size(384 * MIB).build());
     let guest = vm.open_scif(&mut tl).unwrap();
     guest.connect(ScifAddr::new(host.device_node(0), Port(721)), &mut tl).unwrap();
     wait_for_guest_window(&guest, &vm);

@@ -36,6 +36,10 @@ pub enum ScifError {
     OpNotSupported,
     /// EIO — device I/O error (uncorrectable ECC, DMA engine fault).
     Io,
+    /// ECANCELED — the submission's token was reaped after its endpoint
+    /// closed or its card was reset; the operation was drained, not run
+    /// to completion on the caller's behalf.
+    Canceled,
 }
 
 /// How callers should react to a [`ScifError`].  Retry loops and tests
@@ -67,6 +71,7 @@ impl ScifError {
             ScifError::Again => 11,
             ScifError::OpNotSupported => 95,
             ScifError::Io => 5,
+            ScifError::Canceled => 125,
         }
     }
 
@@ -86,7 +91,10 @@ impl ScifError {
             | ScifError::OutOfRange
             | ScifError::Access
             | ScifError::OpNotSupported
-            | ScifError::Io => ErrorClass::Fatal,
+            | ScifError::Io
+            // Reissuing the identical call cannot un-cancel a reaped
+            // token: the endpoint is gone or the card was reset.
+            | ScifError::Canceled => ErrorClass::Fatal,
         }
     }
 
@@ -110,6 +118,7 @@ impl ScifError {
             11 => ScifError::Again,
             95 => ScifError::OpNotSupported,
             5 => ScifError::Io,
+            125 => ScifError::Canceled,
             _ => return None,
         })
     }
@@ -131,6 +140,7 @@ impl std::fmt::Display for ScifError {
             ScifError::Again => ("EAGAIN", "operation would block"),
             ScifError::OpNotSupported => ("EOPNOTSUPP", "operation not supported"),
             ScifError::Io => ("EIO", "device I/O error"),
+            ScifError::Canceled => ("ECANCELED", "operation canceled"),
         };
         write!(f, "{name}: {msg}")
     }
@@ -158,6 +168,7 @@ mod tests {
             ScifError::Again,
             ScifError::OpNotSupported,
             ScifError::Io,
+            ScifError::Canceled,
         ] {
             assert_eq!(ScifError::from_errno(e.errno()), Some(e));
         }
@@ -181,6 +192,7 @@ mod tests {
             ScifError::Access,
             ScifError::OpNotSupported,
             ScifError::Io,
+            ScifError::Canceled,
         ] {
             assert_eq!(fatal.class(), ErrorClass::Fatal, "{fatal}");
         }
@@ -190,5 +202,6 @@ mod tests {
     fn display_uses_errno_names() {
         assert!(ScifError::ConnRefused.to_string().contains("ECONNREFUSED"));
         assert!(ScifError::OutOfRange.to_string().contains("registered window"));
+        assert!(ScifError::Canceled.to_string().contains("ECANCELED"));
     }
 }

@@ -36,6 +36,7 @@ pub mod mmap;
 pub mod poll;
 pub mod queue;
 pub mod rma;
+pub mod submit;
 pub mod types;
 pub mod window;
 
@@ -44,5 +45,6 @@ pub use error::{ErrorClass, ScifError, ScifResult};
 pub use fabric::ScifFabric;
 pub use mmap::MappedRegion;
 pub use poll::{PollEvents, PollFd};
+pub use submit::{Cq, CqEntry, SqFlags, SubmitToken};
 pub use types::{NodeId, Port, Prot, RmaFlags, ScifAddr, HOST_NODE};
 pub use vphi_trace::{OpCtx, Stage, TraceCtx};

@@ -160,12 +160,15 @@ pub enum LockClass {
     LaneNotifier = 50,
     /// Frontend spin-budget policy (EWMA table + busy-poll set).
     NotifyPolicy = 51,
+    // --- async submission (PR 9) ---
+    /// Frontend token → pending submission table (SQ/CQ bookkeeping).
+    FrontendPending = 52,
 }
 
 impl LockClass {
     /// Number of classes (adjacency bitmasks are `u64`, so this must stay
     /// ≤ 64).
-    pub const COUNT: usize = 52;
+    pub const COUNT: usize = 53;
 
     /// Every class, in discriminant order — the hierarchy exported **as
     /// data** so offline tools (`vphi-analyze`) can consume the same
@@ -224,6 +227,7 @@ impl LockClass {
         LockClass::TokenSlot,
         LockClass::LaneNotifier,
         LockClass::NotifyPolicy,
+        LockClass::FrontendPending,
     ];
 
     /// The class's source-level name, exactly as it is spelled at
@@ -283,6 +287,7 @@ impl LockClass {
             LockClass::TokenSlot => "TokenSlot",
             LockClass::LaneNotifier => "LaneNotifier",
             LockClass::NotifyPolicy => "NotifyPolicy",
+            LockClass::FrontendPending => "FrontendPending",
         }
     }
 
@@ -342,6 +347,9 @@ impl LockClass {
             LockClass::TokenSlot => 72,
             LockClass::LaneNotifier => 69,
             LockClass::NotifyPolicy => 77,
+            // Between the inflight table (72) and the completed table
+            // (74): never held across a wait or another frontend lock.
+            LockClass::FrontendPending => 73,
         }
     }
 

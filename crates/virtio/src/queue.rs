@@ -222,8 +222,31 @@ impl VirtQueue {
         cost_ring_push: vphi_sim_core::SimDuration,
         tl: &mut Timeline,
     ) {
-        self.state.lock().avail.push_back(head);
-        tl.charge(SpanLabel::RingPush, cost_ring_push);
+        self.publish_avail_batch(&[head], cost_ring_push, tl);
+    }
+
+    /// Expose a whole batch of prepared chains on the avail ring under one
+    /// lock acquisition, in order.  Each entry is an avail-ring store and
+    /// charges its own `RingPush`; what the batch amortizes is the
+    /// *doorbell* — the caller follows up with a single
+    /// [`kick`](VirtQueue::kick) for all of them, one vm-exit instead of
+    /// N.  The device side may start popping published heads the moment
+    /// the lock drops, so per-head bookkeeping must already be registered.
+    pub fn publish_avail_batch(
+        &self,
+        heads: &[u16],
+        cost_ring_push: vphi_sim_core::SimDuration,
+        tl: &mut Timeline,
+    ) {
+        {
+            let mut st = self.state.lock();
+            for &head in heads {
+                st.avail.push_back(head);
+            }
+        }
+        for _ in heads {
+            tl.charge(SpanLabel::RingPush, cost_ring_push);
+        }
     }
 
     /// Notify the device (one vm-exit unless suppressed).  Returns whether
@@ -485,6 +508,23 @@ mod tests {
         q.publish_avail(head, PUSH, &mut tl);
         assert_eq!(q.pop_avail().unwrap().unwrap().head, head);
         assert_eq!(tl.total(), PUSH);
+    }
+
+    #[test]
+    fn batch_publish_preserves_order_and_charges_per_entry() {
+        let q = VirtQueue::new(8);
+        let mut tl = Timeline::new();
+        let h1 = q.prepare_chain(&[Descriptor::readable(0x1, 1)]).unwrap();
+        let h2 = q.prepare_chain(&[Descriptor::readable(0x2, 1)]).unwrap();
+        let h3 = q.prepare_chain(&[Descriptor::readable(0x3, 1)]).unwrap();
+        assert!(!q.avail_pending());
+        q.publish_avail_batch(&[h1, h2, h3], PUSH, &mut tl);
+        // One ring store per entry — the batch amortizes the kick, not
+        // the avail-ring traffic.
+        assert_eq!(tl.total_for(SpanLabel::RingPush), PUSH * 3);
+        assert_eq!(q.pop_avail().unwrap().unwrap().head, h1);
+        assert_eq!(q.pop_avail().unwrap().unwrap().head, h2);
+        assert_eq!(q.pop_avail().unwrap().unwrap().head, h3);
     }
 
     #[test]

@@ -40,6 +40,11 @@
 //!    EVENT_IDX suppression decision and the pending-batch flush live
 //!    (DESIGN.md #16).  A direct injection would bypass both and corrupt
 //!    the irqs-injected/suppressed ledger.
+//! 8. `kick-doorbell` — `.kick()` is banned outside `crates/virtio/` (the
+//!    doorbell itself), the frontend (whose batch submitter amortizes one
+//!    doorbell per touched lane, DESIGN.md #18), and the multi-queue FIFO
+//!    property test: a stray kick bypasses EVENT_IDX suppression and the
+//!    kicks-per-submission ledger the open-loop figure is built on.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -84,17 +89,19 @@ pub fn lint_source(rel: &Path, src: &str) -> Result<Vec<Violation>, String> {
         is_event_loop: exempt::in_scope("event-loop-blocking", rel),
         check_queue_submit: !exempt::is_exempt("queue-router", rel),
         check_irq_inject: !exempt::is_exempt("msi-notifier", rel),
+        check_kick: !exempt::is_exempt("kick-doorbell", rel),
     };
     walk(&file.tokens, rel, is_protocol, is_scif_api, checks, &mut v);
     Ok(v)
 }
 
-/// Which per-file sequence rules apply (rules 4, 6, 7).
+/// Which per-file sequence rules apply (rules 4, 6, 7, 8).
 #[derive(Clone, Copy)]
 struct SequenceChecks {
     is_event_loop: bool,
     check_queue_submit: bool,
     check_irq_inject: bool,
+    check_kick: bool,
 }
 
 fn walk(
@@ -122,7 +129,8 @@ fn walk(
 const BANNED_SYNC: &[&str] = &["Mutex", "RwLock", "Condvar"];
 
 /// Queue-submission methods only the router path may call (rule 6).
-const QUEUE_SUBMIT: &[&str] = &["add_chain", "prepare_chain", "publish_avail"];
+const QUEUE_SUBMIT: &[&str] =
+    &["add_chain", "prepare_chain", "publish_avail", "publish_avail_batch"];
 
 /// Rules 1, 2, 4, 6, 7: fixed token sequences within one nesting level.
 fn scan_sequences(
@@ -131,7 +139,7 @@ fn scan_sequences(
     checks: SequenceChecks,
     out: &mut Vec<Violation>,
 ) {
-    let SequenceChecks { is_event_loop, check_queue_submit, check_irq_inject } = checks;
+    let SequenceChecks { is_event_loop, check_queue_submit, check_irq_inject, check_kick } = checks;
     let ident = |i: usize| tokens.get(i).and_then(TokenTree::ident);
     let punct = |i: usize| tokens.get(i).and_then(TokenTree::punct);
     for i in 0..tokens.len() {
@@ -255,6 +263,22 @@ fn scan_sequences(
                 line: tokens[i + 1].line(),
                 rule: "msi-notifier",
                 message: ".inject() bypasses the LaneNotifier; completion MSIs must go through deliver_irq() so EVENT_IDX suppression and batch flushing hold (DESIGN.md #16)".into(),
+            });
+        }
+        // Rule 8: direct doorbell ring outside the frontend batch submitter.
+        if check_kick
+            && punct(i) == Some('.')
+            && ident(i + 1) == Some("kick")
+            && matches!(
+                tokens.get(i + 2),
+                Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+            )
+        {
+            out.push(Violation {
+                file: rel.to_path_buf(),
+                line: tokens[i + 1].line(),
+                rule: "kick-doorbell",
+                message: ".kick() rings a doorbell directly; submissions must go through the frontend's batch submitter so one kick covers the lane's whole batch and the kicks-per-submission ledger holds (DESIGN.md #18)".into(),
             });
         }
     }
@@ -574,6 +598,39 @@ mod tests {
         // Non-call mentions and other methods are not this rule's business.
         let other = "fn f(n: &LaneNotifier, tl: &mut Timeline) { n.deliver_irq(tl); }";
         assert!(lint("crates/core/src/backend/mod.rs", other).is_empty());
+    }
+
+    #[test]
+    fn flags_direct_doorbell_kicks_outside_the_batch_submitter() {
+        let src = "fn f(q: &VirtQueue, tl: &mut Timeline) { q.kick(cost, tl); }";
+        let v = lint("crates/core/src/backend/mod.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "kick-doorbell");
+        assert_eq!(v[0].line, 1);
+        // A bench or guest-side helper ringing the bell itself is the exact
+        // bypass the kicks-per-submission ledger exists to catch.
+        assert_eq!(lint("crates/bench/src/experiments/open_loop.rs", src).len(), 1);
+        assert_eq!(lint("crates/core/src/guest.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn the_frontend_and_the_queue_itself_may_kick() {
+        let src = "fn f(q: &VirtQueue, tl: &mut Timeline) { q.kick(cost, tl); }";
+        assert!(lint("crates/core/src/frontend/mod.rs", src).is_empty());
+        assert!(lint("crates/virtio/src/queue.rs", src).is_empty());
+        assert!(lint("crates/core/tests/mq_fifo.rs", src).is_empty());
+        // Non-call mentions and other methods are not this rule's business.
+        let other = "fn f() { let kick = cost.vmexit_kick; note(kick); }";
+        assert!(lint("crates/core/src/backend/mod.rs", other).is_empty());
+    }
+
+    #[test]
+    fn batched_avail_publication_is_router_only_too() {
+        let src = "fn f(q: &VirtQueue) { q.publish_avail_batch(&heads, cost, &mut tl); }";
+        let v = lint("crates/core/src/backend/mod.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "queue-router");
+        assert!(lint("crates/core/src/frontend/mod.rs", src).is_empty());
     }
 
     #[test]

@@ -58,7 +58,7 @@ fn main() {
 
     // --- an UNPATCHED VM: the dereference fails, as the paper explains ---
     let server = spawn_window_server(&host, Port(301), 2 * PAGE_SIZE, |_| {});
-    let vm = host.spawn_vm(VmConfig { patch: KvmPatch::Unpatched, ..VmConfig::default() });
+    let vm = host.spawn_vm(VmConfig::builder().patch(KvmPatch::Unpatched).build());
     let ep = vm.open_scif(&mut tl).expect("open");
     ep.connect(ScifAddr::new(host.device_node(0), Port(301)), &mut tl).expect("connect");
     let map = loop {

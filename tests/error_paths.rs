@@ -3,9 +3,9 @@
 //! guest user space unchanged.
 
 use vphi::builder::{VmConfig, VphiHost};
-use vphi::VphiRequest;
+use vphi::{Cq, Sq, SqEntry, VphiRequest};
 use vphi_faults::{FaultPlan, FaultSite};
-use vphi_scif::{Port, Prot, RmaFlags, ScifAddr, ScifError};
+use vphi_scif::{ErrorClass, Port, Prot, RmaFlags, ScifAddr, ScifError};
 use vphi_sim_core::Timeline;
 
 #[test]
@@ -262,6 +262,65 @@ fn double_close_after_card_reset_pins_exact_errors() {
     // (endpoint close is idempotent).  Second close: EINVAL, pinned.
     assert_eq!(ep.close(&mut tl), Ok(()));
     assert_eq!(vm.frontend().simple(VphiRequest::Close { epd }, &mut tl), Err(ScifError::Inval));
+
+    vm.shutdown();
+    dev.join().unwrap();
+}
+
+/// Closing an endpoint with submissions still in flight cancels them:
+/// every reap still surfaces (the driver drains the backend's completions
+/// so nothing leaks), but the result is pinned to `ECANCELED` — errno 125,
+/// fatal, never retryable — not whatever the backend happened to return.
+#[test]
+fn reap_after_close_pins_canceled() {
+    // The wire contract first: the errno value and its classification are
+    // ABI, frozen like every other entry in this file.
+    assert_eq!(ScifError::Canceled.errno(), 125);
+    assert_eq!(ScifError::Canceled.class(), ErrorClass::Fatal);
+    assert!(!ScifError::Canceled.is_retryable());
+    assert_eq!(ScifError::from_errno(125), Some(ScifError::Canceled));
+
+    let host = VphiHost::new(1);
+    let server = host.device_endpoint(0).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let dev = std::thread::spawn(move || {
+        let mut tl = Timeline::new();
+        server.bind(Port(983), &mut tl).unwrap();
+        server.listen(2, &mut tl).unwrap();
+        tx.send(()).unwrap();
+        let conn = server.accept(&mut tl).unwrap();
+        let mut b = [0u8; 8];
+        while let Ok(n) = conn.core().recv(&mut b, &mut tl) {
+            if n == 0 {
+                break;
+            }
+        }
+    });
+    rx.recv().unwrap();
+
+    let vm = host.spawn_vm(VmConfig::default());
+    let mut tl = Timeline::new();
+    let ep = vm.open_scif(&mut tl).unwrap();
+    ep.connect(ScifAddr::new(host.device_node(0), Port(983)), &mut tl).unwrap();
+
+    let mut sq = Sq::new();
+    for i in 0u32..4 {
+        sq.push(SqEntry::send(&i.to_le_bytes()));
+    }
+    let tokens = ep.submit(&mut sq, &mut tl).unwrap();
+    let mut cq = Cq::new();
+    cq.watch(&tokens);
+
+    // Close with all four still outstanding: the tokens flip to canceled.
+    ep.close(&mut tl).unwrap();
+    let got = ep.reap(&mut cq, tokens.len(), tokens.len(), &mut tl).unwrap();
+    assert_eq!(got, tokens.len(), "canceled tokens must still reap");
+    for c in cq.drain() {
+        assert_eq!(c.result, Err(ScifError::Canceled));
+        assert!(c.is_canceled());
+    }
+    assert_eq!(vm.frontend().pending_tokens(), 0, "canceled tokens leaked");
+    assert_eq!(vm.frontend().stats().tokens_canceled, 4);
 
     vm.shutdown();
     dev.join().unwrap();

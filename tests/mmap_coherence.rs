@@ -126,7 +126,7 @@ fn mapping_offsets_respect_the_window() {
 fn unpatched_kvm_cannot_serve_the_mapping() {
     let host = VphiHost::new(1);
     let (server, _off) = window_server(&host, Port(987));
-    let vm = host.spawn_vm(VmConfig { patch: KvmPatch::Unpatched, ..VmConfig::default() });
+    let vm = host.spawn_vm(VmConfig::builder().patch(KvmPatch::Unpatched).build());
     let mut tl = Timeline::new();
     let ep = vm.open_scif(&mut tl).unwrap();
     ep.connect(ScifAddr::new(host.device_node(0), Port(987)), &mut tl).unwrap();
