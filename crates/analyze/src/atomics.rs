@@ -187,6 +187,12 @@ pub const CONTRACTS: &[AtomicContract] = &[
     // injector tolerates a stale read (the fault fires once more).
     counter("defused"),
     counter("fired"),
+    // Zero-copy RMA statistics (DESIGN.md #19): mapping-table consistency
+    // is the ApertureWindows lock's job; these only count.
+    counter("windows_mapped"),
+    counter("map_hits"),
+    counter("sg_descriptors"),
+    counter("staging_bytes_avoided"),
 ];
 
 fn contract_for(rel: &str, field: &str) -> Option<&'static AtomicContract> {

@@ -48,6 +48,11 @@ impl PathRule {
 ///   frontend (whose batch submitter owns the one-doorbell-per-lane
 ///   decision, DESIGN.md #18), and the FIFO property test which rings
 ///   doorbells by hand on purpose.
+/// - `staging-buffer`: `pcie::dma` owns the one sanctioned bounce
+///   (`gather_copy`'s fixed 16 KiB block), and the backend's cold paths
+///   (`Recv`, the small/feature-off RMA arms) legitimately stage — the
+///   rule guards the zero-copy RMA path (DESIGN.md #19) against staging
+///   vecs creeping back in.
 pub const EXEMPTIONS: &[PathRule] = &[
     PathRule {
         rule: "queue-router",
@@ -71,6 +76,12 @@ pub const EXEMPTIONS: &[PathRule] = &[
         contains: &["core/src/frontend"],
         suffixes: &["crates/core/tests/mq_fifo.rs"],
     },
+    PathRule {
+        rule: "staging-buffer",
+        prefixes: &[],
+        contains: &[],
+        suffixes: &["pcie/src/dma.rs", "core/src/backend/mod.rs"],
+    },
 ];
 
 /// Rules that apply *only* to specific files (the inverse of an
@@ -91,6 +102,12 @@ pub const SCOPES: &[PathRule] = &[
         suffixes: &["vmm/src/event_loop.rs"],
     },
     PathRule { rule: "opctx-api", prefixes: &[], contains: &[], suffixes: &["scif/src/api.rs"] },
+    PathRule {
+        rule: "staging-buffer",
+        prefixes: &["crates/core/src/backend/", "crates/pcie/src/"],
+        contains: &[],
+        suffixes: &["scif/src/rma.rs"],
+    },
 ];
 
 /// Whether `rel` is exempt from `rule`.  Rules with no exemption entry are
@@ -167,6 +184,22 @@ mod tests {
         ] {
             assert!(!is_exempt("kick-doorbell", Path::new(bad)), "{bad} must not be exempt");
         }
+    }
+
+    #[test]
+    fn staging_buffer_scoping_guards_the_zero_copy_path() {
+        // In scope: the RMA engine and the backend, where staging used to
+        // live; out of scope: unrelated crates.
+        assert!(in_scope("staging-buffer", Path::new("crates/scif/src/rma.rs")));
+        assert!(in_scope("staging-buffer", Path::new("crates/core/src/backend/mod.rs")));
+        assert!(in_scope("staging-buffer", Path::new("crates/pcie/src/dma.rs")));
+        assert!(!in_scope("staging-buffer", Path::new("crates/core/src/frontend/mod.rs")));
+        assert!(!in_scope("staging-buffer", Path::new("crates/bench/src/support.rs")));
+        // Exempt: the sanctioned bounce in pcie::dma and the backend's
+        // cold paths; NOT exempt: the zero-copy RMA engine itself.
+        assert!(is_exempt("staging-buffer", Path::new("crates/pcie/src/dma.rs")));
+        assert!(is_exempt("staging-buffer", Path::new("crates/core/src/backend/mod.rs")));
+        assert!(!is_exempt("staging-buffer", Path::new("crates/scif/src/rma.rs")));
     }
 
     #[test]

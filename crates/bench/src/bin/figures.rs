@@ -5,7 +5,7 @@
 //! figures                # everything
 //! figures --fig 4        # just Figure 4
 //! figures --fig breakdown
-//! figures --fig 6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|trace-breakdown|share|mq-scale|open-loop
+//! figures --fig 6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|trace-breakdown|zero-copy|share|mq-scale|open-loop
 //! ```
 
 use vphi_bench::abl_cache::abl_cache;
@@ -20,6 +20,7 @@ use vphi_bench::open_loop::open_loop;
 use vphi_bench::sharing::sharing_scaling;
 use vphi_bench::support::render_table;
 use vphi_bench::trace_breakdown::trace_breakdown;
+use vphi_bench::zero_copy::zero_copy;
 use vphi_sim_core::units::{format_bytes, format_throughput};
 use vphi_trace::Stage;
 
@@ -481,6 +482,118 @@ fn trace_breakdown_json(report: &vphi_bench::TraceBreakdownReport) -> String {
     )
 }
 
+fn zero_copy_fig() {
+    let report = zero_copy();
+    let table: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format_bytes(r.bytes),
+                format_throughput(r.native_bw),
+                format_throughput(r.off_bw),
+                format_throughput(r.zc_cold_bw),
+                format_throughput(r.zc_warm_bw),
+                format!("{:.1}%", 100.0 * r.off_ratio()),
+                format!("{:.1}%", 100.0 * r.zc_cold_ratio()),
+                format!("{:.1}%", 100.0 * r.zc_warm_ratio()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "ZERO-COPY — large-RMA throughput: staged seed vs aperture-mapped gather",
+            &[
+                "size",
+                "native",
+                "staged",
+                "zc cold",
+                "zc warm",
+                "staged/nat",
+                "cold/nat",
+                "warm/nat"
+            ],
+            &table,
+        )
+    );
+    let peak = report.rows.last().expect("rows");
+    println!(
+        "256MiB cache-cold: staged {:.1}% vs zero-copy {:.1}% of native (target ≥95%, floor 90%)",
+        100.0 * peak.off_ratio(),
+        100.0 * peak.zc_cold_ratio()
+    );
+    println!(
+        "anchors: off {} / on {} (must be byte-identical); counters: {} maps, {} hits, {} sg descriptors, {} bytes unstaged",
+        report.anchor_off,
+        report.anchor_zc,
+        report.windows_mapped,
+        report.map_hits,
+        report.sg_descriptors,
+        report.staging_bytes_avoided,
+    );
+    println!(
+        "aperture audit after close: {} windows, {} inflight (both must be 0)\n",
+        report.mapped_after_close, report.inflight_after_close
+    );
+    assert_eq!(report.anchor_off, report.anchor_zc, "zero-copy moved the 1-byte anchor");
+    assert!(
+        peak.zc_cold_ratio() >= 0.90,
+        "cache-cold zero-copy at 256MiB below the 90% floor: {:.3}",
+        peak.zc_cold_ratio()
+    );
+
+    // Machine-readable companion for plotting scripts.
+    let json = zero_copy_json(&report);
+    let path = "BENCH_zc.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON (the build environment has no serde).
+fn zero_copy_json(report: &vphi_bench::ZeroCopyReport) -> String {
+    let field = |name: &str, f: fn(&vphi_bench::ZeroCopyRow) -> f64| -> String {
+        let vals: Vec<String> = report.rows.iter().map(|r| format!("{:.1}", f(r))).collect();
+        format!("  \"{}\": [{}]", name, vals.join(", "))
+    };
+    let stages = |s: &[vphi_sim_core::SimDuration]| -> String {
+        Stage::ALL
+            .iter()
+            .map(|st| format!("    \"{}\": {}", st.name(), s[st.index()].as_nanos()))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let sizes: Vec<String> = report.rows.iter().map(|r| r.bytes.to_string()).collect();
+    format!(
+        "{{\n  \"figure\": \"zero-copy\",\n  \"unit\": \"bytes_per_second_virtual_time\",\n\
+         \x20 \"sizes_bytes\": [{}],\n{},\n{},\n{},\n{},\n\
+         \x20 \"anchor_off_ns\": {},\n  \"anchor_zc_ns\": {},\n\
+         \x20 \"peak_stages_off_ns\": {{\n{}\n  }},\n\
+         \x20 \"peak_stages_zc_ns\": {{\n{}\n  }},\n\
+         \x20 \"windows_mapped\": {},\n  \"map_hits\": {},\n  \"sg_descriptors\": {},\n\
+         \x20 \"staging_bytes_avoided\": {},\n  \"off_staging_bytes_avoided\": {},\n\
+         \x20 \"mapped_after_close\": {},\n  \"inflight_after_close\": {}\n}}\n",
+        sizes.join(", "),
+        field("native_bw", |r| r.native_bw),
+        field("staged_bw", |r| r.off_bw),
+        field("zc_cold_bw", |r| r.zc_cold_bw),
+        field("zc_warm_bw", |r| r.zc_warm_bw),
+        report.anchor_off.as_nanos(),
+        report.anchor_zc.as_nanos(),
+        stages(&report.peak_stages_off),
+        stages(&report.peak_stages_zc),
+        report.windows_mapped,
+        report.map_hits,
+        report.sg_descriptors,
+        report.staging_bytes_avoided,
+        report.off_staging_bytes_avoided,
+        report.mapped_after_close,
+        report.inflight_after_close,
+    )
+}
+
 fn share_fig() {
     let rows = sharing_scaling(&[1, 2, 4, 8]);
     let table: Vec<Vec<String>> = rows
@@ -692,6 +805,7 @@ fn main() {
         "abl-cache" => abl_cache_fig(),
         "abl-faults" => abl_faults_fig(),
         "trace-breakdown" => trace_breakdown_fig(),
+        "zero-copy" => zero_copy_fig(),
         "share" => share_fig(),
         "mq-scale" => mq_scale_fig(),
         "open-loop" => open_loop_fig(),
@@ -708,13 +822,14 @@ fn main() {
             abl_cache_fig();
             abl_faults_fig();
             trace_breakdown_fig();
+            zero_copy_fig();
             share_fig();
             mq_scale_fig();
             open_loop_fig();
         }
         other => {
             eprintln!(
-                "unknown figure '{other}': use 4|breakdown|5|6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|trace-breakdown|share|mq-scale|open-loop|all"
+                "unknown figure '{other}': use 4|breakdown|5|6|7|8|abl-wait|abl-chunk|abl-block|abl-cache|abl-faults|trace-breakdown|zero-copy|share|mq-scale|open-loop|all"
             );
             std::process::exit(2);
         }

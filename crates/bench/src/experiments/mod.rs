@@ -11,6 +11,7 @@ pub mod mq_scale;
 pub mod open_loop;
 pub mod sharing;
 pub mod trace_breakdown;
+pub mod zero_copy;
 
 pub use abl_cache::{abl_cache, abl_cache_sizes, AblCacheReport, AblCacheRow};
 pub use ablations::{abl_block, abl_chunk, abl_wait, BlockRow, ChunkRow, WaitRow};
@@ -26,3 +27,4 @@ pub use open_loop::{
 };
 pub use sharing::{sharing_scaling, ShareRow};
 pub use trace_breakdown::{trace_breakdown, TraceBreakdownReport, TraceStageRow};
+pub use zero_copy::{zero_copy, ZeroCopyReport, ZeroCopyRow};

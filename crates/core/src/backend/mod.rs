@@ -23,12 +23,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use vphi_faults::{FaultHook, FaultSite};
+use vphi_pcie::{Aperture, ApertureMap, MapKey, SgList};
 use vphi_phi::PhiBoard;
 use vphi_scif::window::{WindowBacking, WindowBytes};
 use vphi_scif::{
     MappedRegion, NodeId, Port, Prot, ScifAddr, ScifEndpoint, ScifError, ScifFabric, ScifResult,
     HOST_NODE,
 };
+use vphi_sim_core::cost::{HUGE_PAGE_SIZE, KMALLOC_MAX_SIZE, PAGE_SIZE};
 use vphi_sim_core::{SpanLabel, Timeline};
 use vphi_sync::{LockClass, TrackedMutex};
 use vphi_trace::{OpCtx, Stage, TraceCtx, Tracer};
@@ -98,6 +100,16 @@ pub struct BackendStats {
     /// is the backend-side view of doorbell amortization — batched
     /// submitters push it well above 1.
     pub burst_chains: AtomicU64,
+    /// Registered windows pinned + mapped into the device aperture by the
+    /// zero-copy large-RMA path (cold map-cache probes).
+    pub windows_mapped: AtomicU64,
+    /// Large RMAs that found their window already pinned + mapped.
+    pub map_hits: AtomicU64,
+    /// Scatter-gather descriptors built for zero-copy transfers.
+    pub sg_descriptors: AtomicU64,
+    /// Bytes that skipped the backend staging buffer entirely (the
+    /// bounce `vec![0u8; len]` the zero-copy path retires).
+    pub staging_bytes_avoided: AtomicU64,
 }
 
 /// Knobs the builder exposes beyond the dispatch policy.
@@ -110,6 +122,11 @@ pub struct BackendOptions {
     /// so only the exposed remainder of staging lands on the critical
     /// path.  Off by default to keep the calibrated figures byte-stable.
     pub pipeline_rma: bool,
+    /// Zero-copy large RMA: map registered windows into the device
+    /// aperture and gather straight between guest memory and the wire —
+    /// no staging copy at all (DESIGN.md #19).  Off by default to keep
+    /// the calibrated figures byte-stable.
+    pub zero_copy_rma: bool,
 }
 
 struct EndpointTable {
@@ -145,6 +162,10 @@ pub struct BackendInner {
     /// Only consulted to invalidate the cache on `scif_unregister`.
     windows: TrackedMutex<HashMap<(u64, u64), (u64, u64)>>,
     pub reg_cache: RegistrationCache,
+    zero_copy_rma: bool,
+    /// Window-mapping table for zero-copy RMA: registered guest windows
+    /// pinned into huge-page subwindows of one large device aperture.
+    aperture: ApertureMap,
     pub stats: BackendStats,
     faults: FaultHook,
 }
@@ -167,6 +188,12 @@ impl BackendInner {
     /// Windows the backend believes are still pinned (leak detector).
     pub fn window_entries(&self) -> usize {
         self.windows.lock().len()
+    }
+
+    /// The zero-copy window-mapping table (zero-leak audits: after all
+    /// windows are unregistered/closed, `mapped_windows()` must be 0).
+    pub fn aperture(&self) -> &ApertureMap {
+        &self.aperture
     }
 
     /// Worker dispatches attributed to queue lane `q`.
@@ -194,18 +221,24 @@ impl BackendInner {
         // observes the dead device must be able to rely on the GC below
         // having already drained every endpoint and window.
         self.channel.mark_shutdown_quiet();
-        let eps: Vec<Arc<ScifEndpoint>> = {
+        let eps: Vec<(u64, Arc<ScifEndpoint>)> = {
             let mut t = self.eps.lock();
-            t.endpoints.drain().map(|(_, ep)| ep).collect()
+            t.endpoints.drain().collect()
         };
         self.stats.endpoints_gced.fetch_add(eps.len() as u64, Ordering::Relaxed);
-        for ep in &eps {
+        for (_, ep) in &eps {
             ep.close();
         }
         let gone: Vec<((u64, u64), (u64, u64))> = self.windows.lock().drain().collect();
         self.stats.windows_gced.fetch_add(gone.len() as u64, Ordering::Relaxed);
         for ((epd, _off), (gpa, len)) in gone {
-            self.reg_cache.invalidate_range(epd, gpa, len);
+            for key in self.reg_cache.invalidate_range(epd, gpa, len).unmapped {
+                self.aperture.unmap_window(key);
+            }
+        }
+        // Cache-disabled zero-copy mappings are keyed per endpoint too.
+        for (epd, _) in &eps {
+            self.aperture.unmap_endpoint(*epd);
         }
         self.channel.waitq.wake_all();
     }
@@ -231,6 +264,9 @@ impl BackendInner {
         for (epd, ep) in &victims {
             ep.close();
             self.reg_cache.invalidate_endpoint(*epd);
+            // Endpoint-wide unmap covers every mapped key the cache
+            // reported plus any cache-disabled mappings.
+            self.aperture.unmap_endpoint(*epd);
         }
         {
             let mut windows = self.windows.lock();
@@ -409,13 +445,19 @@ impl BackendInner {
     fn charge_translate(&self, epd: u64, gpa: u64, bytes: u64, tl: &mut Timeline) {
         if self.reg_cache.enabled() {
             tl.charge(SpanLabel::RegCacheLookup, self.cost().reg_cache_lookup);
-            if self.reg_cache.lookup_or_insert(epd, gpa, bytes) {
+            let probe = self.reg_cache.probe(epd, gpa, bytes, false);
+            // LRU evictions can push out entries whose windows the
+            // zero-copy path mapped; their device subwindows go with them.
+            for key in probe.evicted {
+                self.aperture.unmap_window(key);
+            }
+            if probe.hit {
                 return;
             }
         }
-        let pages = bytes.div_ceil(vphi_sim_core::cost::PAGE_SIZE).max(1);
+        let pages = bytes.div_ceil(PAGE_SIZE).max(1);
         self.stats.pages_translated.fetch_add(pages, Ordering::Relaxed);
-        let chunk = vphi_sim_core::cost::KMALLOC_MAX_SIZE;
+        let chunk = KMALLOC_MAX_SIZE;
         if self.pipeline_rma && bytes > chunk {
             // Double-buffered staging pipeline: the transfer's own DMA
             // charge (inside the SCIF replay) covers the wire; here we
@@ -426,6 +468,45 @@ impl BackendInner {
         } else {
             tl.charge(SpanLabel::PageTranslate, self.cost().page_translate * pages);
         }
+    }
+
+    /// Zero-copy map charge: probe the mapping cache, pin + map the
+    /// window into the device aperture on a cold miss, and build the
+    /// scatter-gather descriptor list.  Returns the map key and the SG
+    /// list covering `[gpa, gpa+len)`; the caller brackets this in the
+    /// `dma-map` stage span so stage sums reconcile exactly.
+    fn charge_map(&self, epd: u64, gpa: u64, len: u64, tl: &mut Timeline) -> (MapKey, SgList) {
+        let key: MapKey = (epd, gpa / PAGE_SIZE);
+        let cost = self.cost();
+        let mut cold = true;
+        if self.reg_cache.enabled() {
+            tl.charge(SpanLabel::RegCacheLookup, cost.reg_cache_lookup);
+            let probe = self.reg_cache.probe(epd, gpa, len, true);
+            for k in probe.evicted {
+                self.aperture.unmap_window(k);
+            }
+            cold = !probe.hit || self.aperture.lookup(key).is_none();
+        }
+        // The mapping covers from the window's containing huge page so an
+        // unaligned start still lands inside the subwindow.
+        let map_len = (gpa % HUGE_PAGE_SIZE) + len;
+        let sub = self
+            .aperture
+            .map_window(key, map_len)
+            // Aperture exhaustion: fall back to addressing the whole
+            // device window (timing identical, bookkeeping degraded).
+            .unwrap_or_else(|| self.aperture.device());
+        if cold {
+            tl.charge(SpanLabel::WindowPin, cost.pin_window(len));
+            self.stats.windows_mapped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.map_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let sg = SgList::for_range(sub.base(), gpa % HUGE_PAGE_SIZE, len).unwrap_or_default();
+        tl.charge(SpanLabel::SgBuild, cost.sg_descriptor * (sg.len().max(1) as u64));
+        self.stats.sg_descriptors.fetch_add(sg.len() as u64, Ordering::Relaxed);
+        self.stats.staging_bytes_avoided.fetch_add(len, Ordering::Relaxed);
+        (key, sg)
     }
 
     /// Execute one decoded request against the host SCIF driver.
@@ -509,7 +590,9 @@ impl BackendInner {
                 if self.channel.is_shutdown() {
                     if self.windows.lock().remove(&(epd, off)).is_some() {
                         let _ = ep.unregister(off, len, &mut *ctx);
-                        self.reg_cache.invalidate_range(epd, d.addr, len);
+                        for key in self.reg_cache.invalidate_range(epd, d.addr, len).unmapped {
+                            self.aperture.unmap_window(key);
+                        }
                         self.stats.windows_gced.fetch_add(1, Ordering::Relaxed);
                     }
                     return Err(ScifError::NoDev);
@@ -520,17 +603,30 @@ impl BackendInner {
                 self.ep(epd)?.unregister(offset, len, &mut *ctx)?;
                 // The window's pages are no longer pinned: drop every
                 // cached translation backed by an overlapping window.
-                let mut windows = self.windows.lock();
-                let gone: Vec<((u64, u64), (u64, u64))> = windows
-                    .iter()
-                    .filter(|(&(wepd, woff), &(_, wlen))| {
-                        wepd == epd && woff < offset + len && offset < woff + wlen
-                    })
-                    .map(|(&k, &v)| (k, v))
-                    .collect();
-                for (key, (gpa, wlen)) in gone {
-                    windows.remove(&key);
-                    self.reg_cache.invalidate_range(epd, gpa, wlen);
+                // Collect + remove under the windows lock, but unmap
+                // *after* releasing it — `unmap_window` may block
+                // quiescing an in-flight descriptor list.
+                let gone: Vec<((u64, u64), (u64, u64))> = {
+                    let mut windows = self.windows.lock();
+                    let gone: Vec<((u64, u64), (u64, u64))> = windows
+                        .iter()
+                        .filter(|(&(wepd, woff), &(_, wlen))| {
+                            wepd == epd && woff < offset + len && offset < woff + wlen
+                        })
+                        .map(|(&k, &v)| (k, v))
+                        .collect();
+                    for (key, _) in &gone {
+                        windows.remove(key);
+                    }
+                    gone
+                };
+                for (_, (gpa, wlen)) in gone {
+                    for key in self.reg_cache.invalidate_range(epd, gpa, wlen).unmapped {
+                        self.aperture.unmap_window(key);
+                    }
+                    // A cache-disabled (or evicted-then-remapped) mapping
+                    // for the same range is keyed by its start page.
+                    self.aperture.unmap_window((epd, gpa / PAGE_SIZE));
                 }
                 Ok((0, 0))
             }
@@ -546,10 +642,29 @@ impl BackendInner {
                 self.guest_mem
                     .with_slice(Gpa(d.addr), len, |_| ())
                     .map_err(|_| ScifError::Inval)?;
-                self.charge_translate(epd, d.addr, len, ctx.tl);
-                let mut buf = vec![0u8; len as usize];
-                ep.vreadfrom(&mut buf, roffset, rma_flags_from_wire(flags), &mut *ctx)?;
-                self.guest_mem.write(Gpa(d.addr), &buf).map_err(|_| ScifError::Inval)?;
+                if self.zero_copy_rma && len > KMALLOC_MAX_SIZE {
+                    // Zero-copy: pin + map the window, then gather the
+                    // device bytes straight into guest memory — the
+                    // staging bounce buffer below never exists.
+                    let span = ctx.begin("dma-map", Stage::DmaMap);
+                    let (key, _sg) = self.charge_map(epd, d.addr, len, ctx.tl);
+                    ctx.end(span);
+                    let _io = self.aperture.begin_io(key);
+                    let dst = GuestWindowBytes::new(Arc::clone(&self.guest_mem), Gpa(d.addr), len);
+                    ep.vreadfrom_window(
+                        &dst,
+                        0,
+                        len,
+                        roffset,
+                        rma_flags_from_wire(flags),
+                        &mut *ctx,
+                    )?;
+                } else {
+                    self.charge_translate(epd, d.addr, len, ctx.tl);
+                    let mut buf = vec![0u8; len as usize];
+                    ep.vreadfrom(&mut buf, roffset, rma_flags_from_wire(flags), &mut *ctx)?;
+                    self.guest_mem.write(Gpa(d.addr), &buf).map_err(|_| ScifError::Inval)?;
+                }
                 Ok((len, 0))
             }
             VphiRequest::VwriteTo { epd, roffset, len, flags } => {
@@ -558,12 +673,31 @@ impl BackendInner {
                 if len > u64::from(d.len) {
                     return Err(ScifError::Inval);
                 }
-                self.charge_translate(epd, d.addr, len, ctx.tl);
-                let buf = self
-                    .guest_mem
-                    .with_slice(Gpa(d.addr), len, |s| s.to_vec())
+                self.guest_mem
+                    .with_slice(Gpa(d.addr), len, |_| ())
                     .map_err(|_| ScifError::Inval)?;
-                ep.vwriteto(&buf, roffset, rma_flags_from_wire(flags), &mut *ctx)?;
+                if self.zero_copy_rma && len > KMALLOC_MAX_SIZE {
+                    let span = ctx.begin("dma-map", Stage::DmaMap);
+                    let (key, _sg) = self.charge_map(epd, d.addr, len, ctx.tl);
+                    ctx.end(span);
+                    let _io = self.aperture.begin_io(key);
+                    let src = GuestWindowBytes::new(Arc::clone(&self.guest_mem), Gpa(d.addr), len);
+                    ep.vwriteto_window(
+                        &src,
+                        0,
+                        len,
+                        roffset,
+                        rma_flags_from_wire(flags),
+                        &mut *ctx,
+                    )?;
+                } else {
+                    self.charge_translate(epd, d.addr, len, ctx.tl);
+                    let buf = self
+                        .guest_mem
+                        .with_slice(Gpa(d.addr), len, |s| s.to_vec())
+                        .map_err(|_| ScifError::Inval)?;
+                    ep.vwriteto(&buf, roffset, rma_flags_from_wire(flags), &mut *ctx)?;
+                }
                 Ok((len, 0))
             }
             VphiRequest::ReadFrom { epd, loffset, len, roffset, flags } => {
@@ -619,6 +753,7 @@ impl BackendInner {
                 // Mapping teardown can release device pages the cache
                 // assumed pinned for this endpoint.
                 self.reg_cache.invalidate_endpoint(epd);
+                self.aperture.unmap_endpoint(epd);
                 Ok((0, 0))
             }
             VphiRequest::FenceMark { epd } => {
@@ -640,6 +775,7 @@ impl BackendInner {
                         ep.close();
                         // Everything pinned for this endpoint is released.
                         self.reg_cache.invalidate_endpoint(epd);
+                        self.aperture.unmap_endpoint(epd);
                         self.windows.lock().retain(|&(wepd, _), _| wepd != epd);
                         Ok((0, 0))
                     }
@@ -817,6 +953,11 @@ impl BackendDevice {
                 queue_worker_dispatches,
                 windows: TrackedMutex::new(LockClass::BackendWindows, HashMap::new()),
                 reg_cache: RegistrationCache::new(options.reg_cache),
+                zero_copy_rma: options.zero_copy_rma,
+                // 64 GiB of device aperture at the 1 TiB mark — far above
+                // any guest RAM so map bugs fault loudly, and big enough
+                // that exhaustion only happens via leaks.
+                aperture: ApertureMap::new(Aperture::new(1 << 40, 64 << 30)),
                 stats: BackendStats::default(),
                 faults: FaultHook::new(),
             }),

@@ -98,10 +98,36 @@ impl CacheKey {
     }
 }
 
-struct CacheInner {
-    /// key → last-touched tick (for LRU eviction).
-    entries: HashMap<CacheKey, u64>,
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Last-touched tick (for LRU eviction).
     tick: u64,
+    /// Whether the range is aperture-mapped (zero-copy path): evicting or
+    /// invalidating it must also unmap the device subwindow.
+    mapped: bool,
+}
+
+struct CacheInner {
+    entries: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+/// Result of a [`RegistrationCache::probe`]: whether the range was already
+/// pinned, plus the `(epd, guest page)` keys of any *mapped* entries the
+/// probe evicted — the caller owns unmapping those from the device
+/// aperture before their subwindows can be considered free.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct MapProbe {
+    pub hit: bool,
+    pub evicted: Vec<(u64, u64)>,
+}
+
+/// Result of an invalidation sweep: entry count dropped, plus the mapped
+/// keys the caller must unmap (see [`MapProbe`]).
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Invalidated {
+    pub dropped: usize,
+    pub unmapped: Vec<(u64, u64)>,
 }
 
 /// The per-VM cache itself.  One instance lives in the backend device.
@@ -158,57 +184,86 @@ impl RegistrationCache {
         }
     }
 
-    /// Probe for `(epd, gpa..gpa+bytes)`.  Returns `true` on a hit (the
-    /// pinned translation is reused, so the caller skips the per-page
-    /// charge).  On a miss the range is inserted, evicting the
-    /// least-recently-used entry if the cache is full.
-    pub fn lookup_or_insert(&self, epd: u64, gpa: u64, bytes: u64) -> bool {
+    /// Probe for `(epd, gpa..gpa+bytes)`, the unified entry point of the
+    /// copy path (`mapped = false`) and the zero-copy mapping path
+    /// (`mapped = true`).  On a hit the pinned translation is reused (the
+    /// caller skips the per-page / pin charge); a hit from the mapping
+    /// path upgrades the entry's `mapped` flag so a later eviction knows
+    /// to unmap.  On a miss the range is inserted, evicting the
+    /// least-recently-used entry if full — any evicted *mapped* keys are
+    /// returned for the caller to unmap.
+    pub fn probe(&self, epd: u64, gpa: u64, bytes: u64, mapped: bool) -> MapProbe {
         if !self.enabled() {
-            return false;
+            return MapProbe::default();
         }
         let key = CacheKey::new(epd, gpa, bytes);
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        if let Some(t) = inner.entries.get_mut(&key) {
-            *t = tick;
+        if let Some(e) = inner.entries.get_mut(&key) {
+            e.tick = tick;
+            e.mapped |= mapped;
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
-            return true;
+            return MapProbe { hit: true, evicted: Vec::new() };
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let mut evicted = Vec::new();
         if inner.entries.len() >= self.config.capacity {
-            if let Some(victim) = inner.entries.iter().min_by_key(|(_, &t)| t).map(|(&k, _)| k) {
-                inner.entries.remove(&victim);
+            if let Some(victim) = inner.entries.iter().min_by_key(|(_, e)| e.tick).map(|(&k, _)| k)
+            {
+                if let Some(e) = inner.entries.remove(&victim) {
+                    if e.mapped {
+                        evicted.push((victim.epd, victim.page_start));
+                    }
+                }
                 self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        inner.entries.insert(key, tick);
-        false
+        inner.entries.insert(key, Entry { tick, mapped });
+        MapProbe { hit: false, evicted }
+    }
+
+    /// Legacy/test convenience: [`probe`](RegistrationCache::probe) on the
+    /// copy path, hit flag only.  The backend uses `probe` directly so
+    /// evicted mapped keys are never silently dropped.
+    pub fn lookup_or_insert(&self, epd: u64, gpa: u64, bytes: u64) -> bool {
+        self.probe(epd, gpa, bytes, false).hit
+    }
+
+    /// Cached ranges currently flagged as aperture-mapped.
+    pub fn mapped_len(&self) -> usize {
+        self.inner.lock().entries.values().filter(|e| e.mapped).count()
     }
 
     /// Drop every cached range pinned for `epd` (endpoint closed).
-    /// Returns how many entries were invalidated.
-    pub fn invalidate_endpoint(&self, epd: u64) -> usize {
-        let mut inner = self.inner.lock();
-        let before = inner.entries.len();
-        inner.entries.retain(|k, _| k.epd != epd);
-        let dropped = before - inner.entries.len();
-        self.stats.invalidations.fetch_add(dropped as u64, Ordering::Relaxed);
-        dropped
+    pub fn invalidate_endpoint(&self, epd: u64) -> Invalidated {
+        self.invalidate_where(|k| k.epd == epd)
     }
 
     /// Drop cached ranges for `epd` whose pages overlap
     /// `gpa..gpa+bytes` (window unregistered / mapping torn down).
-    /// Returns how many entries were invalidated.
-    pub fn invalidate_range(&self, epd: u64, gpa: u64, bytes: u64) -> usize {
+    pub fn invalidate_range(&self, epd: u64, gpa: u64, bytes: u64) -> Invalidated {
         let page_start = gpa / PAGE_SIZE;
         let page_end = (gpa + bytes.max(1)).div_ceil(PAGE_SIZE);
+        self.invalidate_where(|k| k.epd == epd && k.overlaps_pages(page_start, page_end))
+    }
+
+    fn invalidate_where(&self, pred: impl Fn(&CacheKey) -> bool) -> Invalidated {
         let mut inner = self.inner.lock();
-        let before = inner.entries.len();
-        inner.entries.retain(|k, _| !(k.epd == epd && k.overlaps_pages(page_start, page_end)));
-        let dropped = before - inner.entries.len();
-        self.stats.invalidations.fetch_add(dropped as u64, Ordering::Relaxed);
-        dropped
+        let mut out = Invalidated::default();
+        inner.entries.retain(|k, e| {
+            if pred(k) {
+                if e.mapped {
+                    out.unmapped.push((k.epd, k.page_start));
+                }
+                out.dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.stats.invalidations.fetch_add(out.dropped as u64, Ordering::Relaxed);
+        out
     }
 }
 
@@ -267,7 +322,7 @@ mod tests {
         c.lookup_or_insert(1, 0x1000, 4096);
         c.lookup_or_insert(1, 0x2000, 4096);
         c.lookup_or_insert(2, 0x1000, 4096);
-        assert_eq!(c.invalidate_endpoint(1), 2);
+        assert_eq!(c.invalidate_endpoint(1).dropped, 2);
         assert_eq!(c.len(), 1);
         assert!(c.lookup_or_insert(2, 0x1000, 4096), "endpoint 2 untouched");
         assert_eq!(c.snapshot().invalidations, 2);
@@ -279,11 +334,43 @@ mod tests {
         c.lookup_or_insert(1, 0x1000, 8192); // pages 1..3
         c.lookup_or_insert(1, 0x5000, 4096); // page 5
                                              // Invalidate page 2 → overlaps the first entry only.
-        assert_eq!(c.invalidate_range(1, 0x2000, 4096), 1);
+        assert_eq!(c.invalidate_range(1, 0x2000, 4096).dropped, 1);
         assert!(!c.lookup_or_insert(1, 0x1000, 8192), "stale entry gone");
         assert!(c.lookup_or_insert(1, 0x5000, 4096), "non-overlapping survives");
         // Same range, other endpoint: untouched.
-        assert_eq!(c.invalidate_range(2, 0x0, 1 << 20), 0);
+        assert_eq!(c.invalidate_range(2, 0x0, 1 << 20).dropped, 0);
+    }
+
+    #[test]
+    fn mapped_entries_surface_on_eviction_and_invalidation() {
+        let c = cache(2);
+        assert!(!c.probe(1, 0x1000, 4096, true).hit); // mapped A
+        assert!(!c.probe(1, 0x2000, 4096, false).hit); // copy-path B
+        assert_eq!(c.mapped_len(), 1);
+        // Filling past capacity evicts A (LRU, mapped) — its key surfaces.
+        let p = c.probe(1, 0x3000, 4096, false);
+        assert!(!p.hit);
+        assert_eq!(p.evicted, vec![(1, 0x1)], "mapped victim's key surfaces");
+        // Next eviction takes B, a copy-path entry: nothing to unmap.
+        let p = c.probe(1, 0x4000, 4096, true);
+        assert_eq!(p.evicted, vec![] as Vec<(u64, u64)>, "copy-path victim needs no unmap");
+        // Invalidation reports mapped keys the same way: C (copy) and
+        // D (mapped) remain.
+        let inv = c.invalidate_endpoint(1);
+        assert_eq!(inv.dropped, 2);
+        assert_eq!(inv.unmapped, vec![(1, 0x4)]);
+        assert_eq!(c.mapped_len(), 0);
+    }
+
+    #[test]
+    fn copy_path_hit_upgrades_to_mapped() {
+        let c = cache(8);
+        assert!(!c.probe(3, 0x1000, 4096, false).hit);
+        assert_eq!(c.mapped_len(), 0);
+        assert!(c.probe(3, 0x1000, 4096, true).hit, "hit upgrades in place");
+        assert_eq!(c.mapped_len(), 1);
+        let inv = c.invalidate_range(3, 0x1000, 4096);
+        assert_eq!(inv.unmapped, vec![(3, 0x1)]);
     }
 
     #[test]

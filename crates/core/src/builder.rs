@@ -54,6 +54,12 @@ pub struct VmConfig {
     /// chunks overlapped with device DMA.  Off by default so the
     /// calibrated figures stay byte-stable; MQ-SCALE turns it on.
     pub pipeline_rma: bool,
+    /// Zero-copy large RMA: pin registered windows into the device
+    /// aperture and scatter-gather straight between guest memory and the
+    /// wire, retiring the backend staging copy (DESIGN.md #19).  Off by
+    /// default so the calibrated figures stay byte-stable; ZERO-COPY
+    /// turns it on.
+    pub zero_copy_rma: bool,
 }
 
 impl Default for VmConfig {
@@ -68,6 +74,7 @@ impl Default for VmConfig {
             dispatch: crate::backend::DispatchPolicy::PAPER,
             reg_cache: crate::backend::RegCacheConfig::default(),
             pipeline_rma: false,
+            zero_copy_rma: false,
         }
     }
 }
@@ -135,6 +142,11 @@ impl VmConfigBuilder {
         self
     }
 
+    pub fn zero_copy_rma(mut self, on: bool) -> Self {
+        self.config.zero_copy_rma = on;
+        self
+    }
+
     /// Validate and return the config, or a description of what's wrong.
     pub fn try_build(self) -> Result<VmConfig, String> {
         let c = &self.config;
@@ -167,6 +179,18 @@ impl VmConfigBuilder {
                  neither configuration faithfully"
                     .into(),
             );
+        }
+        if c.zero_copy_rma && c.chunk_size != vphi_sim_core::cost::KMALLOC_MAX_SIZE {
+            return Err("zero_copy_rma with a non-default chunk_size is rejected: the zero-copy \
+                 path never stages, so a tuned staging chunk cannot take effect — the \
+                 sweep would silently measure the default configuration instead"
+                .into());
+        }
+        if c.zero_copy_rma && c.pipeline_rma {
+            return Err("zero_copy_rma with pipeline_rma is rejected: the pipeline overlaps the \
+                 very staging copy zero-copy deletes — enable exactly one large-RMA \
+                 optimization per VM"
+                .into());
         }
         Ok(self.config)
     }
@@ -375,6 +399,7 @@ impl VphiHost {
             crate::backend::BackendOptions {
                 reg_cache: config.reg_cache,
                 pipeline_rma: config.pipeline_rma,
+                zero_copy_rma: config.zero_copy_rma,
             },
         );
         vm.attach(Arc::clone(&backend) as Arc<dyn vphi_vmm::vm::VirtualPciDevice>);
@@ -455,6 +480,8 @@ mod tests {
         assert_eq!(built.num_queues, def.num_queues);
         assert_eq!(built.chunk_size, def.chunk_size);
         assert_eq!(built.pipeline_rma, def.pipeline_rma);
+        assert_eq!(built.zero_copy_rma, def.zero_copy_rma);
+        assert!(!def.zero_copy_rma, "zero-copy defaults off: anchors stay byte-stable");
     }
 
     #[test]
@@ -476,6 +503,33 @@ mod tests {
             .scheme(WaitScheme::Interrupt)
             .num_queues(8)
             .queue_size(128)
+            .try_build()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_zero_copy_with_staging_knobs() {
+        // Pinned message: sweeps match on it to explain skipped points.
+        let err =
+            VmConfig::builder().zero_copy_rma(true).chunk_size(64 * 4096).try_build().unwrap_err();
+        assert_eq!(
+            err,
+            "zero_copy_rma with a non-default chunk_size is rejected: the zero-copy \
+             path never stages, so a tuned staging chunk cannot take effect — the \
+             sweep would silently measure the default configuration instead"
+        );
+        let err = VmConfig::builder().zero_copy_rma(true).pipeline_rma(true).try_build();
+        assert!(err.unwrap_err().contains("exactly one large-RMA optimization"));
+        // Alone, the flag composes with everything else.
+        assert!(VmConfig::builder()
+            .zero_copy_rma(true)
+            .num_queues(8)
+            .queue_size(128)
+            .try_build()
+            .is_ok());
+        assert!(VmConfig::builder()
+            .zero_copy_rma(true)
+            .reg_cache(crate::backend::RegCacheConfig::disabled())
             .try_build()
             .is_ok());
     }

@@ -71,6 +71,15 @@ pub struct VphiDebugReport {
     pub reg_cache_misses: u64,
     pub reg_cache_evictions: u64,
     pub reg_cache_invalidations: u64,
+    // zero-copy RMA (DESIGN.md #19)
+    /// Windows pinned + mapped into the device aperture (cold maps).
+    pub windows_mapped: u64,
+    /// Large RMAs that found their window already mapped.
+    pub map_hits: u64,
+    /// Scatter-gather descriptors built for zero-copy transfers.
+    pub sg_descriptors: u64,
+    /// Bytes that skipped the backend staging bounce buffer.
+    pub staging_bytes_avoided: u64,
     // vmm
     pub vm_paused: SimDuration,
     pub blocking_events: u64,
@@ -155,6 +164,10 @@ impl VphiDebugReport {
             reg_cache_misses: cache.misses,
             reg_cache_evictions: cache.evictions,
             reg_cache_invalidations: cache.invalidations,
+            windows_mapped: be.stats.windows_mapped.load(Ordering::Relaxed),
+            map_hits: be.stats.map_hits.load(Ordering::Relaxed),
+            sg_descriptors: be.stats.sg_descriptors.load(Ordering::Relaxed),
+            staging_bytes_avoided: be.stats.staging_bytes_avoided.load(Ordering::Relaxed),
             vm_paused: el.vm_paused_total(),
             blocking_events: el.blocking_event_count(),
             worker_events: el.worker_event_count(),
@@ -264,6 +277,9 @@ impl VphiDebugReport {
                     "regcache evict/inval",
                     format!("{}/{}", self.reg_cache_evictions, self.reg_cache_invalidations),
                 ),
+                ("zc win map/hit", format!("{}/{}", self.windows_mapped, self.map_hits)),
+                ("zc sg descriptors", self.sg_descriptors.to_string()),
+                ("zc bytes unstaged", self.staging_bytes_avoided.to_string()),
             ],
         );
         group(
@@ -355,8 +371,11 @@ mod tests {
         for q in &after_open.queues[1..] {
             assert_eq!((q.kicks, q.chains_popped), (0, 0));
         }
-        // No RMA yet → the registration cache was never probed.
+        // No RMA yet → the registration cache was never probed and the
+        // zero-copy path (off by default anyway) never mapped a window.
         assert_eq!(after_open.reg_cache_hits + after_open.reg_cache_misses, 0);
+        assert_eq!(after_open.windows_mapped + after_open.map_hits, 0);
+        assert_eq!(after_open.staging_bytes_avoided, 0);
         // Tracing was never armed on this host.
         assert_eq!(after_open.trace, vphi_trace::TraceCounters::default());
 
@@ -452,6 +471,10 @@ mod tests {
             reg_cache_misses: 15,
             reg_cache_evictions: 16,
             reg_cache_invalidations: 17,
+            windows_mapped: 55,
+            map_hits: 56,
+            sg_descriptors: 57,
+            staging_bytes_avoided: 58,
             vm_paused: SimDuration::from_micros(18),
             blocking_events: 19,
             worker_events: 20,
@@ -502,6 +525,9 @@ vphi7:
     open endpoints          13
     regcache hit/miss       14/15
     regcache evict/inval    16/17
+    zc win map/hit          55/56
+    zc sg descriptors       57
+    zc bytes unstaged       58
   vmm:
     vm paused               18.00us
     events block/worker     19/20

@@ -167,6 +167,106 @@ proptest! {
     }
 }
 
+/// Zero-copy mapping lifetime vs in-flight DMA: a reader thread hammers
+/// large (> `KMALLOC_MAX_SIZE`) zero-copy reads while the main thread
+/// churns register/unregister over the same pages.  Every unregister's
+/// `unmap_window` must quiesce the in-flight descriptor list before
+/// tearing the mapping down, so the race can corrupt nothing — and the
+/// zero-leak audit must balance once the endpoint closes.
+#[test]
+fn unregister_quiesces_inflight_zero_copy_dma() {
+    const BIG: u64 = 8 * 1024 * 1024; // > KMALLOC_MAX_SIZE → zero-copy arm
+    let host = VphiHost::new(1);
+    let server = spawn_window_server(&host, Port(780), 2 * BIG, 1);
+    let vm = Arc::new(host.spawn_vm(VmConfig::builder().zero_copy_rma(true).build()));
+
+    let mut tl = Timeline::new();
+    let guest = Arc::new(vm.open_scif(&mut tl).unwrap());
+    guest.connect(ScifAddr::new(host.device_node(0), Port(780)), &mut tl).unwrap();
+    wait_for_guest_window(&guest, &vm);
+    let buf = Arc::new(vm.alloc_buf(BIG).unwrap());
+
+    let reader = {
+        let (guest, buf) = (Arc::clone(&guest), Arc::clone(&buf));
+        std::thread::spawn(move || {
+            for _ in 0..20 {
+                let mut tl = Timeline::new();
+                guest.vreadfrom(&buf, 0, RmaFlags::SYNC, &mut tl).unwrap();
+            }
+        })
+    };
+    // Window churn over the very pages the reader is gathering from: each
+    // unregister invalidates the mapping cache and unmaps the device
+    // subwindow, which must block until the reader's IoGuard drops.
+    for _ in 0..10 {
+        let mut tl = Timeline::new();
+        let off = guest.register(&buf, Prot::READ_WRITE, None, &mut tl).unwrap();
+        guest.unregister(off, buf.len(), &mut tl).unwrap();
+    }
+    reader.join().unwrap();
+
+    let be = vm.backend().inner();
+    assert_eq!(be.aperture().inflight_total(), 0, "no leaked IoGuards");
+    let report = VphiDebugReport::collect(&vm);
+    assert!(report.windows_mapped >= 1, "the zero-copy path mapped at least once");
+    assert!(
+        report.staging_bytes_avoided >= 20 * BIG,
+        "every big read skipped staging: {}",
+        report.staging_bytes_avoided
+    );
+    let mut tl = Timeline::new();
+    guest.close(&mut tl).unwrap();
+    assert_eq!(be.aperture().mapped_windows(), 0, "zero-leak: close unmaps everything");
+    vm.shutdown();
+    let _ = server.join();
+}
+
+/// Chaos seed: a card reset lands while zero-copy windows are mapped and
+/// reads are in flight.  Quarantine must unmap the victims' windows
+/// (quiescing in-flight gathers), racing requests may re-map against the
+/// quarantined endpoint, and `scif_close` must still drain everything —
+/// the audit balances at zero either way.
+#[test]
+fn card_reset_with_mapped_windows_unmaps_cleanly() {
+    const BIG: u64 = 8 * 1024 * 1024;
+    let host = VphiHost::new(1);
+    let server = spawn_window_server(&host, Port(781), 2 * BIG, 1);
+    let vm = Arc::new(host.spawn_vm(VmConfig::builder().zero_copy_rma(true).build()));
+
+    let mut tl = Timeline::new();
+    let guest = Arc::new(vm.open_scif(&mut tl).unwrap());
+    guest.connect(ScifAddr::new(host.device_node(0), Port(781)), &mut tl).unwrap();
+    wait_for_guest_window(&guest, &vm);
+    let buf = Arc::new(vm.alloc_buf(BIG).unwrap());
+
+    // Map a window with a successful zero-copy read first, so the reset
+    // definitely finds mappings outstanding.
+    guest.vreadfrom(&buf, 0, RmaFlags::SYNC, &mut tl).unwrap();
+    let be = vm.backend().inner();
+    assert!(be.aperture().mapped_windows() >= 1, "a window is mapped before the reset");
+
+    let reader = {
+        let (guest, buf) = (Arc::clone(&guest), Arc::clone(&buf));
+        std::thread::spawn(move || {
+            // Reads racing the reset may fail once the endpoint is
+            // quarantined; only the bookkeeping must stay coherent.
+            for _ in 0..10 {
+                let mut tl = Timeline::new();
+                let _ = guest.vreadfrom(&buf, 0, RmaFlags::SYNC, &mut tl);
+            }
+        })
+    };
+    host.reset_card(0);
+    reader.join().unwrap();
+
+    assert_eq!(be.aperture().inflight_total(), 0, "reset left no in-flight descriptor lists");
+    let mut tl = Timeline::new();
+    let _ = guest.close(&mut tl);
+    assert_eq!(be.aperture().mapped_windows(), 0, "zero-leak after quarantine + close");
+    vm.shutdown();
+    let _ = server.join();
+}
+
 /// Six guest threads sharing one frontend, each doing warm RMA rounds on
 /// its own buffer with a register/unregister invalidation in the middle —
 /// the cache and the notification-coalescing counters must stay coherent

@@ -9,9 +9,102 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use vphi_sim_core::cost::HUGE_PAGE_SIZE;
 use vphi_sim_core::{SimTime, SpanLabel, Timeline};
 
 use crate::link::PcieLink;
+
+/// Size of the fixed bounce block used by [`gather_copy`].  O(1) memory
+/// regardless of transfer size — this is the *only* sanctioned staging
+/// allocation on the data path (xtask lint rule 9 bans repeat-vec staging
+/// buffers everywhere else).
+const BOUNCE_BLOCK: usize = 16 * 1024;
+
+/// Move `len` bytes from a reader to a writer through a fixed-size bounce
+/// block, without materializing the payload.  `read(offset, buf)` fills
+/// `buf` from source offset `offset`; `write(offset, buf)` stores it at
+/// the same destination offset.  Used by the zero-copy RMA path to move
+/// bytes between pinned windows: functional effect only — the wire cost is
+/// charged separately by the caller (staging is never charged virtual
+/// time; see DESIGN.md #19).
+pub fn gather_copy<E>(
+    len: u64,
+    mut read: impl FnMut(u64, &mut [u8]) -> Result<(), E>,
+    mut write: impl FnMut(u64, &[u8]) -> Result<(), E>,
+) -> Result<(), E> {
+    let mut block = [0u8; BOUNCE_BLOCK];
+    let mut off = 0u64;
+    while off < len {
+        let n = ((len - off) as usize).min(BOUNCE_BLOCK);
+        read(off, &mut block[..n])?;
+        write(off, &block[..n])?;
+        off += n as u64;
+    }
+    Ok(())
+}
+
+/// One scatter-gather descriptor: a contiguous device-address range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SgEntry {
+    /// Device byte address the entry starts at.
+    pub device_addr: u64,
+    /// Entry length in bytes (at most one huge page).
+    pub len: u64,
+}
+
+/// A descriptor list covering one RMA transfer: huge-page-granular entries
+/// over mapped subwindows.  The engine charges ONE `DmaSetup` and one wire
+/// transit for the whole list — the hardware walks the descriptors without
+/// host round-trips, so per-entry cost is descriptor *construction*
+/// (`SpanLabel::SgBuild`, charged by the builder), not per-entry setup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SgList {
+    entries: Vec<SgEntry>,
+}
+
+impl SgList {
+    pub fn new() -> Self {
+        SgList::default()
+    }
+
+    /// Build a list covering `[window_offset, window_offset + len)` of a
+    /// device subwindow starting at `device_base`, split at huge-page
+    /// granularity.  Returns `None` for a zero-length transfer.
+    pub fn for_range(device_base: u64, window_offset: u64, len: u64) -> Option<SgList> {
+        if len == 0 {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(len.div_ceil(HUGE_PAGE_SIZE) as usize);
+        let mut off = window_offset;
+        let end = window_offset.checked_add(len)?;
+        while off < end {
+            // Split at huge-page boundaries of the *window* so each entry
+            // stays inside one pinned huge page.
+            let page_end = (off / HUGE_PAGE_SIZE + 1) * HUGE_PAGE_SIZE;
+            let entry_end = end.min(page_end);
+            entries.push(SgEntry { device_addr: device_base + off, len: entry_end - off });
+            off = entry_end;
+        }
+        Some(SgList { entries })
+    }
+
+    pub fn entries(&self) -> &[SgEntry] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes across the gather list.
+    pub fn bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.len).sum()
+    }
+}
 
 /// Result of a completed DMA transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +173,21 @@ impl DmaEngine {
     pub fn transfer_timed(&self, bytes: u64, tl: &mut Timeline) -> DmaOutcome {
         let channel = self.pick_channel();
         tl.charge(SpanLabel::DmaSetup, self.link.cost().dma_setup);
+        let completed_at = self.link.transmit(bytes, tl);
+        self.bytes_total.fetch_add(bytes, Ordering::Relaxed);
+        self.transfers.fetch_add(1, Ordering::Relaxed);
+        DmaOutcome { completed_at, channel, bytes }
+    }
+
+    /// Run a whole scatter-gather descriptor list as ONE transfer: a
+    /// single `DmaSetup` charge plus one wire transit over the list's
+    /// total bytes — no per-entry setup and no staging exposure.  This is
+    /// the timing contract the zero-copy RMA path depends on: cost is
+    /// independent of how many descriptors the gather splits into.
+    pub fn transfer_sg(&self, sg: &SgList, tl: &mut Timeline) -> DmaOutcome {
+        let channel = self.pick_channel();
+        tl.charge(SpanLabel::DmaSetup, self.link.cost().dma_setup);
+        let bytes = sg.bytes();
         let completed_at = self.link.transmit(bytes, tl);
         self.bytes_total.fetch_add(bytes, Ordering::Relaxed);
         self.transfers.fetch_add(1, Ordering::Relaxed);
@@ -227,6 +335,75 @@ mod tests {
         let serial = us(808);
         let got = double_buffered_makespan(&chunks);
         assert!(got >= wire && got <= serial);
+    }
+
+    #[test]
+    fn gather_copy_is_exact_and_bounded() {
+        let src: Vec<u8> = (0..=255).cycle().take(3 * BOUNCE_BLOCK + 17).collect();
+        let mut dst = vec![0u8; src.len()];
+        let mut max_chunk = 0usize;
+        gather_copy::<()>(
+            src.len() as u64,
+            |off, buf| {
+                max_chunk = max_chunk.max(buf.len());
+                buf.copy_from_slice(&src[off as usize..off as usize + buf.len()]);
+                Ok(())
+            },
+            |off, buf| {
+                dst[off as usize..off as usize + buf.len()].copy_from_slice(buf);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(src, dst);
+        assert!(max_chunk <= BOUNCE_BLOCK, "bounce block bounds every chunk");
+        // Errors short-circuit.
+        let r = gather_copy(10, |_, _| Err("boom"), |_, _| Ok(()));
+        assert_eq!(r, Err("boom"));
+    }
+
+    #[test]
+    fn sg_list_splits_at_huge_page_boundaries() {
+        // A transfer straddling two huge pages with unaligned start.
+        let sg = SgList::for_range(0x4000_0000, HUGE_PAGE_SIZE - 4096, 8192).unwrap();
+        assert_eq!(sg.len(), 2);
+        assert_eq!(sg.bytes(), 8192);
+        assert_eq!(
+            sg.entries()[0],
+            SgEntry { device_addr: 0x4000_0000 + HUGE_PAGE_SIZE - 4096, len: 4096 }
+        );
+        assert_eq!(
+            sg.entries()[1],
+            SgEntry { device_addr: 0x4000_0000 + HUGE_PAGE_SIZE, len: 4096 }
+        );
+        // 256 MiB from offset 0: exactly 128 full huge pages.
+        let big = SgList::for_range(0, 0, 256 * 1024 * 1024).unwrap();
+        assert_eq!(big.len(), 128);
+        assert!(big.entries().iter().all(|e| e.len == HUGE_PAGE_SIZE));
+        assert!(SgList::for_range(0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn sg_transfer_charges_one_setup_regardless_of_entries() {
+        let e = engine(8);
+        let bytes = 8 * HUGE_PAGE_SIZE;
+        // One SG list over 8 huge pages...
+        let sg = SgList::for_range(0, 0, bytes).unwrap();
+        assert_eq!(sg.len(), 8);
+        let mut tl_sg = Timeline::new();
+        let out = e.transfer_sg(&sg, &mut tl_sg);
+        assert_eq!(out.bytes, bytes);
+        // ...vs 8 separate timed transfers of one huge page each.
+        let mut tl_n = Timeline::new();
+        for _ in 0..8 {
+            e.transfer_timed(HUGE_PAGE_SIZE, &mut tl_n);
+        }
+        let setup = e.link().cost().dma_setup;
+        assert_eq!(tl_sg.total_for(SpanLabel::DmaSetup), setup, "one setup for the whole list");
+        assert_eq!(tl_n.total_for(SpanLabel::DmaSetup), setup * 8);
+        // Same wire bytes → SG is strictly cheaper end-to-end.
+        assert!(tl_sg.total() < tl_n.total());
+        assert_eq!(e.transfer_count(), 9);
     }
 
     #[test]

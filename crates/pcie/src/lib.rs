@@ -24,8 +24,8 @@ pub mod doorbell;
 pub mod interrupt;
 pub mod link;
 
-pub use aperture::Aperture;
-pub use dma::{DmaEngine, DmaOutcome};
+pub use aperture::{Aperture, ApertureMap, IoGuard, MapKey};
+pub use dma::{gather_copy, DmaEngine, DmaOutcome, SgEntry, SgList};
 pub use doorbell::Doorbell;
 pub use interrupt::{InterruptHandler, MsiVector};
 pub use link::{LinkConfig, PcieLink};

@@ -228,6 +228,44 @@ impl ScifEndpoint {
         })
     }
 
+    /// Zero-copy `scif_vreadfrom` into an externally-pinned destination
+    /// (the backend's mapped-window path — see
+    /// [`EndpointCore::vreadfrom_window`](crate::endpoint::EndpointCore::vreadfrom_window)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn vreadfrom_window<'a>(
+        &self,
+        dst: &dyn crate::window::WindowBytes,
+        dst_off: u64,
+        len: u64,
+        roffset: u64,
+        flags: RmaFlags,
+        ctx: impl Into<OpCtx<'a>>,
+    ) -> ScifResult<()> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_vreadfrom", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.vreadfrom_window(dst, dst_off, len, roffset, flags, c.tl)
+        })
+    }
+
+    /// Zero-copy `scif_vwriteto` from an externally-pinned source.
+    #[allow(clippy::too_many_arguments)]
+    pub fn vwriteto_window<'a>(
+        &self,
+        src: &dyn crate::window::WindowBytes,
+        src_off: u64,
+        len: u64,
+        roffset: u64,
+        flags: RmaFlags,
+        ctx: impl Into<OpCtx<'a>>,
+    ) -> ScifResult<()> {
+        let mut ctx = ctx.into();
+        ctx.in_span("scif_vwriteto", Stage::HostScif, |c| {
+            self.syscall(c);
+            self.core.vwriteto_window(src, src_off, len, roffset, flags, c.tl)
+        })
+    }
+
     /// `scif_readfrom`.
     pub fn readfrom<'a>(
         &self,

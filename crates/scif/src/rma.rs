@@ -13,12 +13,13 @@
 
 use std::sync::Arc;
 
+use vphi_pcie::gather_copy;
 use vphi_sim_core::{SimTime, SpanLabel, Timeline};
 
 use crate::endpoint::{EndpointCore, EpState, RmaCompletion};
 use crate::error::{ScifError, ScifResult};
 use crate::types::{Prot, RmaFlags};
-use crate::window::WindowBacking;
+use crate::window::{WindowBacking, WindowBytes};
 
 /// Check connection and fetch the peer for an RMA call.
 fn rma_peer(ep: &EndpointCore) -> ScifResult<Arc<EndpointCore>> {
@@ -91,23 +92,30 @@ impl EndpointCore {
             return Err(ScifError::Inval);
         }
         let peer = rma_peer(self)?;
-        let mut staging = vec![0u8; len as usize];
-        {
+        // Clone each window's backing out of its table lock: the clone is
+        // a strong (pinned) reference, so the bytes can be moved with no
+        // locks held and without materializing the payload.
+        let (src, src_base) = {
             let windows = peer.windows.lock();
             let w = windows.lookup(roffset, len)?;
             if !w.prot.contains(Prot::READ) {
                 return Err(ScifError::Access);
             }
-            w.backing.read(roffset - w.offset, &mut staging)?;
-        }
-        {
+            (w.backing.clone(), roffset - w.offset)
+        };
+        let (dst, dst_base) = {
             let windows = self.windows.lock();
             let w = windows.lookup(loffset, len)?;
             if !w.prot.contains(Prot::WRITE) {
                 return Err(ScifError::Access);
             }
-            w.backing.write(loffset - w.offset, &staging)?;
-        }
+            (w.backing.clone(), loffset - w.offset)
+        };
+        gather_copy(
+            len,
+            |off, buf| src.read(src_base + off, buf),
+            |off, buf| dst.write(dst_base + off, buf),
+        )?;
         self.charge_rma(&peer, len, flags, tl)
     }
 
@@ -125,23 +133,97 @@ impl EndpointCore {
             return Err(ScifError::Inval);
         }
         let peer = rma_peer(self)?;
-        let mut staging = vec![0u8; len as usize];
-        {
+        let (src, src_base) = {
             let windows = self.windows.lock();
             let w = windows.lookup(loffset, len)?;
             if !w.prot.contains(Prot::READ) {
                 return Err(ScifError::Access);
             }
-            w.backing.read(loffset - w.offset, &mut staging)?;
-        }
-        {
+            (w.backing.clone(), loffset - w.offset)
+        };
+        let (dst, dst_base) = {
             let windows = peer.windows.lock();
             let w = windows.lookup(roffset, len)?;
             if !w.prot.contains(Prot::WRITE) {
                 return Err(ScifError::Access);
             }
-            w.backing.write(roffset - w.offset, &staging)?;
+            (w.backing.clone(), roffset - w.offset)
+        };
+        gather_copy(
+            len,
+            |off, buf| src.read(src_base + off, buf),
+            |off, buf| dst.write(dst_base + off, buf),
+        )?;
+        self.charge_rma(&peer, len, flags, tl)
+    }
+
+    /// Zero-copy `scif_vreadfrom` over an externally-pinned destination:
+    /// pull `len` bytes from the peer's registered offset `roffset`
+    /// straight into `dst` at `dst_off` — no intermediate payload buffer.
+    /// Validation and cost charging are identical to [`vreadfrom`], so the
+    /// mapped path keeps native timing parity.
+    ///
+    /// [`vreadfrom`]: EndpointCore::vreadfrom
+    pub fn vreadfrom_window(
+        &self,
+        dst: &dyn WindowBytes,
+        dst_off: u64,
+        len: u64,
+        roffset: u64,
+        flags: RmaFlags,
+        tl: &mut Timeline,
+    ) -> ScifResult<()> {
+        if len == 0 {
+            return Err(ScifError::Inval);
         }
+        let peer = rma_peer(self)?;
+        let (src, src_base) = {
+            let windows = peer.windows.lock();
+            let w = windows.lookup(roffset, len)?;
+            if !w.prot.contains(Prot::READ) {
+                return Err(ScifError::Access);
+            }
+            (w.backing.clone(), roffset - w.offset)
+        };
+        gather_copy(
+            len,
+            |off, buf| src.read(src_base + off, buf),
+            |off, buf| dst.write(dst_off + off, buf),
+        )?;
+        self.charge_rma(&peer, len, flags, tl)
+    }
+
+    /// Zero-copy `scif_vwriteto` from an externally-pinned source: push
+    /// `len` bytes from `src` at `src_off` into the peer's registered
+    /// offset `roffset`.  See [`vreadfrom_window`].
+    ///
+    /// [`vreadfrom_window`]: EndpointCore::vreadfrom_window
+    pub fn vwriteto_window(
+        &self,
+        src: &dyn WindowBytes,
+        src_off: u64,
+        len: u64,
+        roffset: u64,
+        flags: RmaFlags,
+        tl: &mut Timeline,
+    ) -> ScifResult<()> {
+        if len == 0 {
+            return Err(ScifError::Inval);
+        }
+        let peer = rma_peer(self)?;
+        let (dst, dst_base) = {
+            let windows = peer.windows.lock();
+            let w = windows.lookup(roffset, len)?;
+            if !w.prot.contains(Prot::WRITE) {
+                return Err(ScifError::Access);
+            }
+            (w.backing.clone(), roffset - w.offset)
+        };
+        gather_copy(
+            len,
+            |off, buf| src.read(src_off + off, buf),
+            |off, buf| dst.write(dst_base + off, buf),
+        )?;
         self.charge_rma(&peer, len, flags, tl)
     }
 
@@ -435,6 +517,44 @@ mod tests {
         let mut tl = Timeline::new();
         client.vreadfrom(&mut out, roff, RmaFlags::SYNC, &mut tl).unwrap();
         assert_eq!(&out, b"GDDR!");
+    }
+
+    #[test]
+    fn window_variants_match_plain_rma_bytes_and_timing() {
+        let (_f, client, server) = setup();
+        let (roff, rbuf) = register_pinned(&server, 4 * PAGE_SIZE, Prot::READ_WRITE).unwrap();
+        rbuf.lock().iter_mut().enumerate().for_each(|(i, b)| *b = (i % 251) as u8);
+
+        // Pull via the zero-copy entry point into a pinned local backing.
+        let local = WindowBacking::Pinned(crate::types::pinned_buf(4 * PAGE_SIZE as usize));
+        let mut tl_win = Timeline::new();
+        client
+            .vreadfrom_window(&local, 0, 4 * PAGE_SIZE, roff, RmaFlags::SYNC, &mut tl_win)
+            .unwrap();
+        let mut expect = vec![0u8; 4 * PAGE_SIZE as usize];
+        let mut tl_plain = Timeline::new();
+        client.vreadfrom(&mut expect, roff, RmaFlags::SYNC, &mut tl_plain).unwrap();
+        let mut got = vec![0u8; expect.len()];
+        WindowBytes::read(&local, 0, &mut got).unwrap();
+        assert_eq!(got, expect, "window read matches plain vreadfrom");
+        assert_eq!(tl_win.total(), tl_plain.total(), "identical cost charging");
+
+        // Push back with a pattern and verify through the peer buffer.
+        WindowBytes::write(&local, 0, &vec![0xA5; 4 * PAGE_SIZE as usize]).unwrap();
+        let mut tl_w = Timeline::new();
+        client.vwriteto_window(&local, 0, 4 * PAGE_SIZE, roff, RmaFlags::SYNC, &mut tl_w).unwrap();
+        assert!(rbuf.lock().iter().all(|&b| b == 0xA5));
+
+        // Validation parity: protection and bounds still enforced.
+        let (ro_off, _) = register_pinned(&server, PAGE_SIZE, Prot::READ).unwrap();
+        assert_eq!(
+            client.vwriteto_window(&local, 0, 8, ro_off, RmaFlags::SYNC, &mut tl_w),
+            Err(ScifError::Access)
+        );
+        assert_eq!(
+            client.vreadfrom_window(&local, 0, 0, roff, RmaFlags::SYNC, &mut tl_w),
+            Err(ScifError::Inval)
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use vphi_phi::DeviceRegion;
-use vphi_sim_core::cost::PAGE_SIZE;
+use vphi_sim_core::cost::{HUGE_PAGE_SIZE, PAGE_SIZE};
 
 use crate::error::{ScifError, ScifResult};
 use crate::types::{PinnedBuf, Prot};
@@ -111,6 +111,21 @@ impl WindowBacking {
     }
 }
 
+/// A backing *is* external byte storage — lets a cloned-out backing be
+/// handed to the zero-copy RMA entry points (`vreadfrom_window` /
+/// `vwriteto_window`) as the local side of a transfer.
+impl WindowBytes for WindowBacking {
+    fn len(&self) -> u64 {
+        WindowBacking::len(self)
+    }
+    fn read(&self, at: u64, out: &mut [u8]) -> ScifResult<()> {
+        WindowBacking::read(self, at, out)
+    }
+    fn write(&self, at: u64, data: &[u8]) -> ScifResult<()> {
+        WindowBacking::write(self, at, data)
+    }
+}
+
 /// One registered window.
 #[derive(Debug, Clone)]
 pub struct Window {
@@ -162,8 +177,17 @@ impl WindowTable {
                 off
             }
             None => {
-                let off = self.next_auto_offset;
-                self.next_auto_offset += len.next_multiple_of(PAGE_SIZE);
+                // Large windows get huge-page-aligned offsets so the
+                // zero-copy path can pin and aperture-map them at
+                // huge-page granularity (DESIGN.md #19).  Small windows
+                // keep the dense page-granular layout.
+                let off = if len >= HUGE_PAGE_SIZE {
+                    self.next_auto_offset.next_multiple_of(HUGE_PAGE_SIZE)
+                } else {
+                    self.next_auto_offset
+                };
+                let granule = if len >= HUGE_PAGE_SIZE { HUGE_PAGE_SIZE } else { PAGE_SIZE };
+                self.next_auto_offset = off + len.next_multiple_of(granule);
                 off
             }
         };
@@ -249,6 +273,27 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(t.window_count(), 2);
         assert_eq!(t.total_registered(), 5 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn large_auto_offsets_are_huge_page_aligned() {
+        let mut t = WindowTable::new();
+        // A small window first, to knock the cursor off huge alignment.
+        let small = t.register(None, PAGE_SIZE, Prot::READ_WRITE, backing(1)).unwrap();
+        assert!(small.is_multiple_of(PAGE_SIZE));
+        let pages = HUGE_PAGE_SIZE / PAGE_SIZE + 1; // 2 MiB + 4 KiB
+        let big = t.register(None, pages * PAGE_SIZE, Prot::READ_WRITE, backing(pages)).unwrap();
+        assert!(big.is_multiple_of(HUGE_PAGE_SIZE), "large window base {big:#x} not huge-aligned");
+        // The next large window lands on the following huge boundary (the
+        // cursor advanced by the huge-rounded length).
+        let big2 = t
+            .register(None, HUGE_PAGE_SIZE, Prot::READ_WRITE, backing(HUGE_PAGE_SIZE / PAGE_SIZE))
+            .unwrap();
+        assert_eq!(big2, big + 2 * HUGE_PAGE_SIZE);
+        // Small windows after a large one still work and don't collide.
+        let small2 = t.register(None, PAGE_SIZE, Prot::READ_WRITE, backing(1)).unwrap();
+        assert!(t.lookup(small2, PAGE_SIZE).is_ok());
+        assert_eq!(t.window_count(), 4);
     }
 
     #[test]

@@ -35,6 +35,12 @@ pub enum SpanLabel {
     PageTranslate,
     /// Backend registration-cache probe on the RMA path (hit or miss).
     RegCacheLookup,
+    /// Backend zero-copy RMA: pin one huge page of a registered window
+    /// and install its device-aperture mapping (cold path only).
+    WindowPin,
+    /// Backend zero-copy RMA: build the scatter-gather descriptor list
+    /// over the mapped subwindows (paid on every zero-copy request).
+    SgBuild,
     UsedPush,
     IrqInject,
     GuestWakeup,
@@ -66,6 +72,8 @@ impl SpanLabel {
                 | SpanLabel::GuestBufMap
                 | SpanLabel::PageTranslate
                 | SpanLabel::RegCacheLookup
+                | SpanLabel::WindowPin
+                | SpanLabel::SgBuild
                 | SpanLabel::UsedPush
                 | SpanLabel::IrqInject
                 | SpanLabel::GuestWakeup
@@ -230,6 +238,8 @@ mod tests {
         assert_eq!(t.virtualization_overhead(), us(375));
         assert_eq!(t.total(), us(382));
         assert!(SpanLabel::GuestWakeup.is_virtualization_overhead());
+        assert!(SpanLabel::WindowPin.is_virtualization_overhead());
+        assert!(SpanLabel::SgBuild.is_virtualization_overhead());
         assert!(!SpanLabel::LinkTransfer.is_virtualization_overhead());
     }
 

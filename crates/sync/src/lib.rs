@@ -163,12 +163,15 @@ pub enum LockClass {
     // --- async submission (PR 9) ---
     /// Frontend token → pending submission table (SQ/CQ bookkeeping).
     FrontendPending = 52,
+    // --- zero-copy RMA (PR 10) ---
+    /// Device-aperture window-mapping table (`pcie::ApertureMap`).
+    ApertureWindows = 53,
 }
 
 impl LockClass {
     /// Number of classes (adjacency bitmasks are `u64`, so this must stay
     /// ≤ 64).
-    pub const COUNT: usize = 53;
+    pub const COUNT: usize = 54;
 
     /// Every class, in discriminant order — the hierarchy exported **as
     /// data** so offline tools (`vphi-analyze`) can consume the same
@@ -228,6 +231,7 @@ impl LockClass {
         LockClass::LaneNotifier,
         LockClass::NotifyPolicy,
         LockClass::FrontendPending,
+        LockClass::ApertureWindows,
     ];
 
     /// The class's source-level name, exactly as it is spelled at
@@ -288,6 +292,7 @@ impl LockClass {
             LockClass::LaneNotifier => "LaneNotifier",
             LockClass::NotifyPolicy => "NotifyPolicy",
             LockClass::FrontendPending => "FrontendPending",
+            LockClass::ApertureWindows => "ApertureWindows",
         }
     }
 
@@ -350,6 +355,10 @@ impl LockClass {
             // Between the inflight table (72) and the completed table
             // (74): never held across a wait or another frontend lock.
             LockClass::FrontendPending => 73,
+            // Between the registration cache (28) and the fabric (30):
+            // the backend maps/unmaps after the cache probe and before
+            // replaying the SCIF op.
+            LockClass::ApertureWindows => 29,
         }
     }
 

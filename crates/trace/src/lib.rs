@@ -32,12 +32,12 @@ pub use ctx::{OpCtx, OpenSpan, RootSpan, TraceCtx};
 pub use tracer::{size_bucket, HistRow, SpanRec, TraceConfig, TraceCounters, TraceSummary, Tracer};
 
 /// Number of pipeline stages a request's virtual time is decomposed into.
-pub const STAGE_COUNT: usize = 6;
+pub const STAGE_COUNT: usize = 7;
 
-/// The six pipeline stages of a virtualized SCIF request — the rows of the
-/// Fig. 5 gap decomposition.  Every [`SpanLabel`] maps to exactly one stage
-/// (see [`Stage::of`]), so the per-stage sums reconcile with the end-to-end
-/// latency by construction.
+/// The seven pipeline stages of a virtualized SCIF request — the rows of
+/// the Fig. 5 gap decomposition.  Every [`SpanLabel`] maps to exactly one
+/// stage (see [`Stage::of`]), so the per-stage sums reconcile with the
+/// end-to-end latency by construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Stage {
     /// Guest-side syscall interception: trap, argument marshalling, copies
@@ -48,6 +48,11 @@ pub enum Stage {
     /// Backend replay: request decode, guest-buffer mapping, page
     /// translation, registration-cache probes, worker handoff.
     BackendReplay,
+    /// Zero-copy RMA mapping: huge-page window pinning and scatter-gather
+    /// descriptor construction over the device aperture.  Sits alongside
+    /// backend replay so the staged and mapped paths stay separable in
+    /// the breakdown.
+    DmaMap,
     /// The host-side SCIF operation the backend replays, including the
     /// device's share of servicing it.
     HostScif,
@@ -65,6 +70,7 @@ impl Stage {
         Stage::GuestSyscall,
         Stage::VirtioRing,
         Stage::BackendReplay,
+        Stage::DmaMap,
         Stage::HostScif,
         Stage::Dma,
         Stage::Completion,
@@ -76,6 +82,7 @@ impl Stage {
             Stage::GuestSyscall => "guest-syscall",
             Stage::VirtioRing => "virtio-ring",
             Stage::BackendReplay => "backend-replay",
+            Stage::DmaMap => "dma-map",
             Stage::HostScif => "host-scif",
             Stage::Dma => "dma",
             Stage::Completion => "completion",
@@ -88,9 +95,10 @@ impl Stage {
             Stage::GuestSyscall => 0,
             Stage::VirtioRing => 1,
             Stage::BackendReplay => 2,
-            Stage::HostScif => 3,
-            Stage::Dma => 4,
-            Stage::Completion => 5,
+            Stage::DmaMap => 3,
+            Stage::HostScif => 4,
+            Stage::Dma => 5,
+            Stage::Completion => 6,
         }
     }
 
@@ -109,6 +117,7 @@ impl Stage {
             | SpanLabel::RegCacheLookup
             | SpanLabel::WorkerSpawn
             | SpanLabel::PfnFaultResolve => Stage::BackendReplay,
+            SpanLabel::WindowPin | SpanLabel::SgBuild => Stage::DmaMap,
             SpanLabel::HostSyscall
             | SpanLabel::ScifPost
             | SpanLabel::RmaSetup
@@ -214,6 +223,8 @@ mod tests {
         assert_eq!(Stage::of(SpanLabel::GuestCopy), Stage::GuestSyscall);
         assert_eq!(Stage::of(SpanLabel::VmExitKick), Stage::VirtioRing);
         assert_eq!(Stage::of(SpanLabel::RegCacheLookup), Stage::BackendReplay);
+        assert_eq!(Stage::of(SpanLabel::WindowPin), Stage::DmaMap);
+        assert_eq!(Stage::of(SpanLabel::SgBuild), Stage::DmaMap);
         assert_eq!(Stage::of(SpanLabel::HostSyscall), Stage::HostScif);
         assert_eq!(Stage::of(SpanLabel::DeviceCompute), Stage::HostScif);
         assert_eq!(Stage::of(SpanLabel::LinkTransfer), Stage::Dma);
@@ -224,7 +235,15 @@ mod tests {
         let names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            ["guest-syscall", "virtio-ring", "backend-replay", "host-scif", "dma", "completion"]
+            [
+                "guest-syscall",
+                "virtio-ring",
+                "backend-replay",
+                "dma-map",
+                "host-scif",
+                "dma",
+                "completion"
+            ]
         );
     }
 

@@ -475,6 +475,7 @@ mod tests {
                     SimDuration::ZERO,
                     SimDuration::ZERO,
                     SimDuration::ZERO,
+                    SimDuration::ZERO,
                 ],
                 SimDuration::from_micros(382),
             );

@@ -1,0 +1,21 @@
+//! Lint fixture: deliberately builds a staging bounce buffer on what the
+//! path tables treat as the RMA path.  `xtask lint` must flag the
+//! repeat-form vec below under `staging-buffer`; its directory is excluded
+//! from the workspace walk and it is never compiled.
+
+fn replay_rma(len: usize) -> Vec<u8> {
+    // The exact shape the zero-copy redesign retired: a fresh
+    // length-sized bounce the transfer is staged through.
+    let mut staging = vec![0u8; len];
+    staging[0] = 1;
+    staging
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only staging is legitimate (reference buffers) and must NOT
+    // be flagged.
+    fn expected(len: usize) -> Vec<u8> {
+        vec![0xA5u8; len]
+    }
+}

@@ -45,6 +45,15 @@
 //!    doorbell per touched lane, DESIGN.md #18), and the multi-queue FIFO
 //!    property test: a stray kick bypasses EVENT_IDX suppression and the
 //!    kicks-per-submission ledger the open-loop figure is built on.
+//! 9. `staging-buffer` — repeat-form `vec![_; len]` allocation is banned
+//!    on the RMA path (`scif/src/rma.rs`, the backend, `pcie/`): the
+//!    zero-copy design (DESIGN.md #19) moves bytes through
+//!    `pcie::dma::gather_copy`'s fixed bounce block and scatter-gather
+//!    descriptor lists, so a fresh length-sized staging vec is exactly the
+//!    copy the feature retired.  The sanctioned bounce (`pcie/src/dma.rs`)
+//!    and the backend's cold paths (`Recv`, small/feature-off RMA in
+//!    `backend/mod.rs`) are exempt; `#[cfg(test)]` items are skipped
+//!    because tests stage reference buffers on purpose.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -92,6 +101,9 @@ pub fn lint_source(rel: &Path, src: &str) -> Result<Vec<Violation>, String> {
         check_kick: !exempt::is_exempt("kick-doorbell", rel),
     };
     walk(&file.tokens, rel, is_protocol, is_scif_api, checks, &mut v);
+    if exempt::in_scope("staging-buffer", rel) && !exempt::is_exempt("staging-buffer", rel) {
+        scan_staging(&file.tokens, rel, &mut v);
+    }
     Ok(v)
 }
 
@@ -281,6 +293,61 @@ fn scan_sequences(
                 message: ".kick() rings a doorbell directly; submissions must go through the frontend's batch submitter so one kick covers the lane's whole batch and the kicks-per-submission ledger holds (DESIGN.md #18)".into(),
             });
         }
+    }
+}
+
+/// Rule 9: repeat-form `vec![_; len]` staging buffers on the RMA path.
+/// Self-recursive (not part of [`walk`]) so it can skip `#[cfg(test)]`
+/// subtrees — tests stage reference buffers on purpose.
+fn scan_staging(tokens: &[TokenTree], rel: &Path, out: &mut Vec<Violation>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        // `#[cfg(..test..)]` attributed item: skip to its `;` terminator
+        // or past its brace body (covers `mod`, `fn`, `impl`, `use`).
+        if tokens[i].punct() == Some('#') {
+            if let Some(TokenTree::Group(attr)) = tokens.get(i + 1) {
+                if attr.delimiter == Delimiter::Bracket
+                    && attr.tokens.first().and_then(TokenTree::ident) == Some("cfg")
+                    && group_mentions(attr, "test")
+                {
+                    i += 2;
+                    while i < tokens.len() {
+                        match &tokens[i] {
+                            TokenTree::Group(g) if g.delimiter == Delimiter::Brace => {
+                                i += 1;
+                                break;
+                            }
+                            t if t.punct() == Some(';') => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    continue;
+                }
+            }
+        }
+        // `vec ! [ expr ; len ]` — the repeat form; a top-level `;` inside
+        // the macro group distinguishes it from list-form `vec![a, b]`.
+        if tokens[i].ident() == Some("vec")
+            && tokens.get(i + 1).and_then(TokenTree::punct) == Some('!')
+        {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 2) {
+                if g.tokens.iter().any(|t| t.punct() == Some(';')) {
+                    out.push(Violation {
+                        file: rel.to_path_buf(),
+                        line: tokens[i].line(),
+                        rule: "staging-buffer",
+                        message: "vec![_; len] builds a length-sized staging buffer on the RMA path; zero-copy transfers go through pcie::dma (gather_copy / SgList) — staging is allowed only in the exempt cold paths (DESIGN.md #19)".into(),
+                    });
+                }
+            }
+        }
+        if let TokenTree::Group(g) = &tokens[i] {
+            scan_staging(&g.tokens, rel, out);
+        }
+        i += 1;
     }
 }
 
@@ -631,6 +698,44 @@ mod tests {
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "queue-router");
         assert!(lint("crates/core/src/frontend/mod.rs", src).is_empty());
+    }
+
+    #[test]
+    fn staging_vecs_are_flagged_on_the_rma_path_only() {
+        let src = "fn replay(len: usize) { let buf = vec![0u8; len]; use_it(&buf); }";
+        let v = lint("crates/scif/src/rma.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "staging-buffer");
+        assert_eq!(v[0].line, 1);
+        // The sanctioned bounce and the backend cold path are exempt;
+        // out-of-scope crates are not this rule's business.
+        assert!(lint("crates/pcie/src/dma.rs", src).is_empty());
+        assert!(lint("crates/core/src/backend/mod.rs", src).is_empty());
+        assert!(lint("crates/core/src/frontend/mod.rs", src).is_empty());
+        // List-form vecs and non-vec macros stay legal on the path.
+        let ok = "fn f() { let v = vec![1, 2, 3]; let w = Vec::with_capacity(9); }";
+        assert!(lint("crates/scif/src/rma.rs", ok).is_empty());
+        // Test modules stage reference buffers on purpose.
+        let test_mod =
+            "#[cfg(test)]\nmod tests {\n  fn f(n: usize) { let v = vec![0u8; n]; drop(v); }\n}";
+        assert!(lint("crates/scif/src/rma.rs", test_mod).is_empty(), "cfg(test) is skipped");
+        // A cfg(test) fn (not just mod) is skipped too; the next item
+        // after it is still scanned.
+        let mixed = "#[cfg(test)]\nfn helper(n: usize) -> Vec<u8> { vec![0; n] }\nfn hot(n: usize) -> Vec<u8> { vec![0; n] }";
+        let v = lint("crates/scif/src/rma.rs", mixed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn staging_fixture_fails() {
+        let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/staging_vec.rs");
+        let src = std::fs::read_to_string(&fixture).unwrap();
+        // The fixture dir is skipped by the workspace walk, so lint it
+        // under a path the scope tables treat as the RMA engine.
+        let v = lint("crates/scif/src/rma.rs", &src);
+        assert_eq!(v.len(), 1, "exactly the non-test staging vec trips: {v:?}");
+        assert_eq!(v[0].rule, "staging-buffer");
     }
 
     #[test]
